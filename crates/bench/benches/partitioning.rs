@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks: k-way min-cut partitioning (the inner loop
+//! of Algorithm 1's step 11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vi_noc_graph::{partition_kway, PartitionConfig, SymGraph};
+use vi_noc_soc::{benchmarks, generate_synthetic, SyntheticConfig};
+
+fn clustered_graph(clusters: usize, size: usize) -> SymGraph {
+    let n = clusters * size;
+    let mut g = SymGraph::new(n);
+    for c in 0..clusters {
+        let base = c * size;
+        for i in 0..size {
+            for j in (i + 1)..size {
+                g.add_edge(base + i, base + j, 10.0);
+            }
+        }
+        if c + 1 < clusters {
+            g.add_edge(base, base + size, 1.0);
+        }
+    }
+    g
+}
+
+fn bench_partition_kway(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_kway");
+    for &(clusters, size) in &[(4usize, 8usize), (4, 16), (8, 16)] {
+        let g = clustered_graph(clusters, size);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}x{}", clusters, size)),
+            &g,
+            |b, g| b.iter(|| partition_kway(black_box(g), clusters, &PartitionConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_traffic_graph_partition(c: &mut Criterion) {
+    let d26 = benchmarks::d26_mobile().traffic_graph();
+    c.bench_function("partition_d26_traffic_4way", |b| {
+        b.iter(|| partition_kway(black_box(&d26), 4, &PartitionConfig::default()))
+    });
+    let big = generate_synthetic(&SyntheticConfig {
+        n_cores: 96,
+        ..SyntheticConfig::default()
+    })
+    .traffic_graph();
+    c.bench_function("partition_synthetic96_6way", |b| {
+        b.iter(|| partition_kway(black_box(&big), 6, &PartitionConfig::default()))
+    });
+}
+
+criterion_group!(benches, bench_partition_kway, bench_traffic_graph_partition);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benchmarks: flow lifting and verification on synthesized
+//! designs (steps 14-17 of Algorithm 1 and the shutdown checker).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vi_noc_core::{
+    inter_switch_flows, synthesize, verify_design, verify_shutdown_safety, SynthesisConfig,
+};
+use vi_noc_soc::{benchmarks, partition};
+
+fn bench_flow_lifting(c: &mut Criterion) {
+    let soc = benchmarks::d26_mobile();
+    let vi = partition::logical_partition(&soc, 6).expect("islands");
+    let space = synthesize(&soc, &vi, &SynthesisConfig::default()).expect("feasible");
+    let topo = &space.min_power_point().unwrap().topology;
+    c.bench_function("inter_switch_flows_d26", |b| {
+        b.iter(|| inter_switch_flows(black_box(&soc), black_box(topo)))
+    });
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let soc = benchmarks::d26_mobile();
+    let vi = partition::logical_partition(&soc, 6).expect("islands");
+    let cfg = SynthesisConfig::default();
+    let space = synthesize(&soc, &vi, &cfg).expect("feasible");
+    let topo = &space.min_power_point().unwrap().topology;
+    c.bench_function("verify_design_d26", |b| {
+        b.iter(|| verify_design(black_box(&soc), black_box(&vi), black_box(topo), &cfg))
+    });
+    c.bench_function("verify_shutdown_safety_d26", |b| {
+        b.iter(|| verify_shutdown_safety(black_box(&soc), black_box(&vi), black_box(topo)))
+    });
+}
+
+criterion_group!(benches, bench_flow_lifting, bench_verification);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmarks: synthesis scaling with SoC size (the empirical
+//! side of the paper's O(V^2 E^2 ln V) complexity claim, T3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vi_noc_core::{synthesize, SynthesisConfig};
+use vi_noc_soc::{generate_synthetic, partition, SyntheticConfig};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize_scaling");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let soc = generate_synthetic(&SyntheticConfig {
+            n_cores: n,
+            seed: 7,
+            ..SyntheticConfig::default()
+        });
+        let Ok(vi) = partition::communication_partition(&soc, 4, 3) else {
+            continue;
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(soc, vi),
+            |b, (soc, vi)| {
+                b.iter(|| {
+                    let _ = synthesize(black_box(soc), black_box(vi), &SynthesisConfig::default());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmarks: cycle-level simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vi_noc_core::{synthesize, SynthesisConfig};
+use vi_noc_sim::{SimConfig, Simulator, TrafficKind};
+use vi_noc_soc::{benchmarks, partition};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_20us");
+    group.sample_size(10);
+    for k in [1usize, 6] {
+        let soc = benchmarks::d26_mobile();
+        let vi = partition::logical_partition(&soc, k).expect("islands");
+        let space = synthesize(&soc, &vi, &SynthesisConfig::default()).expect("feasible");
+        let topo = space.min_power_point().unwrap().topology.clone();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d26_{k}vi")),
+            &(soc, topo),
+            |b, (soc, topo)| {
+                b.iter(|| {
+                    let mut sim = Simulator::new(
+                        black_box(soc),
+                        black_box(topo),
+                        &SimConfig {
+                            traffic: TrafficKind::Cbr,
+                            load_factor: 0.8,
+                            ..SimConfig::default()
+                        },
+                    );
+                    sim.run_for_ns(20_000)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

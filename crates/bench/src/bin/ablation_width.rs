@@ -1,0 +1,45 @@
+//! Ablation: NoC link data width.
+//!
+//! The paper fixes the link width ("without loss of generality, we fix the
+//! data width of the NoC links to a user-defined value. Please note that it
+//! could be varied in a range and more design points could be explored") —
+//! this binary explores that range. Wider links let islands clock slower
+//! (frequency = peak NI bandwidth / width) at the cost of area and per-port
+//! capacitance.
+
+use vi_noc_core::{synthesize, SynthesisConfig};
+use vi_noc_soc::{benchmarks, partition};
+
+fn main() {
+    let soc = benchmarks::d26_mobile();
+    let vi = partition::logical_partition(&soc, 6).expect("6 logical islands");
+    println!("== ablation: link data width (D26, 6-VI logical) ==\n");
+    println!(
+        "{:>7} {:>12} {:>12} {:>12} {:>12}",
+        "width", "power (mW)", "lat (cyc)", "area (mm2)", "points"
+    );
+    for width in [16usize, 32, 64, 128] {
+        let cfg = SynthesisConfig {
+            link_width_bits: width,
+            ..SynthesisConfig::default()
+        };
+        match synthesize(&soc, &vi, &cfg) {
+            Ok(space) => {
+                let best = space.min_power_point().expect("points");
+                println!(
+                    "{:>6}b {:>12.1} {:>12.2} {:>12.2} {:>12}",
+                    width,
+                    best.metrics.noc_dynamic_power().mw(),
+                    best.metrics.avg_latency_cycles,
+                    best.metrics.area.mm2(),
+                    space.points.len()
+                );
+            }
+            Err(e) => println!("{width:>6}b infeasible: {e}"),
+        }
+    }
+    println!(
+        "\nnarrow links force high island clocks (16b may be infeasible for the\n\
+         SDRAM hub); wide links idle faster ports and pay silicon area."
+    );
+}

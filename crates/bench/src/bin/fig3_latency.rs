@@ -1,0 +1,78 @@
+//! Figure 3 reproduction: average zero-load packet latency vs island count
+//! for both partitioning strategies, including the 4-cycle bi-synchronous
+//! converter penalty per island crossing.
+
+use vi_noc_bench::{
+    comparison_table, island_sweep, Strategy, PAPER_FIG3_COMM_CYC, PAPER_FIG3_LOGICAL_CYC,
+};
+use vi_noc_soc::benchmarks;
+
+fn main() {
+    let soc = benchmarks::d26_mobile();
+    println!(
+        "== Figure 3: VI count vs average zero-load latency ({}) ==\n",
+        soc.name()
+    );
+
+    let logical = island_sweep(&soc, Strategy::Logical);
+    let comm = island_sweep(&soc, Strategy::Communication);
+
+    println!(
+        "{}",
+        comparison_table(
+            "-- logical partitioning --",
+            "cycles",
+            &logical,
+            |p| p.latency_cycles,
+            &PAPER_FIG3_LOGICAL_CYC,
+        )
+    );
+    println!(
+        "{}",
+        comparison_table(
+            "-- communication-based partitioning --",
+            "cycles",
+            &comm,
+            |p| p.latency_cycles,
+            &PAPER_FIG3_COMM_CYC,
+        )
+    );
+
+    println!("shape checks:");
+    let start = logical[0].latency_cycles;
+    println!(
+        "  [{}] 1-island latency near the paper's ~3.5 cycles (ours {:.2})",
+        if (2.5..4.5).contains(&start) {
+            "ok"
+        } else {
+            "MISS"
+        },
+        start
+    );
+    let mono = logical[0].latency_cycles < logical.last().unwrap().latency_cycles
+        && comm[0].latency_cycles < comm.last().unwrap().latency_cycles;
+    println!(
+        "  [{}] latency grows with island count (crossing penalty accumulates)",
+        if mono { "ok" } else { "MISS" }
+    );
+    let comm_below = logical
+        .iter()
+        .zip(&comm)
+        .all(|(l, c)| c.latency_cycles <= l.latency_cycles + 0.75);
+    println!(
+        "  [{}] communication partitioning stays at or below logical",
+        if comm_below { "ok" } else { "MISS" }
+    );
+
+    let rows = logical.iter().zip(&comm).map(|(l, c)| {
+        format!(
+            "{},{:.3},{:.3}",
+            l.islands, l.latency_cycles, c.latency_cycles
+        )
+    });
+    let path = "fig3_latency.csv";
+    match vi_noc_bench::write_csv(path, "islands,logical_cycles,communication_cycles", rows) {
+        Ok(()) => println!("\nseries written to {path}"),
+        Err(e) => eprintln!("\ncsv write failed: {e}"),
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 5 reproduction: floorplan of the D26 SoC with NoC switches
+//! inserted, wire lengths measured, and wire-accurate power recomputed.
+
+use vi_noc_bench::{best_point, Strategy};
+use vi_noc_core::{realize_on_floorplan, SynthesisConfig};
+use vi_noc_floorplan::{render_ascii, FloorplanConfig};
+use vi_noc_soc::{benchmarks, partition};
+
+fn main() {
+    let soc = benchmarks::d26_mobile();
+    println!(
+        "== Figure 5: floorplan with NoC inserted ({}, 6-VI logical) ==\n",
+        soc.name()
+    );
+    let vi = partition::logical_partition(&soc, 6).expect("6 logical islands");
+    let point = best_point(&soc, Strategy::Logical, 6).expect("feasible design");
+
+    let fp_cfg = FloorplanConfig::default();
+    let realized = realize_on_floorplan(&soc, &vi, &point, &fp_cfg, &SynthesisConfig::default());
+
+    let names: Vec<&str> = soc.cores().iter().map(|c| c.name.as_str()).collect();
+    println!(
+        "{}",
+        render_ascii(
+            &realized.placement,
+            &names,
+            &realized.switch_positions,
+            96,
+            32
+        )
+    );
+
+    let (dw, dh) = realized.placement.die();
+    println!(
+        "die: {dw:.2} x {dh:.2} mm ({:.1} mm^2), utilization {:.0}%",
+        realized.placement.die_area_mm2(),
+        realized.placement.utilization() * 100.0
+    );
+    let longest = realized
+        .topology
+        .links()
+        .iter()
+        .map(|l| l.length_mm)
+        .fold(0.0, f64::max);
+    println!(
+        "links: {} total, longest wire {:.2} mm, {} miss unpipelined timing",
+        realized.topology.links().len(),
+        longest,
+        realized.infeasible_links.len()
+    );
+    println!(
+        "wire-accurate NoC power: {:.1} mW (estimated during synthesis: {:.1} mW)",
+        realized.metrics.power.fig2_power().mw(),
+        point.metrics.power.fig2_power().mw()
+    );
+    println!(
+        "NoC area: {:.2} mm^2 = {:.2}% of core area",
+        realized.metrics.area.mm2(),
+        100.0 * realized.metrics.area.mm2() / soc.total_core_area().mm2()
+    );
+}

@@ -1,0 +1,62 @@
+//! T1 reproduction (§5 text): across the SoC benchmark suite, the cost of
+//! supporting voltage-island shutdown is ≈3 % of *system* dynamic power and
+//! <0.5 % of SoC area, versus shutdown-oblivious synthesis of the same SoC.
+
+use vi_noc_core::{synthesize, synthesize_oblivious, SynthesisConfig};
+use vi_noc_soc::{benchmarks, partition};
+
+fn main() {
+    println!("== T1: suite-wide overhead of VI-shutdown support ==");
+    println!("paper: average ~3% of system dynamic power, <0.5% SoC area\n");
+    println!(
+        "{:<14} {:>4} {:>11} {:>11} {:>10} {:>10}",
+        "benchmark", "VIs", "ref NoC mW", "VI NoC mW", "power ovh", "area ovh"
+    );
+
+    let cfg = SynthesisConfig::default();
+    let mut power_ovh_sum = 0.0;
+    let mut area_ovh_sum = 0.0;
+    let mut n = 0.0;
+    for (soc, k) in benchmarks::suite() {
+        let oblivious = synthesize_oblivious(&soc, &cfg).expect("reference design");
+        let ref_point = oblivious.space.min_power_point().expect("points");
+        let vi = partition::logical_partition(&soc, k).expect("logical islands");
+        let space = synthesize(&soc, &vi, &cfg).expect("VI-aware design");
+        let vi_point = space.min_power_point().expect("points");
+
+        let system_power =
+            soc.total_core_dyn_power().mw() + ref_point.metrics.noc_dynamic_power().mw();
+        let power_ovh = (vi_point.metrics.noc_dynamic_power().mw()
+            - ref_point.metrics.noc_dynamic_power().mw())
+            / system_power;
+        let soc_area = soc.total_core_area().mm2() + ref_point.metrics.area.mm2();
+        let area_ovh = (vi_point.metrics.area.mm2() - ref_point.metrics.area.mm2()) / soc_area;
+
+        println!(
+            "{:<14} {:>4} {:>11.1} {:>11.1} {:>9.2}% {:>9.2}%",
+            soc.name(),
+            k,
+            ref_point.metrics.noc_dynamic_power().mw(),
+            vi_point.metrics.noc_dynamic_power().mw(),
+            power_ovh * 100.0,
+            area_ovh * 100.0
+        );
+        power_ovh_sum += power_ovh;
+        area_ovh_sum += area_ovh;
+        n += 1.0;
+    }
+
+    let avg_power = power_ovh_sum / n * 100.0;
+    let avg_area = area_ovh_sum / n * 100.0;
+    println!("\naverage power overhead: {avg_power:.2}% of system dynamic power (paper: ~3%)");
+    println!("average area overhead:  {avg_area:.2}% of SoC area (paper: <0.5%)");
+    println!("shape checks:");
+    println!(
+        "  [{}] power overhead in low single digits",
+        if avg_power < 8.0 { "ok" } else { "MISS" }
+    );
+    println!(
+        "  [{}] area overhead below 1%",
+        if avg_area < 1.0 { "ok" } else { "MISS" }
+    );
+}

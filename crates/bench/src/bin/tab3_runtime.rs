@@ -1,0 +1,75 @@
+//! T3 reproduction (§5 text): synthesis runtime. The paper explored all
+//! design points "in a few hours on a 2 GHz Linux machine"; our from-scratch
+//! implementation finishes the same exploration in seconds, and the
+//! empirical scaling on synthetic SoCs stays polynomial.
+
+use std::time::Instant;
+use vi_noc_core::{synthesize, SynthesisConfig};
+use vi_noc_soc::{benchmarks, generate_synthetic, partition, SyntheticConfig};
+
+fn main() {
+    println!("== T3: synthesis runtime ==");
+    println!("paper: full exploration of all benchmarks in a few hours (2 GHz, 2009)\n");
+
+    let cfg = SynthesisConfig::default();
+    println!(
+        "{:<16} {:>6} {:>6} {:>5} {:>10} {:>8}",
+        "benchmark", "cores", "flows", "VIs", "points", "time"
+    );
+    let mut total = std::time::Duration::ZERO;
+    for (soc, k) in benchmarks::suite() {
+        let vi = partition::logical_partition(&soc, k).expect("islands");
+        let t0 = Instant::now();
+        let space = synthesize(&soc, &vi, &cfg).expect("feasible");
+        let dt = t0.elapsed();
+        total += dt;
+        println!(
+            "{:<16} {:>6} {:>6} {:>5} {:>10} {:>7.2}s",
+            soc.name(),
+            soc.core_count(),
+            soc.flow_count(),
+            k,
+            space.points.len(),
+            dt.as_secs_f64()
+        );
+    }
+    println!("suite total: {:.2}s\n", total.as_secs_f64());
+
+    println!("scaling on synthetic SoCs (communication partitioning, 4 islands):");
+    println!(
+        "{:>6} {:>6} {:>10} {:>8}",
+        "cores", "flows", "points", "time"
+    );
+    let mut last: Option<(f64, f64)> = None;
+    for n in [16usize, 24, 32, 48, 64, 96] {
+        let soc = generate_synthetic(&SyntheticConfig {
+            n_cores: n,
+            seed: 7,
+            ..SyntheticConfig::default()
+        });
+        let Ok(vi) = vi_noc_soc::partition::communication_partition(&soc, 4, 3) else {
+            continue;
+        };
+        let t0 = Instant::now();
+        match synthesize(&soc, &vi, &cfg) {
+            Ok(space) => {
+                let dt = t0.elapsed().as_secs_f64();
+                println!(
+                    "{:>6} {:>6} {:>10} {:>7.2}s",
+                    n,
+                    soc.flow_count(),
+                    space.points.len(),
+                    dt
+                );
+                if let Some((pn, pt)) = last {
+                    let exponent = (dt / pt).ln() / (n as f64 / pn).ln();
+                    if dt > 0.05 {
+                        println!("{:>31} empirical exponent ~{exponent:.1}", "");
+                    }
+                }
+                last = Some((n as f64, dt));
+            }
+            Err(e) => println!("{:>6} {:>6} {:>10} {}", n, soc.flow_count(), "-", e),
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Figure/table regeneration harness for the DAC'09 reproduction.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation (run with `cargo run -p vi-noc-bench --bin <name> --release`):
+//!
+//! | binary          | paper artifact | contents |
+//! |-----------------|----------------|----------|
+//! | `fig2_power`    | Figure 2       | NoC dynamic power vs island count, logical vs communication partitioning |
+//! | `fig3_latency`  | Figure 3       | average zero-load latency vs island count |
+//! | `fig4_topology` | Figure 4       | synthesized topology for the 6-VI logical D26 design |
+//! | `fig5_floorplan`| Figure 5       | floorplan with NoC switches inserted |
+//! | `tab1_overhead` | §5 text        | suite-wide power/area overhead of VI support (≈3 % / <0.5 %) |
+//! | `tab2_leakage`  | §5 text        | leakage recovered by island shutdown per use case (≥25 %) |
+//! | `tab3_runtime`  | §5 text        | synthesis wall-clock and scaling |
+//!
+//! This library hosts the shared sweep driver and the (eye-digitized,
+//! approximate) reference series from the paper's plots; the comparison is
+//! *shape-based* — who wins, by roughly what factor, where the curves sit
+//! relative to the 1-island reference — not absolute mW.
+
+use vi_noc_core::{synthesize, DesignPoint, SynthesisConfig};
+use vi_noc_soc::{partition, SocSpec, ViAssignment};
+
+/// Core→island assignment strategy of the paper's §5 comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Function-based islands ("logical partitioning").
+    Logical,
+    /// Min-cut traffic clustering ("communication based partitioning").
+    Communication,
+}
+
+impl Strategy {
+    /// Human-readable label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::Logical => "logical",
+            Strategy::Communication => "communication",
+        }
+    }
+
+    /// Produces the island assignment for `k` islands.
+    pub fn partition(self, spec: &SocSpec, k: usize) -> Option<ViAssignment> {
+        match self {
+            Strategy::Logical => partition::logical_partition(spec, k).ok(),
+            Strategy::Communication => partition::communication_partition(spec, k, 17).ok(),
+        }
+    }
+}
+
+/// One measured point of the island-count sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Number of voltage islands.
+    pub islands: usize,
+    /// Figure-2 power metric (switches + links + synchronizers), mW.
+    pub power_mw: f64,
+    /// NI-inclusive NoC dynamic power, mW.
+    pub total_power_mw: f64,
+    /// Average zero-load latency, cycles (Figure-3 metric).
+    pub latency_cycles: f64,
+    /// Switch count of the selected design point.
+    pub switches: usize,
+    /// Converter-crossing link count.
+    pub crossings: usize,
+}
+
+/// The island counts of the paper's Figures 2–3 x-axis.
+pub const PAPER_ISLAND_COUNTS: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 26];
+
+/// Approximate values digitized from the paper's Figure 2 (mW), for the
+/// same island counts as [`PAPER_ISLAND_COUNTS`]. Shape reference only.
+pub const PAPER_FIG2_LOGICAL_MW: [f64; 8] = [55.0, 60.0, 63.0, 66.0, 70.0, 74.0, 78.0, 98.0];
+/// Communication-based partitioning series of Figure 2 (mW, digitized).
+pub const PAPER_FIG2_COMM_MW: [f64; 8] = [55.0, 47.0, 43.0, 42.0, 44.0, 47.0, 50.0, 98.0];
+/// Logical series of Figure 3 (cycles, digitized).
+pub const PAPER_FIG3_LOGICAL_CYC: [f64; 8] = [3.4, 4.6, 5.2, 5.6, 5.9, 6.2, 6.4, 7.0];
+/// Communication series of Figure 3 (cycles, digitized).
+pub const PAPER_FIG3_COMM_CYC: [f64; 8] = [3.4, 3.9, 4.3, 4.6, 4.9, 5.3, 5.7, 7.0];
+
+/// Synthesizes the best (minimum-power feasible) design point for `spec`
+/// split into `k` islands by `strategy`.
+pub fn best_point(spec: &SocSpec, strategy: Strategy, k: usize) -> Option<DesignPoint> {
+    let vi = strategy.partition(spec, k)?;
+    let space = synthesize(spec, &vi, &SynthesisConfig::default()).ok()?;
+    space.min_power_point().cloned()
+}
+
+/// Runs the full island-count sweep of Figures 2–3 for one strategy.
+///
+/// Island counts that the strategy cannot realize (logical partitioning is
+/// defined for 1–7 and n islands) are skipped.
+pub fn island_sweep(spec: &SocSpec, strategy: Strategy) -> Vec<SweepPoint> {
+    PAPER_ISLAND_COUNTS
+        .iter()
+        .filter_map(|&k| {
+            let point = best_point(spec, strategy, k)?;
+            Some(SweepPoint {
+                islands: k,
+                power_mw: point.metrics.power.fig2_power().mw(),
+                total_power_mw: point.metrics.noc_dynamic_power().mw(),
+                latency_cycles: point.metrics.avg_latency_cycles,
+                switches: point.metrics.switch_count,
+                crossings: point.metrics.crossing_count,
+            })
+        })
+        .collect()
+}
+
+/// Formats a two-series comparison table (paper vs measured).
+pub fn comparison_table(
+    title: &str,
+    unit: &str,
+    measured: &[SweepPoint],
+    value: impl Fn(&SweepPoint) -> f64,
+    paper: &[f64],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>14} {:>14} {:>10}",
+        "islands",
+        format!("paper ({unit})"),
+        format!("ours ({unit})"),
+        "ours/ref"
+    );
+    let reference = measured.first().map(&value).unwrap_or(1.0);
+    for p in measured {
+        let idx = PAPER_ISLAND_COUNTS
+            .iter()
+            .position(|&k| k == p.islands)
+            .unwrap_or(usize::MAX);
+        let paper_v = paper.get(idx).copied();
+        let _ = writeln!(
+            out,
+            "{:>8} {:>14} {:>14.2} {:>10.2}",
+            p.islands,
+            paper_v
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            value(p),
+            value(p) / reference,
+        );
+    }
+    out
+}
+
+/// Writes a simple CSV (`header` then rows) to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from file creation/writes.
+pub fn write_csv(
+    path: &str,
+    header: &str,
+    rows: impl IntoIterator<Item = String>,
+) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{header}")?;
+    for row in rows {
+        writeln!(f, "{row}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vi_noc_soc::benchmarks;
+
+    #[test]
+    fn both_strategies_cover_the_sweep() {
+        let soc = benchmarks::d26_mobile();
+        let logi = island_sweep(&soc, Strategy::Logical);
+        let comm = island_sweep(&soc, Strategy::Communication);
+        assert_eq!(logi.len(), 8, "logical supports 1-7 and 26 islands");
+        assert_eq!(comm.len(), 8);
+    }
+
+    #[test]
+    fn figure2_shape_holds() {
+        // The claims of the paper's Figure 2, checked on our measurements:
+        // (a) communication-based partitioning dips below the 1-island
+        //     reference at small island counts;
+        // (b) logical partitioning pays an overhead at every island count;
+        // (c) both strategies are most expensive at 26 islands.
+        let soc = benchmarks::d26_mobile();
+        let logi = island_sweep(&soc, Strategy::Logical);
+        let comm = island_sweep(&soc, Strategy::Communication);
+        let reference = logi[0].power_mw;
+        assert!(
+            comm[1..5].iter().any(|p| p.power_mw < reference),
+            "communication partitioning should dip below the reference"
+        );
+        for p in &logi[1..] {
+            assert!(
+                p.power_mw > reference,
+                "logical k={} should cost more than the reference",
+                p.islands
+            );
+        }
+        assert!(
+            logi.last().unwrap().power_mw
+                >= logi[..7].iter().map(|p| p.power_mw).fold(0.0, f64::max)
+        );
+    }
+
+    #[test]
+    fn figure3_shape_holds() {
+        // Latency grows with island count and communication partitioning
+        // stays at or below logical partitioning.
+        let soc = benchmarks::d26_mobile();
+        let logi = island_sweep(&soc, Strategy::Logical);
+        let comm = island_sweep(&soc, Strategy::Communication);
+        assert!(logi[0].latency_cycles < logi.last().unwrap().latency_cycles);
+        assert!(comm[0].latency_cycles < comm.last().unwrap().latency_cycles);
+        for (l, c) in logi.iter().zip(&comm) {
+            assert!(
+                c.latency_cycles <= l.latency_cycles + 0.75,
+                "k={}: communication latency should not exceed logical by much",
+                l.islands
+            );
+        }
+        // Single-island latency sits near the paper's ~3.5 cycles.
+        assert!(logi[0].latency_cycles > 2.5 && logi[0].latency_cycles < 4.5);
+    }
+
+    #[test]
+    fn comparison_table_renders() {
+        let soc = benchmarks::d12_auto();
+        let points = vec![SweepPoint {
+            islands: 1,
+            power_mw: 10.0,
+            total_power_mw: 12.0,
+            latency_cycles: 3.0,
+            switches: 2,
+            crossings: 0,
+        }];
+        let t = comparison_table("t", "mW", &points, |p| p.power_mw, &PAPER_FIG2_LOGICAL_MW);
+        assert!(t.contains("islands"));
+        assert!(t.contains("10.00"));
+        let _ = soc;
+    }
+}

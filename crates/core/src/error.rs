@@ -1,0 +1,58 @@
+//! Synthesis errors.
+
+use std::fmt;
+
+/// Failure modes of [`crate::synthesize`] and related entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthesisError {
+    /// The spec failed validation before synthesis started.
+    InvalidSpec(String),
+    /// No explored design point satisfied all bandwidth and latency
+    /// constraints.
+    NoFeasibleDesign {
+        /// Design points explored.
+        explored: usize,
+        /// Human-readable reason from the last failure.
+        last_failure: String,
+    },
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::InvalidSpec(msg) => write!(f, "invalid SoC spec: {msg}"),
+            SynthesisError::NoFeasibleDesign {
+                explored,
+                last_failure,
+            } => write!(
+                f,
+                "no feasible NoC design found after exploring {explored} points \
+                 (last failure: {last_failure})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SynthesisError::NoFeasibleDesign {
+            explored: 12,
+            last_failure: "flow f3 latency 14 > 10".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("12"));
+        assert!(s.contains("f3"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        let e: Box<dyn std::error::Error> = Box::new(SynthesisError::InvalidSpec("x".into()));
+        assert!(e.to_string().contains("invalid"));
+    }
+}

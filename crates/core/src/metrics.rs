@@ -1,0 +1,239 @@
+//! Power / area / latency evaluation of a synthesized topology.
+
+use crate::config::SynthesisConfig;
+use crate::topology::Topology;
+use vi_noc_models::{Area, Bandwidth, BisyncFifoModel, LinkModel, NiModel, Power, SwitchModel};
+use vi_noc_soc::SocSpec;
+
+/// Default estimated NI↔switch wire length before floorplanning, mm.
+const EST_NI_LINK_MM: f64 = 0.8;
+
+/// NoC dynamic power split by component class.
+///
+/// Figure 2 of the paper plots `switches + links + synchronizers` (§5: "The
+/// power consumption values comprise the consumption on switches, links and
+/// the synchronizers") — use [`PowerBreakdown::fig2_power`] for that series
+/// and [`DesignMetrics::noc_dynamic_power`] for the NI-inclusive total.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// Switch idle (clock/control) + datapath power.
+    pub switches: Power,
+    /// Wire power of all switch-switch and NI-switch links.
+    pub links: Power,
+    /// Bi-synchronous voltage/frequency converter power.
+    pub synchronizers: Power,
+    /// Network-interface power.
+    pub nis: Power,
+}
+
+impl PowerBreakdown {
+    /// The paper's Figure-2 metric: switches + links + synchronizers.
+    pub fn fig2_power(&self) -> Power {
+        self.switches + self.links + self.synchronizers
+    }
+
+    /// Everything, NIs included.
+    pub fn total(&self) -> Power {
+        self.fig2_power() + self.nis
+    }
+}
+
+/// Evaluated quality of one design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignMetrics {
+    /// Dynamic power by component class.
+    pub power: PowerBreakdown,
+    /// NoC leakage power (ungated).
+    pub leakage: Power,
+    /// NoC silicon area (switches + NIs + converters).
+    pub area: Area,
+    /// Mean zero-load latency over all flows, cycles.
+    pub avg_latency_cycles: f64,
+    /// Worst zero-load latency, cycles.
+    pub max_latency_cycles: u32,
+    /// Switch count (intermediate included).
+    pub switch_count: usize,
+    /// Directed link count.
+    pub link_count: usize,
+    /// Number of domain-crossing links (each carries a converter FIFO).
+    pub crossing_count: usize,
+}
+
+impl DesignMetrics {
+    /// Total NoC dynamic power (NIs included).
+    pub fn noc_dynamic_power(&self) -> Power {
+        self.power.total()
+    }
+}
+
+/// Computes the metrics of `topo`.
+///
+/// Link wire lengths are taken from the topology's per-link `length_mm`
+/// (estimates during synthesis, realized Manhattan lengths after
+/// floorplanning); NI links use a fixed estimate unless `ni_lengths_mm`
+/// provides per-core values.
+pub fn compute_metrics(
+    spec: &SocSpec,
+    topo: &Topology,
+    cfg: &SynthesisConfig,
+    ni_lengths_mm: Option<&[f64]>,
+) -> DesignMetrics {
+    let tech = &cfg.technology;
+    let link_model = LinkModel::new(tech, cfg.link_width_bits);
+    let ni_model = NiModel::new(tech, cfg.link_width_bits);
+    let fifo_model = BisyncFifoModel::new(tech, cfg.link_width_bits);
+
+    let mut p_switches = Power::ZERO;
+    let mut p_links = Power::ZERO;
+    let mut p_sync = Power::ZERO;
+    let mut p_nis = Power::ZERO;
+    let mut leakage = Power::ZERO;
+    let mut area = Area::ZERO;
+
+    // Switches: idle at island clock + datapath for routed traffic.
+    let loads = topo.switch_loads(spec);
+    for s in topo.switch_ids() {
+        let sw = topo.switch(s);
+        let (inp, outp) = topo.switch_ports(s);
+        let model = SwitchModel::new(tech, inp.max(1), outp.max(1), cfg.link_width_bits);
+        let f = topo.island_frequency(sw.island_ext);
+        p_switches += model.idle_power(f) + model.traffic_power(loads[s.index()]);
+        leakage += model.leakage_power();
+        area += model.area();
+    }
+
+    // Switch-to-switch links: wire power for the allocated load; crossings
+    // additionally pay the converter FIFO.
+    for l in topo.links() {
+        p_links += link_model.traffic_power(l.length_mm, l.load);
+        if l.crosses_domain() {
+            let fu = topo.island_frequency(topo.switch(l.from).island_ext);
+            let fv = topo.island_frequency(topo.switch(l.to).island_ext);
+            p_sync += fifo_model.power(fu, fv, l.load);
+            leakage += fifo_model.leakage_power();
+            area += fifo_model.area();
+        }
+    }
+
+    // NIs: one per core, clocked at the island frequency, plus the NI link
+    // wire power.
+    for id in spec.core_ids() {
+        let s = topo.switch_of_core(id);
+        let f = topo.island_frequency(topo.switch(s).island_ext);
+        let (inb, outb) = spec.core_io_bandwidth(id);
+        let bw = Bandwidth::from_bytes_per_s(inb.bytes_per_s() + outb.bytes_per_s());
+        p_nis += ni_model.power(f, bw);
+        leakage += ni_model.leakage_power();
+        area += ni_model.area();
+        let len = ni_lengths_mm
+            .map(|v| v[id.index()])
+            .unwrap_or(EST_NI_LINK_MM);
+        p_links += link_model.traffic_power(len, bw);
+    }
+
+    // Zero-load latencies from the routes.
+    let mut sum_lat = 0.0;
+    let mut max_lat = 0;
+    let mut n_routes = 0;
+    for r in topo.routes() {
+        sum_lat += r.latency_cycles as f64;
+        max_lat = max_lat.max(r.latency_cycles);
+        n_routes += 1;
+    }
+
+    DesignMetrics {
+        power: PowerBreakdown {
+            switches: p_switches,
+            links: p_links,
+            synchronizers: p_sync,
+            nis: p_nis,
+        },
+        leakage,
+        area,
+        avg_latency_cycles: if n_routes > 0 {
+            sum_lat / n_routes as f64
+        } else {
+            0.0
+        },
+        max_latency_cycles: max_lat,
+        switch_count: topo.switches().len(),
+        link_count: topo.links().len(),
+        crossing_count: topo.links().iter().filter(|l| l.crosses_domain()).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesis::synthesize;
+    use vi_noc_soc::{benchmarks, partition};
+
+    fn metrics_for(k: usize) -> DesignMetrics {
+        let soc = benchmarks::d26_mobile();
+        let vi = partition::logical_partition(&soc, k).unwrap();
+        let cfg = SynthesisConfig::default();
+        let space = synthesize(&soc, &vi, &cfg).expect("feasible");
+        space.min_power_point().expect("points").metrics.clone()
+    }
+
+    #[test]
+    fn one_island_has_no_synchronizer_power() {
+        let m = metrics_for(1);
+        assert_eq!(m.crossing_count, 0);
+        assert!(m.power.synchronizers.mw() < 1e-12);
+        assert!(m.power.switches.mw() > 0.0);
+        assert!(m.power.links.mw() > 0.0);
+        assert!(m.power.nis.mw() > 0.0);
+    }
+
+    #[test]
+    fn multi_island_pays_for_crossings() {
+        let m1 = metrics_for(1);
+        let m6 = metrics_for(6);
+        assert!(m6.crossing_count > 0);
+        assert!(m6.power.synchronizers.mw() > 0.0);
+        assert!(m6.avg_latency_cycles > m1.avg_latency_cycles);
+    }
+
+    #[test]
+    fn fig2_power_excludes_nis() {
+        let m = metrics_for(6);
+        let fig2 = m.power.fig2_power().mw();
+        let total = m.noc_dynamic_power().mw();
+        assert!(
+            (total - fig2 - m.power.nis.mw()).abs() < 1e-9,
+            "total = fig2 + NIs"
+        );
+        assert!(fig2 < total);
+    }
+
+    #[test]
+    fn power_magnitudes_match_paper_range() {
+        // Figure 2's y-axis spans 20..100 mW for this SoC class.
+        let m = metrics_for(1);
+        let p = m.power.fig2_power().mw();
+        assert!(
+            p > 10.0 && p < 150.0,
+            "1-island NoC power {p} mW far from the paper's range"
+        );
+    }
+
+    #[test]
+    fn area_is_small_versus_soc() {
+        let soc = benchmarks::d26_mobile();
+        let m = metrics_for(6);
+        let frac = m.area.mm2() / soc.total_core_area().mm2();
+        assert!(frac < 0.08, "NoC area fraction {frac} implausibly high");
+        assert!(m.area.mm2() > 0.1, "NoC area implausibly low");
+    }
+
+    #[test]
+    fn latency_starts_near_three_cycles() {
+        let m = metrics_for(1);
+        assert!(
+            m.avg_latency_cycles >= 3.0 && m.avg_latency_cycles < 6.0,
+            "1-island avg latency {} should sit near the paper's ~3.5",
+            m.avg_latency_cycles
+        );
+    }
+}

@@ -1,0 +1,600 @@
+//! Min-cost path allocation with shutdown-legal link opening
+//! (Algorithm 1, steps 14–17).
+//!
+//! Flows are routed in decreasing bandwidth order. For each flow a Dijkstra
+//! search runs over the *candidate* switch graph; the edge filter enforces
+//! the paper's shutdown rule — a flow from island `a` to island `b` may only
+//! touch switches of `a`, `b` or the always-on intermediate island, moving
+//! monotonically `a → (mid →)* b` — and the edge cost implements the paper's
+//! "linear combination of the power consumption increase in opening a new
+//! link or reusing an existing link and the latency constraint of the flow".
+
+use crate::assign::SwitchAssignment;
+use crate::config::{FrequencyPlan, SynthesisConfig};
+use crate::flows::{inter_switch_flows, InterSwitchFlow};
+use crate::topology::{LinkKind, Route, Switch, SwitchId, TopoLink, Topology};
+use vi_noc_graph::{dijkstra_filtered, DiGraph, EdgeId, NodeId};
+use vi_noc_models::{Bandwidth, BisyncFifoModel, Frequency, LinkModel, SwitchModel};
+use vi_noc_soc::{SocSpec, ViAssignment};
+
+/// Candidate (potential) link between two switches.
+#[derive(Debug, Clone)]
+struct Cand {
+    from: SwitchId,
+    to: SwitchId,
+    from_isl: usize,
+    to_isl: usize,
+    crossing: bool,
+    length_mm: f64,
+    capacity: Bandwidth,
+}
+
+/// Mutable allocation state shared by the cost/filter closures.
+struct AllocState {
+    /// Open link id per candidate edge index (parallel to the cand graph).
+    open: Vec<Option<crate::topology::LinkId>>,
+    /// Load per candidate edge (mirrors the topology's link loads).
+    load: Vec<Bandwidth>,
+    in_ports: Vec<usize>,
+    out_ports: Vec<usize>,
+    max_size: Vec<usize>,
+    /// Ports per switch held back for links to/from the intermediate
+    /// island. Greedy bandwidth-ordered allocation can otherwise exhaust a
+    /// hub switch with direct links, stranding later flows whose only legal
+    /// route is indirect (they would need a mid link into the same switch).
+    /// Zero on the first attempt; the synthesis driver retries failed design
+    /// points with `reserve = k_mid`.
+    reserve: usize,
+}
+
+impl AllocState {
+    /// Can this candidate edge accept `bw` more bandwidth (opening it if
+    /// necessary without blowing a switch size budget)?
+    fn admits(&self, e: usize, cand: &Cand, bw: Bandwidth, mid: usize) -> bool {
+        // Tiny relative slack so a flow that exactly fills the link is not
+        // rejected by floating-point noise.
+        if (self.load[e] + bw).bytes_per_s() > cand.capacity.bytes_per_s() * (1.0 + 1e-9) {
+            return false;
+        }
+        if self.open[e].is_some() {
+            return true;
+        }
+        let u = cand.from.index();
+        let v = cand.to.index();
+        // Links touching the intermediate island may use reserved ports.
+        let is_mid_link = cand.from_isl == mid || cand.to_isl == mid;
+        let reserve = if is_mid_link { 0 } else { self.reserve };
+        let u_size = self.in_ports[u].max(self.out_ports[u] + 1);
+        let v_size = (self.in_ports[v] + 1).max(self.out_ports[v]);
+        u_size + reserve <= self.max_size[u] && v_size + reserve <= self.max_size[v]
+    }
+}
+
+/// Zero-load latency of a route given its switch count and crossings.
+pub(crate) fn route_latency(switches: usize, crossings: u32, cfg: &SynthesisConfig) -> u32 {
+    let links = switches as u32 + 1; // NI->s1, inter-switch links, sm->NI
+    switches as u32 * cfg.switch_delay_cycles
+        + links * cfg.link_delay_cycles
+        + crossings * BisyncFifoModel::CROSSING_LATENCY_CYCLES
+}
+
+/// Allocates paths for all flows, opening links as needed.
+///
+/// Returns the finished topology (unused intermediate switches pruned), or a
+/// human-readable reason why the design point is infeasible.
+pub(crate) fn allocate_paths(
+    spec: &SocSpec,
+    vi: &ViAssignment,
+    plan: &FrequencyPlan,
+    assignment: &SwitchAssignment,
+    k_mid: usize,
+    cfg: &SynthesisConfig,
+) -> Result<Topology, String> {
+    match allocate_paths_with_reserve(spec, vi, plan, assignment, k_mid, 0, cfg) {
+        Ok(topo) => Ok(topo),
+        // Greedy direct-link opening may have stranded later flows on a
+        // port-exhausted hub switch; retry holding ports back for
+        // intermediate-island links (see `AllocState::reserve`).
+        Err(first) if k_mid > 0 => {
+            allocate_paths_with_reserve(spec, vi, plan, assignment, k_mid, k_mid, cfg)
+                .map_err(|_| first)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn allocate_paths_with_reserve(
+    spec: &SocSpec,
+    vi: &ViAssignment,
+    plan: &FrequencyPlan,
+    assignment: &SwitchAssignment,
+    k_mid: usize,
+    reserve: usize,
+    cfg: &SynthesisConfig,
+) -> Result<Topology, String> {
+    let n_islands = vi.island_count();
+    let mid = n_islands; // extended island index of the intermediate island
+
+    // --- Instantiate switches. -------------------------------------------
+    let mut island_freq: Vec<Frequency> = (0..n_islands).map(|j| plan.frequency(j)).collect();
+    island_freq.push(plan.intermediate_frequency());
+    let mut topo = Topology::new(spec, n_islands, island_freq.clone());
+    for (j, groups) in assignment.groups.iter().enumerate() {
+        for (g, cores) in groups.iter().enumerate() {
+            topo.add_switch(Switch {
+                name: format!("sw{j}.{g}"),
+                island_ext: j,
+                cores: cores.clone(),
+            });
+        }
+    }
+    for k in 0..k_mid {
+        topo.add_switch(Switch {
+            name: format!("mid.{k}"),
+            island_ext: mid,
+            cores: Vec::new(),
+        });
+    }
+    let n_switches = topo.switches().len();
+
+    // --- Candidate graph over switches. ----------------------------------
+    // Node i of the candidate graph is switch i; edges are all potential
+    // links permitted by the architecture (per-flow legality is filtered
+    // during the search).
+    let link_model = LinkModel::new(&cfg.technology, cfg.link_width_bits);
+    let fifo_model = BisyncFifoModel::new(&cfg.technology, cfg.link_width_bits);
+    let nominal_switch = SwitchModel::new(&cfg.technology, 4, 4, cfg.link_width_bits);
+
+    let mut cand_graph: DiGraph<SwitchId, Cand> = DiGraph::new();
+    for s in topo.switch_ids() {
+        cand_graph.add_node(s);
+    }
+    for u in topo.switch_ids() {
+        for v in topo.switch_ids() {
+            if u == v {
+                continue;
+            }
+            let iu = topo.switch(u).island_ext;
+            let iv = topo.switch(v).island_ext;
+            // Every ordered switch pair is an architectural candidate
+            // (intra-island, direct island-to-island, or via the
+            // intermediate island); per-flow shutdown legality is enforced
+            // by the search filter in `find_path`.
+            let crossing = iu != iv;
+            let length_mm = if !crossing {
+                cfg.est_intra_link_mm
+            } else if iu == mid || iv == mid {
+                cfg.est_mid_link_mm
+            } else {
+                cfg.est_inter_link_mm
+            };
+            let f = Frequency::from_hz(island_freq[iu].hz().min(island_freq[iv].hz()));
+            let capacity = link_model.capacity(f);
+            cand_graph.add_edge(
+                NodeId::from_index(u.index()),
+                NodeId::from_index(v.index()),
+                Cand {
+                    from: u,
+                    to: v,
+                    from_isl: iu,
+                    to_isl: iv,
+                    crossing,
+                    length_mm,
+                    capacity,
+                },
+            );
+        }
+    }
+
+    let mut state = AllocState {
+        open: vec![None; cand_graph.edge_count()],
+        load: vec![Bandwidth::ZERO; cand_graph.edge_count()],
+        in_ports: (0..n_switches)
+            .map(|s| topo.switch(SwitchId(s)).cores.len())
+            .collect(),
+        out_ports: (0..n_switches)
+            .map(|s| topo.switch(SwitchId(s)).cores.len())
+            .collect(),
+        max_size: (0..n_switches)
+            .map(|s| plan.max_switch_size_ext(topo.switch(SwitchId(s)).island_ext))
+            .collect(),
+        reserve,
+    };
+
+    // Pre-check: core counts alone must fit the switch size budgets.
+    for s in topo.switch_ids() {
+        let cores = topo.switch(s).cores.len();
+        if cores > state.max_size[s.index()] {
+            return Err(format!(
+                "switch {} holds {cores} cores but max size is {}",
+                topo.switch(s).name,
+                state.max_size[s.index()]
+            ));
+        }
+    }
+
+    let min_lat_global = spec.min_latency_cycles().max(1) as f64;
+    let flows = inter_switch_flows(spec, &topo);
+
+    // --- Route each flow in bandwidth order. ------------------------------
+    for isf in &flows {
+        if isf.src_switch == isf.dst_switch {
+            let latency = route_latency(1, 0, cfg);
+            if latency > isf.max_latency_cycles {
+                return Err(format!(
+                    "flow {} latency {latency} exceeds constraint {} on its own switch",
+                    isf.flow, isf.max_latency_cycles
+                ));
+            }
+            topo.set_route(Route {
+                flow: isf.flow,
+                switches: vec![isf.src_switch],
+                latency_cycles: latency,
+                crossings: 0,
+            });
+            continue;
+        }
+
+        let path = find_path(
+            &cand_graph,
+            &state,
+            isf,
+            mid,
+            cfg,
+            &link_model,
+            &fifo_model,
+            &nominal_switch,
+            &island_freq,
+            min_lat_global,
+        )?;
+
+        // Commit the path.
+        let mut switches = vec![isf.src_switch];
+        let mut crossings = 0u32;
+        for &e in &path {
+            let cand = cand_graph.edge(e);
+            if cand.crossing {
+                crossings += 1;
+            }
+            let ei = e.index();
+            if state.open[ei].is_none() {
+                let kind = if !cand.crossing {
+                    LinkKind::Intra
+                } else if cand.from_isl == mid || cand.to_isl == mid {
+                    LinkKind::Intermediate
+                } else {
+                    LinkKind::InterDirect
+                };
+                let lid = topo.open_link(TopoLink {
+                    from: cand.from,
+                    to: cand.to,
+                    capacity: cand.capacity,
+                    load: Bandwidth::ZERO,
+                    kind,
+                    length_mm: cand.length_mm,
+                });
+                state.open[ei] = Some(lid);
+                state.out_ports[cand.from.index()] += 1;
+                state.in_ports[cand.to.index()] += 1;
+            }
+            let lid = state.open[ei].expect("just opened");
+            topo.add_load(lid, isf.bandwidth);
+            state.load[ei] += isf.bandwidth;
+            switches.push(cand.to);
+        }
+        let latency = route_latency(switches.len(), crossings, cfg);
+        if latency > isf.max_latency_cycles {
+            return Err(format!(
+                "flow {} routed latency {latency} exceeds constraint {}",
+                isf.flow, isf.max_latency_cycles
+            ));
+        }
+        topo.set_route(Route {
+            flow: isf.flow,
+            switches,
+            latency_cycles: latency,
+            crossings,
+        });
+    }
+
+    topo.prune_unused_intermediate();
+    Ok(topo)
+}
+
+/// Finds the path for one flow: first min-cost, then (if the latency
+/// constraint is violated) min-latency as a fallback.
+#[allow(clippy::too_many_arguments)]
+fn find_path(
+    cand_graph: &DiGraph<SwitchId, Cand>,
+    state: &AllocState,
+    isf: &InterSwitchFlow,
+    mid: usize,
+    cfg: &SynthesisConfig,
+    link_model: &LinkModel,
+    fifo_model: &BisyncFifoModel,
+    nominal_switch: &SwitchModel,
+    island_freq: &[Frequency],
+    min_lat_global: f64,
+) -> Result<Vec<EdgeId>, String> {
+    let src = NodeId::from_index(isf.src_switch.index());
+    let dst = NodeId::from_index(isf.dst_switch.index());
+    let bw = isf.bandwidth;
+    let (src_isl, dst_isl) = (isf.src_island, isf.dst_island);
+
+    let admit = |e: EdgeId, cand: &Cand| -> bool {
+        let legal = if src_isl == dst_isl {
+            // Intra-island flows never leave their island.
+            cand.from_isl == src_isl && cand.to_isl == src_isl
+        } else {
+            let (a, b) = (cand.from_isl, cand.to_isl);
+            (a == b && (a == src_isl || a == dst_isl))
+                || (a == src_isl && b == dst_isl)
+                || (a == src_isl && b == mid)
+                || (a == mid && b == dst_isl)
+                || (a == mid && b == mid)
+        };
+        legal && state.admits(e.index(), cand, bw, mid)
+    };
+
+    let urgency = min_lat_global / isf.max_latency_cycles.max(1) as f64;
+    let power_cost = |e: EdgeId, cand: &Cand| -> f64 {
+        // Marginal traffic power on this hop: wire + downstream switch
+        // datapath + converter, all for this flow's bandwidth.
+        let mut p = link_model.traffic_power(cand.length_mm, bw) + nominal_switch.traffic_power(bw);
+        if cand.crossing {
+            p += fifo_model.power(Frequency::ZERO, Frequency::ZERO, bw);
+        }
+        // Opening a new link pays its standing (idle/clock) power too.
+        let mut scarcity = 0.0;
+        if state.open[e.index()].is_none() {
+            let fu = island_freq[cand.from_isl];
+            let fv = island_freq[cand.to_isl];
+            if cand.crossing {
+                p += fifo_model.power(fu, fv, Bandwidth::ZERO);
+            }
+            // One extra output port at `from`, one extra input at `to`:
+            // approximate with the nominal switch's per-port idle delta.
+            let base = SwitchModel::new(&cfg.technology, 4, 4, cfg.link_width_bits);
+            let grown = SwitchModel::new(&cfg.technology, 4, 5, cfg.link_width_bits);
+            p += grown.idle_power(fu) - base.idle_power(fu);
+            p += grown.idle_power(fv) - base.idle_power(fv);
+            // Port scarcity: consuming one of the endpoints' last free
+            // ports is exponentially discouraged so hub switches keep
+            // ports for later flows (which may have no alternative).
+            let u = cand.from.index();
+            let v = cand.to.index();
+            let rem_out = state.max_size[u].saturating_sub(state.out_ports[u]).max(1);
+            let rem_in = state.max_size[v].saturating_sub(state.in_ports[v]).max(1);
+            scarcity = cfg.cost_port_scarcity
+                * (f64::powi(2.0, -(rem_out as i32 - 1))
+                    + f64::powi(2.0, -(rem_in as i32 - 1)));
+        }
+        p.mw() + scarcity
+    };
+    let hop_latency = |cand: &Cand| -> f64 {
+        (cfg.link_delay_cycles + cfg.switch_delay_cycles) as f64
+            + if cand.crossing {
+                BisyncFifoModel::CROSSING_LATENCY_CYCLES as f64
+            } else {
+                0.0
+            }
+    };
+
+    // Pass 1: paper cost = linear combination of power increase and latency.
+    let tree = dijkstra_filtered(
+        cand_graph,
+        src,
+        Some(dst),
+        |e, cand| {
+            cfg.cost_power_weight * power_cost(e, cand)
+                + cfg.cost_latency_weight * hop_latency(cand) * urgency
+        },
+        admit,
+    );
+    if let Some(edges) = tree.path_edges(dst) {
+        let crossings = edges
+            .iter()
+            .filter(|&&e| cand_graph.edge(e).crossing)
+            .count() as u32;
+        let latency = route_latency(edges.len() + 1, crossings, cfg);
+        if latency <= isf.max_latency_cycles {
+            return Ok(edges);
+        }
+    }
+
+    // Pass 2: pure latency (the cost-optimal path was too slow or absent).
+    let tree = dijkstra_filtered(
+        cand_graph,
+        src,
+        Some(dst),
+        |_, cand| hop_latency(cand),
+        admit,
+    );
+    match tree.path_edges(dst) {
+        Some(edges) => {
+            let crossings = edges
+                .iter()
+                .filter(|&&e| cand_graph.edge(e).crossing)
+                .count() as u32;
+            let latency = route_latency(edges.len() + 1, crossings, cfg);
+            if latency <= isf.max_latency_cycles {
+                Ok(edges)
+            } else {
+                Err(format!(
+                    "flow {} min latency {latency} exceeds constraint {}",
+                    isf.flow, isf.max_latency_cycles
+                ))
+            }
+        }
+        None => Err(format!(
+            "flow {}: no shutdown-legal path with available capacity/ports",
+            isf.flow
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::{island_switch_assignment, switch_counts_for_sweep};
+    use crate::vcg::build_vcg;
+    use vi_noc_soc::{benchmarks, partition};
+
+    fn alloc_d26(k_islands: usize, sweep: usize, k_mid: usize) -> Result<Topology, String> {
+        let soc = benchmarks::d26_mobile();
+        let vi = partition::logical_partition(&soc, k_islands).unwrap();
+        let cfg = SynthesisConfig::default();
+        let plan = FrequencyPlan::compute(&soc, &vi, &cfg);
+        let vcgs: Vec<_> = (0..k_islands)
+            .map(|j| build_vcg(&soc, &vi, j, &cfg))
+            .collect();
+        let counts = switch_counts_for_sweep(&vcgs, &plan, sweep);
+        let asg = island_switch_assignment(&vcgs, &plan, &counts, &cfg);
+        allocate_paths(&soc, &vi, &plan, &asg, k_mid, &cfg)
+    }
+
+    /// The minimum-switch-count configuration can be legitimately
+    /// port-starved (that is exactly why Algorithm 1 sweeps); tests that
+    /// need *a* feasible topology search like the driver does.
+    fn first_feasible_d26(k_islands: usize) -> Topology {
+        for sweep in 1..=8 {
+            for k_mid in 0..=4 {
+                if let Ok(t) = alloc_d26(k_islands, sweep, k_mid) {
+                    return t;
+                }
+            }
+        }
+        panic!("no feasible allocation for {k_islands} islands");
+    }
+
+    #[test]
+    fn latency_formula() {
+        let cfg = SynthesisConfig::default();
+        // 1 switch: NI link + switch + NI link = 3 cycles.
+        assert_eq!(route_latency(1, 0, &cfg), 3);
+        // 2 switches same island: 2 sw + 3 links = 5.
+        assert_eq!(route_latency(2, 0, &cfg), 5);
+        // 2 switches across islands: + 4-cycle crossing = 9.
+        assert_eq!(route_latency(2, 1, &cfg), 9);
+        // via mid: 3 switches, 2 crossings = 3 + 4 + 8 = 15.
+        assert_eq!(route_latency(3, 2, &cfg), 15);
+    }
+
+    #[test]
+    fn single_island_routes_everything() {
+        let topo = first_feasible_d26(1);
+        assert_eq!(topo.routes().count(), benchmarks::d26_mobile().flow_count());
+        // No crossings in a single island.
+        for r in topo.routes() {
+            assert_eq!(r.crossings, 0);
+        }
+        for l in topo.links() {
+            assert_eq!(l.kind, LinkKind::Intra);
+        }
+    }
+
+    #[test]
+    fn six_islands_route_with_crossings() {
+        let topo = first_feasible_d26(6);
+        let soc = benchmarks::d26_mobile();
+        assert_eq!(topo.routes().count(), soc.flow_count());
+        assert!(
+            topo.routes().any(|r| r.crossings > 0),
+            "inter-island flows must cross"
+        );
+        // Link loads never exceed capacity.
+        for l in topo.links() {
+            assert!(l.load <= l.capacity, "{} overloaded", l.from);
+        }
+    }
+
+    #[test]
+    fn routes_respect_latency_constraints() {
+        let topo = first_feasible_d26(6);
+        let soc = benchmarks::d26_mobile();
+        for r in topo.routes() {
+            assert!(
+                r.latency_cycles <= soc.flow(r.flow).max_latency_cycles,
+                "flow {} latency {} > {}",
+                r.flow,
+                r.latency_cycles,
+                soc.flow(r.flow).max_latency_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn shutdown_legality_of_all_routes() {
+        let soc = benchmarks::d26_mobile();
+        let vi = partition::logical_partition(&soc, 6).unwrap();
+        let topo = first_feasible_d26(6);
+        let mid = vi.island_count();
+        for r in topo.routes() {
+            let f = soc.flow(r.flow);
+            let a = vi.island_of(f.src);
+            let b = vi.island_of(f.dst);
+            for &s in &r.switches {
+                let isl = topo.switch(s).island_ext;
+                assert!(
+                    isl == a || isl == b || isl == mid,
+                    "flow {} visits foreign island {isl}",
+                    r.flow
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn switch_sizes_stay_within_budget() {
+        let soc = benchmarks::d26_mobile();
+        let vi = partition::logical_partition(&soc, 6).unwrap();
+        let cfg = SynthesisConfig::default();
+        let plan = FrequencyPlan::compute(&soc, &vi, &cfg);
+        let topo = first_feasible_d26(6);
+        for s in topo.switch_ids() {
+            let (inp, outp) = topo.switch_ports(s);
+            let max = plan.max_switch_size_ext(topo.switch(s).island_ext);
+            assert!(
+                inp.max(outp) <= max,
+                "switch {} size {} exceeds {}",
+                topo.switch(s).name,
+                inp.max(outp),
+                max
+            );
+        }
+    }
+
+    #[test]
+    fn unused_intermediate_switches_are_pruned() {
+        // With generous direct connectivity the mid island is unnecessary;
+        // requesting 3 mid switches must not leave dead switches behind.
+        let topo = alloc_d26(2, 1, 3).expect("feasible");
+        for s in topo.switch_ids() {
+            if topo.switch(s).island_ext == topo.island_count() {
+                let (inp, outp) = topo.switch_ports(s);
+                assert!(inp + outp > 0, "dead intermediate switch survived pruning");
+            }
+        }
+    }
+
+    #[test]
+    fn discrete_islands_need_the_intermediate_island() {
+        // At 26 islands the SDRAM hub would need ~20 direct links; the
+        // switch size budget forces traffic through mid switches.
+        let direct_only = alloc_d26(26, 1, 0);
+        let with_mid = alloc_d26(26, 1, 4);
+        assert!(
+            with_mid.is_ok(),
+            "26-island design should be feasible with an intermediate island: {:?}",
+            with_mid.err()
+        );
+        if let Ok(t) = &with_mid {
+            // Either direct-only fails, or mid genuinely reduces links.
+            if direct_only.is_ok() {
+                assert!(t.intermediate_switch_count() <= 4);
+            } else {
+                assert!(t.intermediate_switch_count() > 0);
+            }
+        }
+    }
+}

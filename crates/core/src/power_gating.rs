@@ -1,0 +1,324 @@
+//! Usage scenarios and island power-gating analysis (experiment T2).
+//!
+//! The motivation of the whole paper: once the NoC supports it, shutting
+//! down the islands that a use case leaves idle removes their leakage —
+//! "even 25% or more reduction in overall system power" (§5, citing [6]).
+
+use crate::config::SynthesisConfig;
+use crate::topology::Topology;
+use vi_noc_models::{
+    gated_island_leakage, island_leakage, Area, Bandwidth, BisyncFifoModel, LinkModel, NiModel,
+    Power, SwitchModel,
+};
+use vi_noc_soc::{CoreKind, SocSpec, ViAssignment};
+
+/// A use case: which cores are actively working.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsageScenario {
+    /// Scenario name.
+    pub name: String,
+    /// `active[core] = true` if the core computes in this scenario.
+    pub active: Vec<bool>,
+}
+
+impl UsageScenario {
+    /// Builds a scenario from a predicate over core kinds/names.
+    pub fn from_predicate(
+        spec: &SocSpec,
+        name: impl Into<String>,
+        mut pred: impl FnMut(&vi_noc_soc::CoreSpec) -> bool,
+    ) -> Self {
+        UsageScenario {
+            name: name.into(),
+            active: spec
+                .cores()
+                .iter()
+                .map(|c| pred(c) || c.always_on)
+                .collect(),
+        }
+    }
+}
+
+/// Power accounting of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// Islands that are power-gated in this scenario.
+    pub islands_off: Vec<usize>,
+    /// Dynamic power of the active cores.
+    pub core_dynamic: Power,
+    /// Core + NoC leakage after gating.
+    pub leakage: Power,
+    /// NoC dynamic power for the scenario's live traffic.
+    pub noc_dynamic: Power,
+    /// Total power had nothing been gated (all islands leak, same activity).
+    pub total_ungated: Power,
+}
+
+impl ScenarioReport {
+    /// Total scenario power with gating.
+    pub fn total(&self) -> Power {
+        self.core_dynamic + self.leakage + self.noc_dynamic
+    }
+
+    /// Fraction of total power saved by gating (0..1).
+    pub fn savings_fraction(&self) -> f64 {
+        if self.total_ungated.watts() <= 0.0 {
+            return 0.0;
+        }
+        (self.total_ungated - self.total()).watts() / self.total_ungated.watts()
+    }
+}
+
+/// The scenario set used by the T2 experiment: product use cases that leave
+/// different island subsets idle.
+pub fn standard_scenarios(spec: &SocSpec) -> Vec<UsageScenario> {
+    use CoreKind::*;
+    vec![
+        UsageScenario::from_predicate(spec, "standby", |_| false),
+        UsageScenario::from_predicate(spec, "audio_playback", |c| {
+            matches!(c.kind, Audio | Dma | Peripheral) || c.name.contains("sram")
+        }),
+        UsageScenario::from_predicate(spec, "video_playback", |c| {
+            matches!(c.kind, VideoDecoder | Display | Audio | Dma | Memory)
+        }),
+        UsageScenario::from_predicate(spec, "camera_capture", |c| {
+            matches!(c.kind, Imaging | VideoEncoder | Display | Memory | Dma)
+        }),
+        UsageScenario::from_predicate(spec, "voice_call", |c| {
+            matches!(c.kind, Modem | Audio | Security | Memory | Dsp)
+        }),
+        UsageScenario::from_predicate(spec, "full_load", |_| true),
+    ]
+}
+
+/// Evaluates a scenario on a synthesized design.
+///
+/// An island is gated iff it may be shut down and none of its cores are
+/// active. Gated islands keep only the sleep-transistor residual leakage;
+/// their NoC elements burn nothing. Live NoC elements pay idle power plus
+/// datapath power for the flows whose two endpoints are both active.
+pub fn scenario_power(
+    spec: &SocSpec,
+    vi: &ViAssignment,
+    topo: &Topology,
+    cfg: &SynthesisConfig,
+    scenario: &UsageScenario,
+) -> ScenarioReport {
+    assert_eq!(scenario.active.len(), spec.core_count());
+    let n_isl = vi.island_count();
+    let mid = n_isl;
+
+    // Which islands stay powered?
+    let mut island_on = vec![false; n_isl + 1];
+    island_on[mid] = true; // the intermediate island is never gated
+    for id in spec.core_ids() {
+        if scenario.active[id.index()] || !vi.can_shutdown(vi.island_of(id)) {
+            island_on[vi.island_of(id)] = true;
+        }
+    }
+    let islands_off: Vec<usize> = (0..n_isl).filter(|&j| !island_on[j]).collect();
+
+    // Core dynamic power: active cores only.
+    let core_dynamic: Power = spec
+        .cores()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| scenario.active[*i])
+        .map(|(_, c)| c.dyn_power)
+        .sum();
+
+    // Live flows: both endpoints active.
+    let live = |fid: vi_noc_soc::FlowId| {
+        let f = spec.flow(fid);
+        scenario.active[f.src.index()] && scenario.active[f.dst.index()]
+    };
+
+    // NoC dynamic power of live elements.
+    let tech = &cfg.technology;
+    let link_model = LinkModel::new(tech, cfg.link_width_bits);
+    let ni_model = NiModel::new(tech, cfg.link_width_bits);
+    let fifo_model = BisyncFifoModel::new(tech, cfg.link_width_bits);
+    let mut noc_dynamic = Power::ZERO;
+
+    // Per-switch live loads.
+    let mut switch_load = vec![Bandwidth::ZERO; topo.switches().len()];
+    let mut link_load = vec![Bandwidth::ZERO; topo.links().len()];
+    for route in topo.routes() {
+        if !live(route.flow) {
+            continue;
+        }
+        let bw = spec.flow(route.flow).bandwidth;
+        for &s in &route.switches {
+            switch_load[s.index()] += bw;
+        }
+        for pair in route.switches.windows(2) {
+            if let Some(l) = topo.find_link(pair[0], pair[1]) {
+                link_load[l.index()] += bw;
+            }
+        }
+    }
+    for s in topo.switch_ids() {
+        let isl = topo.switch(s).island_ext;
+        if !island_on[isl] {
+            continue;
+        }
+        let (inp, outp) = topo.switch_ports(s);
+        let model = SwitchModel::new(tech, inp.max(1), outp.max(1), cfg.link_width_bits);
+        noc_dynamic += model.idle_power(topo.island_frequency(isl))
+            + model.traffic_power(switch_load[s.index()]);
+    }
+    for (i, l) in topo.links().iter().enumerate() {
+        let from_on = island_on[topo.switch(l.from).island_ext];
+        let to_on = island_on[topo.switch(l.to).island_ext];
+        if !(from_on && to_on) {
+            continue;
+        }
+        noc_dynamic += link_model.traffic_power(l.length_mm, link_load[i]);
+        if l.crosses_domain() {
+            let fu = topo.island_frequency(topo.switch(l.from).island_ext);
+            let fv = topo.island_frequency(topo.switch(l.to).island_ext);
+            noc_dynamic += fifo_model.power(fu, fv, link_load[i]);
+        }
+    }
+    for id in spec.core_ids() {
+        let isl = vi.island_of(id);
+        if !island_on[isl] {
+            continue;
+        }
+        let (inb, outb) = spec.core_io_bandwidth(id);
+        let scale = if scenario.active[id.index()] {
+            1.0
+        } else {
+            0.0
+        };
+        let bw = Bandwidth::from_bytes_per_s((inb.bytes_per_s() + outb.bytes_per_s()) * scale);
+        noc_dynamic += ni_model.power(topo.island_frequency(isl), bw);
+    }
+
+    // Leakage: per-island core area + the island's share of NoC area.
+    let mut island_area = vec![Area::ZERO; n_isl + 1];
+    for id in spec.core_ids() {
+        island_area[vi.island_of(id)] += spec.core(id).area;
+    }
+    for s in topo.switch_ids() {
+        let (inp, outp) = topo.switch_ports(s);
+        let model = SwitchModel::new(tech, inp.max(1), outp.max(1), cfg.link_width_bits);
+        island_area[topo.switch(s).island_ext] += model.area();
+    }
+    for id in spec.core_ids() {
+        island_area[vi.island_of(id)] += ni_model.area();
+    }
+    for l in topo.links() {
+        if l.crosses_domain() {
+            island_area[topo.switch(l.from).island_ext] += fifo_model.area();
+        }
+    }
+
+    let mut leakage = Power::ZERO;
+    let mut leakage_ungated = Power::ZERO;
+    for (j, &a) in island_area.iter().enumerate() {
+        leakage_ungated += island_leakage(tech, a);
+        leakage += if island_on[j] {
+            island_leakage(tech, a)
+        } else {
+            gated_island_leakage(tech, a)
+        };
+    }
+
+    ScenarioReport {
+        name: scenario.name.clone(),
+        islands_off,
+        core_dynamic,
+        leakage,
+        noc_dynamic,
+        total_ungated: core_dynamic + leakage_ungated + noc_dynamic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesis::synthesize;
+    use vi_noc_soc::{benchmarks, partition};
+
+    fn design() -> (SocSpec, ViAssignment, Topology, SynthesisConfig) {
+        let soc = benchmarks::d26_mobile();
+        let vi = partition::logical_partition(&soc, 6).unwrap();
+        let cfg = SynthesisConfig::default();
+        let space = synthesize(&soc, &vi, &cfg).unwrap();
+        let topo = space.min_power_point().unwrap().topology.clone();
+        (soc, vi, topo, cfg)
+    }
+
+    #[test]
+    fn standby_gates_most_islands() {
+        let (soc, vi, topo, cfg) = design();
+        let scenarios = standard_scenarios(&soc);
+        let standby = &scenarios[0];
+        let r = scenario_power(&soc, &vi, &topo, &cfg, standby);
+        assert!(
+            !r.islands_off.is_empty(),
+            "standby must gate at least one island"
+        );
+        // All gated islands are shutdown-capable.
+        for &j in &r.islands_off {
+            assert!(vi.can_shutdown(j));
+        }
+    }
+
+    #[test]
+    fn gating_saves_substantial_power_in_idle_scenarios() {
+        let (soc, vi, topo, cfg) = design();
+        for sc in standard_scenarios(&soc) {
+            let r = scenario_power(&soc, &vi, &topo, &cfg, &sc);
+            if sc.name == "standby" {
+                assert!(
+                    r.savings_fraction() > 0.15,
+                    "standby saves {:.1}% — expected >15%",
+                    r.savings_fraction() * 100.0
+                );
+            }
+            if sc.name == "full_load" {
+                assert!(r.islands_off.is_empty());
+                assert!(r.savings_fraction().abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn savings_monotone_with_idleness() {
+        let (soc, vi, topo, cfg) = design();
+        let scenarios = standard_scenarios(&soc);
+        let standby = scenario_power(&soc, &vi, &topo, &cfg, &scenarios[0]);
+        let full = scenario_power(&soc, &vi, &topo, &cfg, &scenarios[5]);
+        assert!(standby.total().mw() < full.total().mw());
+        assert!(standby.islands_off.len() >= full.islands_off.len());
+    }
+
+    #[test]
+    fn always_on_islands_never_gated() {
+        let (soc, vi, topo, cfg) = design();
+        for sc in standard_scenarios(&soc) {
+            let r = scenario_power(&soc, &vi, &topo, &cfg, &sc);
+            for &j in &r.islands_off {
+                assert!(
+                    vi.can_shutdown(j),
+                    "{}: gated always-on island {j}",
+                    sc.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let (soc, vi, topo, cfg) = design();
+        let sc = &standard_scenarios(&soc)[2];
+        let r = scenario_power(&soc, &vi, &topo, &cfg, sc);
+        let total = r.core_dynamic + r.leakage + r.noc_dynamic;
+        assert!((r.total().mw() - total.mw()).abs() < 1e-9);
+        assert!(r.total() <= r.total_ungated + Power::from_mw(1e-9));
+    }
+}

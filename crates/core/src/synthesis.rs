@@ -1,0 +1,186 @@
+//! The synthesis driver — Algorithm 1 of the paper.
+
+use crate::assign::{island_switch_assignment, switch_counts_for_sweep};
+use crate::config::{FrequencyPlan, SynthesisConfig};
+use crate::design_space::{DesignPoint, DesignSpace};
+use crate::error::SynthesisError;
+use crate::metrics::compute_metrics;
+use crate::paths::allocate_paths;
+use crate::vcg::{build_vcg, Vcg};
+use vi_noc_soc::{SocSpec, ViAssignment};
+
+/// Synthesizes the space of VI-aware NoC topologies for `spec` under the
+/// island assignment `vi`.
+///
+/// Implements Algorithm 1:
+///
+/// 1. per-island NoC frequency and `max_sw_size_j` ([`FrequencyPlan`]),
+/// 2. `min_sw_j = ceil(|V_j| / max_sw_size_j)`,
+/// 3. sweep the per-island switch counts from the minimum up to one switch
+///    per core, min-cut partitioning each island's VCG,
+/// 4. for each switch-count vector, sweep the intermediate-island switch
+///    count `k = 0..=max` and allocate min-cost paths for all flows in
+///    decreasing bandwidth order,
+/// 5. save every design point whose flows all meet their latency
+///    constraints.
+///
+/// # Errors
+///
+/// * [`SynthesisError::InvalidSpec`] if `spec` fails validation;
+/// * [`SynthesisError::NoFeasibleDesign`] if no explored point satisfies
+///   all constraints.
+pub fn synthesize(
+    spec: &SocSpec,
+    vi: &ViAssignment,
+    cfg: &SynthesisConfig,
+) -> Result<DesignSpace, SynthesisError> {
+    spec.validate()
+        .map_err(|e| SynthesisError::InvalidSpec(e.to_string()))?;
+
+    let n_islands = vi.island_count();
+    let plan = FrequencyPlan::compute(spec, vi, cfg);
+    let vcgs: Vec<Vcg> = (0..n_islands)
+        .map(|j| build_vcg(spec, vi, j, cfg))
+        .collect();
+
+    let max_sweep = vcgs.iter().map(Vcg::len).max().unwrap_or(1);
+    let mid_range: Vec<usize> = if cfg.allow_intermediate_vi {
+        (0..=cfg.max_intermediate_switches).collect()
+    } else {
+        vec![0]
+    };
+
+    let mut points = Vec::new();
+    let mut explored = 0usize;
+    let mut last_failure = String::from("no design points explored");
+    let mut prev_counts: Option<Vec<usize>> = None;
+
+    for i in 1..=max_sweep {
+        let counts = switch_counts_for_sweep(&vcgs, &plan, i);
+        // Once every island is saturated at one switch per core, higher
+        // sweep indices repeat the same configuration.
+        if prev_counts.as_ref() == Some(&counts) {
+            break;
+        }
+        prev_counts = Some(counts.clone());
+        let assignment = island_switch_assignment(&vcgs, &plan, &counts, cfg);
+
+        for &k_mid in &mid_range {
+            explored += 1;
+            match allocate_paths(spec, vi, &plan, &assignment, k_mid, cfg) {
+                Ok(topology) => {
+                    // Avoid duplicates: if the allocator used fewer mid
+                    // switches than requested, the identical topology was
+                    // (or will be) produced by the smaller k_mid run.
+                    if topology.intermediate_switch_count() != k_mid {
+                        continue;
+                    }
+                    let metrics = compute_metrics(spec, &topology, cfg, None);
+                    points.push(DesignPoint {
+                        sweep_index: i,
+                        requested_intermediate: k_mid,
+                        switch_counts: counts.clone(),
+                        topology,
+                        metrics,
+                    });
+                }
+                Err(reason) => last_failure = reason,
+            }
+        }
+    }
+
+    if points.is_empty() {
+        return Err(SynthesisError::NoFeasibleDesign {
+            explored,
+            last_failure,
+        });
+    }
+    Ok(DesignSpace {
+        spec_name: spec.name().to_string(),
+        island_count: n_islands,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vi_noc_soc::{benchmarks, partition};
+
+    #[test]
+    fn d26_synthesizes_across_the_paper_sweep() {
+        let soc = benchmarks::d26_mobile();
+        for k in [1usize, 2, 4, 6, 7] {
+            let vi = partition::logical_partition(&soc, k).unwrap();
+            let space = synthesize(&soc, &vi, &SynthesisConfig::default())
+                .unwrap_or_else(|e| panic!("k={k}: {e}"));
+            assert!(!space.points.is_empty(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn twenty_six_islands_is_feasible() {
+        let soc = benchmarks::d26_mobile();
+        let vi = partition::logical_partition(&soc, 26).unwrap();
+        let space = synthesize(&soc, &vi, &SynthesisConfig::default()).expect("26 islands");
+        assert!(!space.points.is_empty());
+    }
+
+    #[test]
+    fn communication_partitioning_synthesizes_too() {
+        let soc = benchmarks::d26_mobile();
+        for k in [2usize, 4, 6] {
+            let vi = partition::communication_partition(&soc, k, 1).unwrap();
+            let space = synthesize(&soc, &vi, &SynthesisConfig::default())
+                .unwrap_or_else(|e| panic!("k={k}: {e}"));
+            assert!(!space.points.is_empty());
+        }
+    }
+
+    #[test]
+    fn disabling_intermediate_island_restricts_space() {
+        let soc = benchmarks::d26_mobile();
+        let vi = partition::logical_partition(&soc, 6).unwrap();
+        let with = synthesize(&soc, &vi, &SynthesisConfig::default()).unwrap();
+        let cfg_no = SynthesisConfig {
+            allow_intermediate_vi: false,
+            ..SynthesisConfig::default()
+        };
+        let without = synthesize(&soc, &vi, &cfg_no).unwrap();
+        assert!(without
+            .points
+            .iter()
+            .all(|p| p.topology.intermediate_switch_count() == 0));
+        assert!(with.points.len() >= without.points.len());
+    }
+
+    #[test]
+    fn all_flows_routed_in_every_point() {
+        let soc = benchmarks::d16_settop();
+        let vi = partition::logical_partition(&soc, 5).unwrap();
+        let space = synthesize(&soc, &vi, &SynthesisConfig::default()).unwrap();
+        for p in &space.points {
+            assert_eq!(p.topology.routes().count(), soc.flow_count());
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_specs() {
+        let mut bad = benchmarks::d12_auto();
+        let a = bad.core_ids().next().unwrap();
+        bad.add_flow(vi_noc_soc::TrafficFlow::new(a, a, 10.0, 10));
+        let vi = partition::logical_partition(&bad, 1).unwrap();
+        let err = synthesize(&bad, &vi, &SynthesisConfig::default()).unwrap_err();
+        assert!(matches!(err, SynthesisError::InvalidSpec(_)));
+    }
+
+    #[test]
+    fn whole_suite_synthesizes_at_natural_island_counts() {
+        for (soc, k) in benchmarks::suite() {
+            let vi = partition::logical_partition(&soc, k).unwrap();
+            let space = synthesize(&soc, &vi, &SynthesisConfig::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", soc.name()));
+            assert!(!space.points.is_empty(), "{}", soc.name());
+        }
+    }
+}

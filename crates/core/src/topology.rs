@@ -1,0 +1,432 @@
+//! Synthesized NoC topology: switches, links, routes.
+
+use std::collections::HashMap;
+use std::fmt;
+use vi_noc_models::{Bandwidth, Frequency};
+use vi_noc_soc::{CoreId, FlowId, SocSpec};
+
+/// Identifier of a switch within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SwitchId(pub(crate) usize);
+
+impl SwitchId {
+    /// The dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Identifier of a directed link within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub(crate) usize);
+
+impl LinkId {
+    /// The dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Classification of a switch-to-switch link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkKind {
+    /// Both endpoints in the same voltage island.
+    Intra,
+    /// Directly across two different (real) islands — carries a
+    /// bi-synchronous converter FIFO.
+    InterDirect,
+    /// One endpoint in the intermediate NoC island — also a converter
+    /// crossing (unless both endpoints are intermediate).
+    Intermediate,
+}
+
+/// A NoC switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Switch {
+    /// Instance name (`swJ.G` for island J group G, `mid.K` for
+    /// intermediate switches).
+    pub name: String,
+    /// Extended island index: `0..n_islands` for real islands,
+    /// `n_islands` for the intermediate NoC island.
+    pub island_ext: usize,
+    /// Cores attached to this switch through NIs (empty for intermediate
+    /// switches — they never connect cores directly).
+    pub cores: Vec<CoreId>,
+}
+
+/// A directed switch-to-switch link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoLink {
+    /// Source switch.
+    pub from: SwitchId,
+    /// Destination switch.
+    pub to: SwitchId,
+    /// Peak bandwidth (width × the slower endpoint's clock).
+    pub capacity: Bandwidth,
+    /// Allocated bandwidth.
+    pub load: Bandwidth,
+    /// Link classification.
+    pub kind: LinkKind,
+    /// Estimated (pre-floorplan) length in mm; replaced by the realized
+    /// length after floorplanning.
+    pub length_mm: f64,
+}
+
+impl TopoLink {
+    /// `true` if the link crosses a clock/voltage boundary and therefore
+    /// carries a bi-synchronous converter FIFO.
+    pub fn crosses_domain(&self) -> bool {
+        self.kind != LinkKind::Intra
+    }
+}
+
+/// The switch path of one traffic flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// The flow this route serves.
+    pub flow: FlowId,
+    /// Switches traversed, in order (at least one).
+    pub switches: Vec<SwitchId>,
+    /// Zero-load latency of the route in cycles (NI links + switches +
+    /// links + converter crossings).
+    pub latency_cycles: u32,
+    /// Number of island-boundary crossings.
+    pub crossings: u32,
+}
+
+/// A complete synthesized topology for one design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    n_islands: usize,
+    switches: Vec<Switch>,
+    links: Vec<TopoLink>,
+    link_index: HashMap<(SwitchId, SwitchId), LinkId>,
+    switch_of_core: Vec<SwitchId>,
+    routes: Vec<Option<Route>>,
+    island_freq: Vec<Frequency>,
+}
+
+impl Topology {
+    /// Creates an empty topology skeleton.
+    ///
+    /// `island_freq` must hold `n_islands + 1` entries — the last one is the
+    /// intermediate island's frequency.
+    pub(crate) fn new(spec: &SocSpec, n_islands: usize, island_freq: Vec<Frequency>) -> Self {
+        assert_eq!(island_freq.len(), n_islands + 1);
+        Topology {
+            n_islands,
+            switches: Vec::new(),
+            links: Vec::new(),
+            link_index: HashMap::new(),
+            switch_of_core: vec![SwitchId(usize::MAX); spec.core_count()],
+            routes: vec![None; spec.flow_count()],
+            island_freq,
+        }
+    }
+
+    pub(crate) fn add_switch(&mut self, switch: Switch) -> SwitchId {
+        let id = SwitchId(self.switches.len());
+        for &c in &switch.cores {
+            self.switch_of_core[c.index()] = id;
+        }
+        self.switches.push(switch);
+        id
+    }
+
+    pub(crate) fn open_link(&mut self, link: TopoLink) -> LinkId {
+        debug_assert!(
+            !self.link_index.contains_key(&(link.from, link.to)),
+            "link already open"
+        );
+        let id = LinkId(self.links.len());
+        self.link_index.insert((link.from, link.to), id);
+        self.links.push(link);
+        id
+    }
+
+    pub(crate) fn add_load(&mut self, link: LinkId, bw: Bandwidth) {
+        self.links[link.0].load += bw;
+    }
+
+    pub(crate) fn set_route(&mut self, route: Route) {
+        let idx = route.flow.index();
+        self.routes[idx] = Some(route);
+    }
+
+    pub(crate) fn set_link_length(&mut self, link: LinkId, mm: f64) {
+        self.links[link.0].length_mm = mm;
+    }
+
+    /// Number of real voltage islands (the intermediate island, if any, has
+    /// extended index `island_count()`).
+    pub fn island_count(&self) -> usize {
+        self.n_islands
+    }
+
+    /// NoC clock frequency of extended island `island_ext`.
+    pub fn island_frequency(&self, island_ext: usize) -> Frequency {
+        self.island_freq[island_ext]
+    }
+
+    /// All switches.
+    pub fn switches(&self) -> &[Switch] {
+        &self.switches
+    }
+
+    /// A switch by id.
+    pub fn switch(&self, id: SwitchId) -> &Switch {
+        &self.switches[id.0]
+    }
+
+    /// Iterates over switch ids.
+    pub fn switch_ids(&self) -> impl Iterator<Item = SwitchId> + '_ {
+        (0..self.switches.len()).map(SwitchId)
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[TopoLink] {
+        &self.links
+    }
+
+    /// A link by id.
+    pub fn link(&self, id: LinkId) -> &TopoLink {
+        &self.links[id.0]
+    }
+
+    /// Iterates over link ids.
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> + '_ {
+        (0..self.links.len()).map(LinkId)
+    }
+
+    /// The open link `from -> to`, if any.
+    pub fn find_link(&self, from: SwitchId, to: SwitchId) -> Option<LinkId> {
+        self.link_index.get(&(from, to)).copied()
+    }
+
+    /// The switch a core's NI attaches to.
+    pub fn switch_of_core(&self, core: CoreId) -> SwitchId {
+        let s = self.switch_of_core[core.index()];
+        assert!(s.0 != usize::MAX, "core {core} not attached");
+        s
+    }
+
+    /// The route of `flow`, if it was allocated.
+    pub fn route(&self, flow: FlowId) -> Option<&Route> {
+        self.routes[flow.index()].as_ref()
+    }
+
+    /// All allocated routes.
+    pub fn routes(&self) -> impl Iterator<Item = &Route> + '_ {
+        self.routes.iter().flatten()
+    }
+
+    /// Number of switches in the intermediate island.
+    pub fn intermediate_switch_count(&self) -> usize {
+        self.switches
+            .iter()
+            .filter(|s| s.island_ext == self.n_islands)
+            .count()
+    }
+
+    /// `(inputs, outputs)` port usage of a switch: attached cores plus
+    /// incident links.
+    pub fn switch_ports(&self, id: SwitchId) -> (usize, usize) {
+        let cores = self.switches[id.0].cores.len();
+        let inputs = cores + self.links.iter().filter(|l| l.to == id).count();
+        let outputs = cores + self.links.iter().filter(|l| l.from == id).count();
+        (inputs, outputs)
+    }
+
+    /// Total bandwidth traversing each switch (indexed by switch id),
+    /// derived from the allocated routes.
+    pub fn switch_loads(&self, spec: &SocSpec) -> Vec<Bandwidth> {
+        let mut loads = vec![Bandwidth::ZERO; self.switches.len()];
+        for route in self.routes() {
+            let bw = spec.flow(route.flow).bandwidth;
+            for &s in &route.switches {
+                loads[s.0] += bw;
+            }
+        }
+        loads
+    }
+
+    /// Removes intermediate switches that ended up with no links, renumbering
+    /// ids. Returns the number of switches removed.
+    pub(crate) fn prune_unused_intermediate(&mut self) -> usize {
+        let used: Vec<bool> = self
+            .switch_ids()
+            .map(|id| {
+                let s = &self.switches[id.0];
+                s.island_ext != self.n_islands
+                    || self.links.iter().any(|l| l.from == id || l.to == id)
+            })
+            .collect();
+        let removed = used.iter().filter(|&&u| !u).count();
+        if removed == 0 {
+            return 0;
+        }
+        let mut remap = vec![usize::MAX; self.switches.len()];
+        let mut next = 0;
+        for (i, &u) in used.iter().enumerate() {
+            if u {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        self.switches = self
+            .switches
+            .drain(..)
+            .enumerate()
+            .filter(|(i, _)| used[*i])
+            .map(|(_, s)| s)
+            .collect();
+        for l in &mut self.links {
+            l.from = SwitchId(remap[l.from.0]);
+            l.to = SwitchId(remap[l.to.0]);
+        }
+        self.link_index = self
+            .links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| ((l.from, l.to), LinkId(i)))
+            .collect();
+        for s in &mut self.switch_of_core {
+            if s.0 != usize::MAX {
+                *s = SwitchId(remap[s.0]);
+            }
+        }
+        for route in self.routes.iter_mut().flatten() {
+            for s in &mut route.switches {
+                *s = SwitchId(remap[s.0]);
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vi_noc_soc::{CoreKind, CoreSpec, TrafficFlow};
+
+    fn tiny_spec() -> SocSpec {
+        let mut s = SocSpec::new("t");
+        let a = s.add_core(CoreSpec::new("a", CoreKind::Cpu, 1.0, 1.0, 100.0));
+        let b = s.add_core(CoreSpec::new("b", CoreKind::Memory, 1.0, 1.0, 100.0));
+        s.add_flow(TrafficFlow::new(a, b, 100.0, 10));
+        s
+    }
+
+    fn freqs(n: usize) -> Vec<Frequency> {
+        vec![Frequency::from_mhz(100.0); n + 1]
+    }
+
+    #[test]
+    fn switches_attach_cores() {
+        let spec = tiny_spec();
+        let mut t = Topology::new(&spec, 2, freqs(2));
+        let s0 = t.add_switch(Switch {
+            name: "sw0.0".into(),
+            island_ext: 0,
+            cores: vec![CoreId::from_index(0)],
+        });
+        let s1 = t.add_switch(Switch {
+            name: "sw1.0".into(),
+            island_ext: 1,
+            cores: vec![CoreId::from_index(1)],
+        });
+        assert_eq!(t.switch_of_core(CoreId::from_index(0)), s0);
+        assert_eq!(t.switch_of_core(CoreId::from_index(1)), s1);
+        assert_eq!(t.switch_ports(s0), (1, 1));
+    }
+
+    #[test]
+    fn links_and_ports_account() {
+        let spec = tiny_spec();
+        let mut t = Topology::new(&spec, 2, freqs(2));
+        let s0 = t.add_switch(Switch {
+            name: "a".into(),
+            island_ext: 0,
+            cores: vec![CoreId::from_index(0)],
+        });
+        let s1 = t.add_switch(Switch {
+            name: "b".into(),
+            island_ext: 1,
+            cores: vec![CoreId::from_index(1)],
+        });
+        let l = t.open_link(TopoLink {
+            from: s0,
+            to: s1,
+            capacity: Bandwidth::from_mbps(400.0),
+            load: Bandwidth::ZERO,
+            kind: LinkKind::InterDirect,
+            length_mm: 3.0,
+        });
+        t.add_load(l, Bandwidth::from_mbps(100.0));
+        assert_eq!(t.find_link(s0, s1), Some(l));
+        assert_eq!(t.find_link(s1, s0), None);
+        assert_eq!(t.switch_ports(s0), (1, 2));
+        assert_eq!(t.switch_ports(s1), (2, 1));
+        assert!((t.link(l).load.mbps() - 100.0).abs() < 1e-9);
+        assert!(t.link(l).crosses_domain());
+    }
+
+    #[test]
+    fn routes_drive_switch_loads() {
+        let spec = tiny_spec();
+        let mut t = Topology::new(&spec, 1, freqs(1));
+        let s0 = t.add_switch(Switch {
+            name: "a".into(),
+            island_ext: 0,
+            cores: vec![CoreId::from_index(0), CoreId::from_index(1)],
+        });
+        t.set_route(Route {
+            flow: FlowId::from_index(0),
+            switches: vec![s0],
+            latency_cycles: 3,
+            crossings: 0,
+        });
+        let loads = t.switch_loads(&spec);
+        assert!((loads[0].mbps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruning_removes_linkless_intermediate_switches() {
+        let spec = tiny_spec();
+        let mut t = Topology::new(&spec, 1, freqs(1));
+        let s0 = t.add_switch(Switch {
+            name: "sw".into(),
+            island_ext: 0,
+            cores: vec![CoreId::from_index(0), CoreId::from_index(1)],
+        });
+        t.add_switch(Switch {
+            name: "mid.0".into(),
+            island_ext: 1,
+            cores: vec![],
+        });
+        t.set_route(Route {
+            flow: FlowId::from_index(0),
+            switches: vec![s0],
+            latency_cycles: 3,
+            crossings: 0,
+        });
+        assert_eq!(t.intermediate_switch_count(), 1);
+        assert_eq!(t.prune_unused_intermediate(), 1);
+        assert_eq!(t.intermediate_switch_count(), 0);
+        assert_eq!(t.switches().len(), 1);
+        // Core mapping survived the renumbering.
+        assert_eq!(t.switch_of_core(CoreId::from_index(0)), SwitchId(0));
+    }
+}

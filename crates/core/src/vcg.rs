@@ -1,0 +1,183 @@
+//! VI communication graph construction (Definition 1 of the paper).
+
+use crate::config::SynthesisConfig;
+use vi_noc_graph::SymGraph;
+use vi_noc_soc::{CoreId, SocSpec, ViAssignment};
+
+/// The VI Communication Graph `VCG(V, E, isl)`: vertices are the cores of
+/// one island, edges are the flows between them weighted by
+/// `h_ij = α·bw_ij/max_bw + (1−α)·min_lat/lat_ij`.
+///
+/// Min-cut partitioning this graph groups cores that communicate heavily or
+/// have tight mutual latency constraints onto the same switch.
+#[derive(Debug, Clone)]
+pub struct Vcg {
+    /// The island this VCG describes.
+    pub island: usize,
+    /// Weighted undirected graph over the island's cores.
+    pub graph: SymGraph,
+    /// `cores[v]` is the core behind graph vertex `v`.
+    pub cores: Vec<CoreId>,
+}
+
+impl Vcg {
+    /// Number of cores in the island (the paper's `|V_j|`).
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Returns `true` if the island holds no cores (cannot happen for
+    /// assignments built through [`ViAssignment::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.cores.is_empty()
+    }
+}
+
+/// Builds the VCG of `island`.
+///
+/// `max_bw` and `min_lat` are global over **all** flows of the spec, per
+/// Definition 1 — so the edge weights of different islands' VCGs are
+/// mutually comparable.
+pub fn build_vcg(spec: &SocSpec, vi: &ViAssignment, island: usize, cfg: &SynthesisConfig) -> Vcg {
+    let cores: Vec<CoreId> = spec
+        .core_ids()
+        .filter(|&c| vi.island_of(c) == island)
+        .collect();
+    let mut index_of = vec![usize::MAX; spec.core_count()];
+    for (v, &c) in cores.iter().enumerate() {
+        index_of[c.index()] = v;
+    }
+
+    let max_bw = spec.max_bandwidth().bytes_per_s().max(1e-12);
+    let min_lat = spec.min_latency_cycles().max(1) as f64;
+
+    let mut graph = SymGraph::new(cores.len());
+    for flow in spec.flows() {
+        let (si, di) = (index_of[flow.src.index()], index_of[flow.dst.index()]);
+        if si == usize::MAX || di == usize::MAX || si == di {
+            continue;
+        }
+        let h = cfg.alpha * flow.bandwidth.bytes_per_s() / max_bw
+            + (1.0 - cfg.alpha) * min_lat / flow.max_latency_cycles.max(1) as f64;
+        if h > 0.0 {
+            graph.add_edge(si, di, h);
+        }
+    }
+    Vcg {
+        island,
+        graph,
+        cores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vi_noc_soc::{benchmarks, partition, CoreKind};
+
+    fn setup() -> (SocSpec, ViAssignment, SynthesisConfig) {
+        let soc = benchmarks::d26_mobile();
+        let vi = partition::logical_partition(&soc, 6).unwrap();
+        (soc, vi, SynthesisConfig::default())
+    }
+
+    #[test]
+    fn vcg_covers_each_island_exactly() {
+        let (soc, vi, cfg) = setup();
+        let mut total = 0;
+        for isl in 0..vi.island_count() {
+            let vcg = build_vcg(&soc, &vi, isl, &cfg);
+            assert_eq!(vcg.island, isl);
+            assert!(!vcg.is_empty());
+            for &c in &vcg.cores {
+                assert_eq!(vi.island_of(c), isl);
+            }
+            total += vcg.len();
+        }
+        assert_eq!(total, soc.core_count());
+    }
+
+    #[test]
+    fn only_intra_island_flows_become_edges() {
+        let (soc, vi, cfg) = setup();
+        for isl in 0..vi.island_count() {
+            let vcg = build_vcg(&soc, &vi, isl, &cfg);
+            // Edge count is bounded by the number of intra-island flows.
+            let intra = soc
+                .flows()
+                .iter()
+                .filter(|f| vi.island_of(f.src) == isl && vi.island_of(f.dst) == isl)
+                .count();
+            assert!(vcg.graph.edge_count() <= intra);
+        }
+    }
+
+    #[test]
+    fn weights_blend_bandwidth_and_latency() {
+        // Two flows in one island: a fat loose flow and a thin tight flow.
+        // With alpha=1 only bandwidth matters; with alpha=0 only latency.
+        let mut s = SocSpec::new("w");
+        let a = s.add_core(vi_noc_soc::CoreSpec::new(
+            "a",
+            CoreKind::Cpu,
+            1.0,
+            1.0,
+            100.0,
+        ));
+        let b = s.add_core(vi_noc_soc::CoreSpec::new(
+            "b",
+            CoreKind::Memory,
+            1.0,
+            1.0,
+            100.0,
+        ));
+        let c = s.add_core(vi_noc_soc::CoreSpec::new(
+            "c",
+            CoreKind::Dsp,
+            1.0,
+            1.0,
+            100.0,
+        ));
+        s.add_flow(vi_noc_soc::TrafficFlow::new(a, b, 1000.0, 100));
+        s.add_flow(vi_noc_soc::TrafficFlow::new(a, c, 10.0, 5));
+        let vi = ViAssignment::new(&s, 1, vec![0, 0, 0]);
+
+        let mut cfg = SynthesisConfig {
+            alpha: 1.0,
+            ..SynthesisConfig::default()
+        };
+        let vcg = build_vcg(&s, &vi, 0, &cfg);
+        assert!(vcg.graph.edge_weight(0, 1) > vcg.graph.edge_weight(0, 2));
+
+        cfg.alpha = 0.0;
+        let vcg = build_vcg(&s, &vi, 0, &cfg);
+        assert!(vcg.graph.edge_weight(0, 2) > vcg.graph.edge_weight(0, 1));
+    }
+
+    #[test]
+    fn weights_are_bounded_by_one() {
+        let (soc, vi, cfg) = setup();
+        for isl in 0..vi.island_count() {
+            let vcg = build_vcg(&soc, &vi, isl, &cfg);
+            for u in 0..vcg.graph.len() {
+                for &(v, w) in vcg.graph.neighbors(u) {
+                    // Each directed flow contributes at most alpha + (1-alpha)
+                    // = 1; an undirected edge accumulates both directions.
+                    assert!(w <= 2.0 + 1e-9, "edge ({u},{v}) weight {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn discrete_islands_have_empty_vcgs() {
+        let soc = benchmarks::d26_mobile();
+        let vi = partition::logical_partition(&soc, 26).unwrap();
+        let cfg = SynthesisConfig::default();
+        for isl in 0..26 {
+            let vcg = build_vcg(&soc, &vi, isl, &cfg);
+            assert_eq!(vcg.len(), 1);
+            assert_eq!(vcg.graph.edge_count(), 0);
+        }
+    }
+}

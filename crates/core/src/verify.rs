@@ -1,0 +1,307 @@
+//! Design verification: shutdown safety and constraint compliance.
+
+use crate::config::{FrequencyPlan, SynthesisConfig};
+use crate::paths::route_latency;
+use crate::topology::Topology;
+use std::collections::VecDeque;
+use std::fmt;
+use vi_noc_soc::{FlowId, SocSpec, ViAssignment};
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A route visits a switch in an island that is neither the flow's
+    /// source, nor its destination, nor the intermediate island.
+    RouteThroughForeignIsland {
+        /// The offending flow.
+        flow: FlowId,
+        /// Extended island index visited.
+        island: usize,
+    },
+    /// A flow has no route at all.
+    MissingRoute {
+        /// The unrouted flow.
+        flow: FlowId,
+    },
+    /// A route's stored latency disagrees with the latency model or exceeds
+    /// the flow's constraint.
+    LatencyViolated {
+        /// The offending flow.
+        flow: FlowId,
+        /// Route latency (cycles).
+        latency: u32,
+        /// Flow constraint (cycles).
+        constraint: u32,
+    },
+    /// A link carries more load than its capacity.
+    LinkOverloaded {
+        /// Index of the link in `topology.links()`.
+        link: usize,
+    },
+    /// A switch uses more ports than its island's `max_sw_size` allows.
+    SwitchOversized {
+        /// Index of the switch.
+        switch: usize,
+        /// `max(inputs, outputs)`.
+        size: usize,
+        /// Allowed maximum.
+        max: usize,
+    },
+    /// A route's hop is not backed by an open link.
+    MissingLink {
+        /// The offending flow.
+        flow: FlowId,
+    },
+    /// Shutting down `island` would sever `flow` even though the flow does
+    /// not terminate there.
+    BrokenUnderShutdown {
+        /// Power-gated island.
+        island: usize,
+        /// Severed flow.
+        flow: FlowId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::RouteThroughForeignIsland { flow, island } => {
+                write!(f, "flow {flow} routes through foreign island {island}")
+            }
+            Violation::MissingRoute { flow } => write!(f, "flow {flow} has no route"),
+            Violation::LatencyViolated {
+                flow,
+                latency,
+                constraint,
+            } => write!(f, "flow {flow} latency {latency} > constraint {constraint}"),
+            Violation::LinkOverloaded { link } => write!(f, "link {link} over capacity"),
+            Violation::SwitchOversized { switch, size, max } => {
+                write!(f, "switch {switch} size {size} > max {max}")
+            }
+            Violation::MissingLink { flow } => {
+                write!(f, "flow {flow} uses a hop with no open link")
+            }
+            Violation::BrokenUnderShutdown { island, flow } => {
+                write!(f, "gating island {island} severs flow {flow}")
+            }
+        }
+    }
+}
+
+/// Checks every structural invariant of a synthesized design:
+/// routes exist and are shutdown-legal, link loads fit capacities, switch
+/// sizes fit the frequency-derived budgets, and stored latencies match the
+/// latency model and the flow constraints.
+pub fn verify_design(
+    spec: &SocSpec,
+    vi: &ViAssignment,
+    topo: &Topology,
+    cfg: &SynthesisConfig,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mid = vi.island_count();
+    let plan = FrequencyPlan::compute(spec, vi, cfg);
+
+    for fid in spec.flow_ids() {
+        let Some(route) = topo.route(fid) else {
+            violations.push(Violation::MissingRoute { flow: fid });
+            continue;
+        };
+        let flow = spec.flow(fid);
+        let a = vi.island_of(flow.src);
+        let b = vi.island_of(flow.dst);
+        for &s in &route.switches {
+            let isl = topo.switch(s).island_ext;
+            if isl != a && isl != b && isl != mid {
+                violations.push(Violation::RouteThroughForeignIsland {
+                    flow: fid,
+                    island: isl,
+                });
+            }
+        }
+        // Hops must be backed by open links.
+        for pair in route.switches.windows(2) {
+            if topo.find_link(pair[0], pair[1]).is_none() {
+                violations.push(Violation::MissingLink { flow: fid });
+            }
+        }
+        // Endpoint switches must host the endpoint cores.
+        let src_ok = topo.switch_of_core(flow.src) == route.switches[0];
+        let dst_ok = topo.switch_of_core(flow.dst) == *route.switches.last().unwrap();
+        if !src_ok || !dst_ok {
+            violations.push(Violation::MissingLink { flow: fid });
+        }
+        // Latency model agreement + constraint.
+        let expect = route_latency(route.switches.len(), route.crossings, cfg);
+        if expect != route.latency_cycles || route.latency_cycles > flow.max_latency_cycles {
+            violations.push(Violation::LatencyViolated {
+                flow: fid,
+                latency: route.latency_cycles,
+                constraint: flow.max_latency_cycles,
+            });
+        }
+    }
+
+    // Link capacities: recompute loads from routes and compare.
+    let mut recomputed = vec![0.0f64; topo.links().len()];
+    for route in topo.routes() {
+        let bw = spec.flow(route.flow).bandwidth.bytes_per_s();
+        for pair in route.switches.windows(2) {
+            if let Some(l) = topo.find_link(pair[0], pair[1]) {
+                recomputed[l.index()] += bw;
+            }
+        }
+    }
+    for (i, l) in topo.links().iter().enumerate() {
+        if recomputed[i] > l.capacity.bytes_per_s() * (1.0 + 1e-9) {
+            violations.push(Violation::LinkOverloaded { link: i });
+        }
+    }
+
+    // Switch size budgets.
+    for s in topo.switch_ids() {
+        let (inp, outp) = topo.switch_ports(s);
+        let size = inp.max(outp);
+        let max = plan.max_switch_size_ext(topo.switch(s).island_ext);
+        if size > max {
+            violations.push(Violation::SwitchOversized {
+                switch: s.index(),
+                size,
+                max,
+            });
+        }
+    }
+
+    violations.extend(verify_shutdown_safety(spec, vi, topo));
+    violations
+}
+
+/// The headline property of the paper: for every island that may be power
+/// gated, every flow not terminating in that island must still have a
+/// connected route after removing the island's switches and links.
+///
+/// Checked both structurally (routes avoid the gated island) and by
+/// reachability over the surviving switch graph.
+pub fn verify_shutdown_safety(
+    spec: &SocSpec,
+    vi: &ViAssignment,
+    topo: &Topology,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for island in 0..vi.island_count() {
+        if !vi.can_shutdown(island) {
+            continue;
+        }
+        for fid in spec.flow_ids() {
+            let flow = spec.flow(fid);
+            let a = vi.island_of(flow.src);
+            let b = vi.island_of(flow.dst);
+            if a == island || b == island {
+                continue; // the flow dies with its endpoint; that's fine
+            }
+            let Some(route) = topo.route(fid) else {
+                continue; // reported as MissingRoute by verify_design
+            };
+            // Structural check: the stored route survives the gating.
+            let route_hits = route
+                .switches
+                .iter()
+                .any(|&s| topo.switch(s).island_ext == island);
+            // Reachability check: some path still exists between the
+            // endpoint switches without the gated island.
+            let src_sw = topo.switch_of_core(flow.src);
+            let dst_sw = topo.switch_of_core(flow.dst);
+            let reachable = {
+                let mut seen = vec![false; topo.switches().len()];
+                let mut q = VecDeque::new();
+                if topo.switch(src_sw).island_ext != island {
+                    seen[src_sw.index()] = true;
+                    q.push_back(src_sw);
+                }
+                while let Some(u) = q.pop_front() {
+                    for l in topo.links() {
+                        if l.from == u
+                            && !seen[l.to.index()]
+                            && topo.switch(l.to).island_ext != island
+                        {
+                            seen[l.to.index()] = true;
+                            q.push_back(l.to);
+                        }
+                    }
+                }
+                seen[dst_sw.index()]
+            };
+            if route_hits || !reachable {
+                violations.push(Violation::BrokenUnderShutdown { island, flow: fid });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesis::synthesize;
+    use vi_noc_soc::{benchmarks, partition};
+
+    #[test]
+    fn synthesized_designs_verify_clean() {
+        let soc = benchmarks::d26_mobile();
+        for k in [1usize, 4, 6, 7] {
+            let vi = partition::logical_partition(&soc, k).unwrap();
+            let space = synthesize(&soc, &vi, &SynthesisConfig::default()).unwrap();
+            for p in &space.points {
+                let v = verify_design(&soc, &vi, &p.topology, &SynthesisConfig::default());
+                assert!(
+                    v.is_empty(),
+                    "k={k} sweep={} mid={}: {:?}",
+                    p.sweep_index,
+                    p.requested_intermediate,
+                    v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shutdown_safety_holds_for_whole_suite() {
+        for (soc, k) in benchmarks::suite() {
+            let vi = partition::logical_partition(&soc, k).unwrap();
+            let space = synthesize(&soc, &vi, &SynthesisConfig::default()).unwrap();
+            let p = space.min_power_point().unwrap();
+            let v = verify_shutdown_safety(&soc, &vi, &p.topology);
+            assert!(v.is_empty(), "{}: {:?}", soc.name(), v);
+        }
+    }
+
+    #[test]
+    fn violations_display_meaningfully() {
+        let v = Violation::BrokenUnderShutdown {
+            island: 3,
+            flow: FlowId::from_index(7),
+        };
+        assert!(v.to_string().contains("island 3"));
+        assert!(v.to_string().contains("f7"));
+    }
+
+    #[test]
+    fn tampered_route_is_caught() {
+        let soc = benchmarks::d26_mobile();
+        let vi = partition::logical_partition(&soc, 6).unwrap();
+        let cfg = SynthesisConfig::default();
+        let space = synthesize(&soc, &vi, &cfg).unwrap();
+        let mut topo = space.min_power_point().unwrap().topology.clone();
+        // Corrupt the latency of the first routed flow.
+        let fid = soc.flow_ids().next().unwrap();
+        let mut route = topo.route(fid).unwrap().clone();
+        route.latency_cycles += 1;
+        topo.set_route(route);
+        let v = verify_design(&soc, &vi, &topo, &cfg);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::LatencyViolated { .. })),
+            "{v:?}"
+        );
+    }
+}

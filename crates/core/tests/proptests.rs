@@ -1,0 +1,98 @@
+//! Property-based tests for the synthesis algorithm: every design point it
+//! emits for random SoCs must satisfy every invariant the verifier knows.
+
+use proptest::prelude::*;
+use vi_noc_core::{synthesize, verify_design, SynthesisConfig};
+use vi_noc_soc::{generate_synthetic, partition, SyntheticConfig};
+
+proptest! {
+    // Synthesis is comparatively expensive; keep the case count modest —
+    // each case still exercises the full pipeline end to end.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every point of every design space verifies clean: shutdown-legal
+    /// routes, capacities, switch sizes, latency constraints.
+    #[test]
+    fn all_points_verify_clean(
+        n_cores in 8usize..28,
+        seed in 0u64..64,
+        k in 2usize..5,
+    ) {
+        let spec = generate_synthetic(&SyntheticConfig {
+            n_cores,
+            seed,
+            ..SyntheticConfig::default()
+        });
+        let k = k.min(spec.core_count());
+        let Ok(vi) = partition::communication_partition(&spec, k, seed) else {
+            return Ok(());
+        };
+        let cfg = SynthesisConfig::default();
+        let Ok(space) = synthesize(&spec, &vi, &cfg) else {
+            // Random instances may be genuinely infeasible; that is a
+            // correct *result*, not a bug.
+            return Ok(());
+        };
+        prop_assert!(!space.points.is_empty());
+        for point in &space.points {
+            let violations = verify_design(&spec, &vi, &point.topology, &cfg);
+            prop_assert!(
+                violations.is_empty(),
+                "n={n_cores} seed={seed} k={k} sweep={}: {violations:?}",
+                point.sweep_index
+            );
+            // Metrics sanity.
+            prop_assert!(point.metrics.noc_dynamic_power().mw() > 0.0);
+            prop_assert!(point.metrics.avg_latency_cycles >= 3.0);
+            prop_assert!(point.metrics.area.mm2() > 0.0);
+            prop_assert_eq!(
+                point.topology.routes().count(),
+                spec.flow_count()
+            );
+        }
+    }
+
+    /// Synthesis is deterministic: same inputs, same design space.
+    #[test]
+    fn synthesis_deterministic(seed in 0u64..32) {
+        let spec = generate_synthetic(&SyntheticConfig {
+            n_cores: 14,
+            seed,
+            ..SyntheticConfig::default()
+        });
+        let Ok(vi) = partition::communication_partition(&spec, 3, seed) else {
+            return Ok(());
+        };
+        let cfg = SynthesisConfig::default();
+        let a = synthesize(&spec, &vi, &cfg);
+        let b = synthesize(&spec, &vi, &cfg);
+        match (a, b) {
+            (Ok(sa), Ok(sb)) => {
+                prop_assert_eq!(sa.points.len(), sb.points.len());
+                for (pa, pb) in sa.points.iter().zip(&sb.points) {
+                    prop_assert_eq!(&pa.topology, &pb.topology);
+                    prop_assert_eq!(
+                        pa.metrics.noc_dynamic_power().mw(),
+                        pb.metrics.noc_dynamic_power().mw()
+                    );
+                }
+            }
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "one run feasible, the other not"),
+        }
+    }
+
+    /// The single-island design space always exists for generated SoCs (the
+    /// conventional-NoC reference the paper compares against).
+    #[test]
+    fn single_island_always_feasible(n_cores in 8usize..32, seed in 0u64..64) {
+        let spec = generate_synthetic(&SyntheticConfig {
+            n_cores,
+            seed,
+            ..SyntheticConfig::default()
+        });
+        let vi = partition::logical_partition(&spec, 1).unwrap();
+        let space = synthesize(&spec, &vi, &SynthesisConfig::default());
+        prop_assert!(space.is_ok(), "n={n_cores} seed={seed}: {:?}", space.err());
+    }
+}

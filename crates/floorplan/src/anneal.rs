@@ -1,0 +1,345 @@
+//! Simulated-annealing floorplan optimization (Wong–Liu moves).
+
+use crate::placement::{evaluate, Placement};
+use crate::slicing::{Module, Net, PolishElem, PolishExpr};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters for [`floorplan`].
+#[derive(Debug, Clone)]
+pub struct FloorplanConfig {
+    /// RNG seed; equal seeds give identical floorplans.
+    pub seed: u64,
+    /// Number of proposed moves.
+    pub iterations: usize,
+    /// Initial acceptance temperature (relative to typical cost deltas).
+    pub initial_temp: f64,
+    /// Geometric cooling factor applied every `iterations / 50` moves.
+    pub cooling: f64,
+    /// Weight of traffic-weighted wirelength in the cost.
+    pub lambda_wire: f64,
+    /// Weight of voltage-island cohesion (islands should be contiguous so
+    /// each can have its own power rails).
+    pub lambda_island: f64,
+    /// Weight of the aspect-ratio penalty (`|ln(W/H)|`).
+    pub lambda_aspect: f64,
+}
+
+impl Default for FloorplanConfig {
+    fn default() -> Self {
+        FloorplanConfig {
+            seed: 0xF100,
+            iterations: 20_000,
+            initial_temp: 2.0,
+            cooling: 0.92,
+            lambda_wire: 0.02,
+            lambda_island: 0.3,
+            lambda_aspect: 2.0,
+        }
+    }
+}
+
+/// Cost of a placement: die area + weighted wirelength + island spread +
+/// aspect penalty. Lower is better.
+fn cost(placement: &Placement, modules: &[Module], nets: &[Net], cfg: &FloorplanConfig) -> f64 {
+    let (w, h) = placement.die();
+    let area = w * h;
+    let aspect = if w > 0.0 && h > 0.0 {
+        (w / h).ln().abs()
+    } else {
+        10.0
+    };
+
+    // Traffic-weighted half-perimeter wirelength.
+    let mut wl = 0.0;
+    let total_weight: f64 = nets.iter().map(|n| n.weight).sum::<f64>().max(1e-12);
+    for net in nets {
+        let (mut lo_x, mut hi_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut lo_y, mut hi_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &p in &net.pins {
+            let (cx, cy) = placement.center(p);
+            lo_x = lo_x.min(cx);
+            hi_x = hi_x.max(cx);
+            lo_y = lo_y.min(cy);
+            hi_y = hi_y.max(cy);
+        }
+        wl += net.weight / total_weight * ((hi_x - lo_x) + (hi_y - lo_y));
+    }
+
+    // Island cohesion: half-perimeter of each island's bounding box, summed.
+    let n_islands = modules.iter().map(|m| m.island).max().unwrap_or(0) + 1;
+    let mut spread = 0.0;
+    for isl in 0..n_islands {
+        let (mut lo_x, mut hi_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut lo_y, mut hi_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut any = false;
+        for (i, m) in modules.iter().enumerate() {
+            if m.island == isl {
+                any = true;
+                let (cx, cy) = placement.center(i);
+                lo_x = lo_x.min(cx);
+                hi_x = hi_x.max(cx);
+                lo_y = lo_y.min(cy);
+                hi_y = hi_y.max(cy);
+            }
+        }
+        if any {
+            spread += (hi_x - lo_x) + (hi_y - lo_y);
+        }
+    }
+
+    area + cfg.lambda_aspect * area * aspect.min(2.0) / 2.0
+        + cfg.lambda_wire * area * wl
+        + cfg.lambda_island * spread
+}
+
+/// Proposes one random Wong–Liu move; returns `false` if the proposal was
+/// structurally invalid (caller retries).
+fn propose(expr: &mut PolishExpr, n: usize, rng: &mut StdRng) -> bool {
+    match rng.random_range(0..4u8) {
+        // M1: swap two adjacent operands.
+        0 => {
+            let ops = expr.operand_positions();
+            if ops.len() < 2 {
+                return false;
+            }
+            let k = rng.random_range(0..ops.len() - 1);
+            expr.elems.swap(ops[k], ops[k + 1]);
+            true
+        }
+        // M2: complement a chain of operators (flip H<->V).
+        1 => {
+            let chains: Vec<usize> = expr
+                .elems
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| !matches!(e, PolishElem::Operand(_)))
+                .map(|(i, _)| i)
+                .collect();
+            if chains.is_empty() {
+                return false;
+            }
+            let start = chains[rng.random_range(0..chains.len())];
+            let mut i = start;
+            while i < expr.elems.len() {
+                match expr.elems[i] {
+                    PolishElem::H => expr.elems[i] = PolishElem::V,
+                    PolishElem::V => expr.elems[i] = PolishElem::H,
+                    PolishElem::Operand(_) => break,
+                }
+                i += 1;
+            }
+            true
+        }
+        // M3: swap an adjacent operand/operator pair, if validity holds.
+        2 => {
+            if expr.elems.len() < 2 {
+                return false;
+            }
+            let k = rng.random_range(0..expr.elems.len() - 1);
+            let pair = (expr.elems[k], expr.elems[k + 1]);
+            let swappable = matches!(
+                pair,
+                (PolishElem::Operand(_), PolishElem::H | PolishElem::V)
+                    | (PolishElem::H | PolishElem::V, PolishElem::Operand(_))
+            );
+            if !swappable {
+                return false;
+            }
+            expr.elems.swap(k, k + 1);
+            if expr.is_valid(n) {
+                true
+            } else {
+                expr.elems.swap(k, k + 1);
+                false
+            }
+        }
+        // M4: rotate a random module.
+        _ => {
+            let i = rng.random_range(0..n);
+            expr.rotated[i] = !expr.rotated[i];
+            true
+        }
+    }
+}
+
+/// Floorplans `modules` by simulated annealing, minimizing die area,
+/// traffic-weighted wirelength, island spread and aspect-ratio penalty.
+///
+/// Deterministic for a fixed [`FloorplanConfig::seed`]. Returns the best
+/// placement encountered.
+///
+/// # Panics
+///
+/// Panics if `modules` is empty or a net references a missing module.
+pub fn floorplan(modules: &[Module], nets: &[Net], cfg: &FloorplanConfig) -> Placement {
+    assert!(!modules.is_empty(), "cannot floorplan zero modules");
+    for net in nets {
+        for &p in &net.pins {
+            assert!(p < modules.len(), "net references missing module {p}");
+        }
+    }
+    let n = modules.len();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut expr = PolishExpr::initial(n);
+    let mut current_cost = cost(&evaluate(&expr, modules), modules, nets, cfg);
+    let mut best_expr = expr.clone();
+    let mut best_cost = current_cost;
+
+    let mut temp = cfg.initial_temp * current_cost.max(1e-9);
+    let chunk = (cfg.iterations / 50).max(1);
+
+    for it in 0..cfg.iterations {
+        let mut candidate = expr.clone();
+        if !propose(&mut candidate, n, &mut rng) {
+            continue;
+        }
+        debug_assert!(candidate.is_valid(n));
+        let c = cost(&evaluate(&candidate, modules), modules, nets, cfg);
+        let delta = c - current_cost;
+        let accept = delta <= 0.0 || rng.random::<f64>() < (-delta / temp.max(1e-12)).exp();
+        if accept {
+            expr = candidate;
+            current_cost = c;
+            if c < best_cost {
+                best_cost = c;
+                best_expr = expr.clone();
+            }
+        }
+        if (it + 1) % chunk == 0 {
+            temp *= cfg.cooling;
+        }
+    }
+
+    evaluate(&best_expr, modules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> FloorplanConfig {
+        FloorplanConfig {
+            iterations: 3_000,
+            ..FloorplanConfig::default()
+        }
+    }
+
+    fn modules_two_islands() -> Vec<Module> {
+        (0..8)
+            .map(|i| Module::new(format!("m{i}"), 1.0 + (i % 3) as f64 * 0.5, i / 4))
+            .collect()
+    }
+
+    #[test]
+    fn result_is_overlap_free_and_reasonably_packed() {
+        let modules = modules_two_islands();
+        let plan = floorplan(&modules, &[], &quick_cfg());
+        assert!(plan.is_overlap_free());
+        assert!(
+            plan.utilization() > 0.5,
+            "utilization {} too low",
+            plan.utilization()
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let modules = modules_two_islands();
+        let a = floorplan(&modules, &[], &quick_cfg());
+        let b = floorplan(&modules, &[], &quick_cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn annealing_beats_initial_expression() {
+        // Mixed-size modules: the initial strip layout is bad.
+        let modules: Vec<Module> = (0..12)
+            .map(|i| Module::new(format!("m{i}"), 0.5 + (i as f64) * 0.3, 0))
+            .collect();
+        let initial = evaluate(&PolishExpr::initial(12), &modules);
+        let annealed = floorplan(&modules, &[], &quick_cfg());
+        assert!(
+            annealed.die_area_mm2() < initial.die_area_mm2(),
+            "SA {} should beat initial {}",
+            annealed.die_area_mm2(),
+            initial.die_area_mm2()
+        );
+    }
+
+    #[test]
+    fn heavy_net_pulls_modules_together() {
+        // Modules 0 and 7 heavily connected: after annealing they should be
+        // closer than the die diagonal would suggest at random.
+        let modules: Vec<Module> = (0..8)
+            .map(|i| Module::new(format!("m{i}"), 1.0, 0))
+            .collect();
+        let nets = vec![Net::two_pin(0, 7, 100.0)];
+        let cfg = FloorplanConfig {
+            iterations: 12_000,
+            lambda_wire: 1.0,
+            ..FloorplanConfig::default()
+        };
+        let plan = floorplan(&modules, &nets, &cfg);
+        let (ax, ay) = plan.center(0);
+        let (bx, by) = plan.center(7);
+        let dist = (ax - bx).abs() + (ay - by).abs();
+        let (dw, dh) = plan.die();
+        assert!(
+            dist < (dw + dh) * 0.55,
+            "hot pair distance {dist} vs die {dw}x{dh}"
+        );
+    }
+
+    #[test]
+    fn island_cohesion_groups_islands() {
+        // Two islands of 4; cohesion weight high. Island bounding boxes
+        // should not both span the whole die.
+        let modules = modules_two_islands();
+        let cfg = FloorplanConfig {
+            iterations: 15_000,
+            lambda_island: 3.0,
+            ..FloorplanConfig::default()
+        };
+        let plan = floorplan(&modules, &[], &cfg);
+        let bbox = |isl: usize| {
+            let mut lo = (f64::INFINITY, f64::INFINITY);
+            let mut hi = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+            for (i, m) in modules.iter().enumerate() {
+                if m.island == isl {
+                    let (x, y) = plan.center(i);
+                    lo = (lo.0.min(x), lo.1.min(y));
+                    hi = (hi.0.max(x), hi.1.max(y));
+                }
+            }
+            (hi.0 - lo.0) + (hi.1 - lo.1)
+        };
+        let (dw, dh) = plan.die();
+        let die_hp = dw + dh;
+        assert!(
+            bbox(0) + bbox(1) < 1.6 * die_hp,
+            "island spread {} + {} vs die half-perimeter {}",
+            bbox(0),
+            bbox(1),
+            die_hp
+        );
+    }
+
+    #[test]
+    fn single_module_floorplan() {
+        let modules = vec![Module::new("only", 2.25, 0)];
+        let plan = floorplan(&modules, &[], &quick_cfg());
+        assert_eq!(plan.rect_count(), 1);
+        assert!((plan.die_area_mm2() - 2.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing module")]
+    fn net_validation() {
+        floorplan(
+            &[Module::new("a", 1.0, 0)],
+            &[Net::two_pin(0, 3, 1.0)],
+            &quick_cfg(),
+        );
+    }
+}

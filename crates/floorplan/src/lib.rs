@@ -1,0 +1,44 @@
+//! Slicing floorplanner with NoC switch insertion.
+//!
+//! The last step of the paper's synthesis flow inserts the NoC components on
+//! the chip floorplan and computes wire lengths, wire power and delay (§4).
+//! This crate provides that substrate:
+//!
+//! * [`floorplan`] — a Wong–Liu style simulated-annealing floorplanner over
+//!   normalized Polish expressions. The cost function trades off die area,
+//!   aspect ratio, traffic-weighted wirelength **and voltage-island
+//!   cohesion** (cores of one island must be contiguous so they can share
+//!   power rails — the premise of island-level power gating).
+//! * [`place_attachments`] — places NoC switches/NIs at the traffic-weighted
+//!   centroid of the blocks they connect (switches are small and routed
+//!   over-the-cell, so they need no legalized sites).
+//! * [`render_ascii`] — a terminal rendering of the floorplan (Figure 5).
+//!
+//! # Example
+//!
+//! ```
+//! use vi_noc_floorplan::{floorplan, FloorplanConfig, Module, Net};
+//!
+//! let modules = vec![
+//!     Module::new("cpu", 2.0, 0),
+//!     Module::new("mem", 1.5, 1),
+//!     Module::new("dsp", 1.0, 0),
+//! ];
+//! let nets = vec![Net::two_pin(0, 1, 5.0), Net::two_pin(2, 1, 2.0)];
+//! let cfg = FloorplanConfig { iterations: 500, ..FloorplanConfig::default() };
+//! let plan = floorplan(&modules, &nets, &cfg);
+//! assert_eq!(plan.rect_count(), 3);
+//! assert!(plan.utilization() > 0.3);
+//! ```
+
+mod anneal;
+mod placement;
+mod render;
+mod slicing;
+mod wire;
+
+pub use anneal::{floorplan, FloorplanConfig};
+pub use placement::{Placement, Rect};
+pub use render::render_ascii;
+pub use slicing::{Module, Net};
+pub use wire::{manhattan, place_attachments, Attachment};

@@ -1,0 +1,272 @@
+//! Placement result: rectangles on a die.
+
+use crate::slicing::{Module, PolishElem, PolishExpr};
+
+/// An axis-aligned placed rectangle, in mm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub x: f64,
+    /// Bottom edge.
+    pub y: f64,
+    /// Width.
+    pub w: f64,
+    /// Height.
+    pub h: f64,
+}
+
+impl Rect {
+    /// Center point of the rectangle.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Returns `true` if the interiors of `self` and `other` intersect.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        const EPS: f64 = 1e-9;
+        self.x + EPS < other.x + other.w
+            && other.x + EPS < self.x + self.w
+            && self.y + EPS < other.y + other.h
+            && other.y + EPS < self.y + self.h
+    }
+
+    /// Rectangle area.
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+}
+
+/// A complete floorplan: one placed rectangle per module plus the die
+/// bounding box.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    rects: Vec<Rect>,
+    die_w: f64,
+    die_h: f64,
+}
+
+impl Placement {
+    /// Number of placed rectangles.
+    pub fn rect_count(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// Placed rectangle of module `idx`.
+    pub fn rect(&self, idx: usize) -> Rect {
+        self.rects[idx]
+    }
+
+    /// All rectangles, indexed by module.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Center of module `idx` — the attachment point for NoC wiring.
+    pub fn center(&self, idx: usize) -> (f64, f64) {
+        self.rects[idx].center()
+    }
+
+    /// Die dimensions `(width, height)` in mm.
+    pub fn die(&self) -> (f64, f64) {
+        (self.die_w, self.die_h)
+    }
+
+    /// Die area in mm².
+    pub fn die_area_mm2(&self) -> f64 {
+        self.die_w * self.die_h
+    }
+
+    /// Fraction of the die covered by modules (0..1).
+    pub fn utilization(&self) -> f64 {
+        if self.die_area_mm2() <= 0.0 {
+            return 0.0;
+        }
+        self.rects.iter().map(Rect::area).sum::<f64>() / self.die_area_mm2()
+    }
+
+    /// Returns `true` if no two modules overlap (always holds for slicing
+    /// floorplans; exposed for property tests).
+    pub fn is_overlap_free(&self) -> bool {
+        for i in 0..self.rects.len() {
+            for j in (i + 1)..self.rects.len() {
+                if self.rects[i].overlaps(&self.rects[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Evaluates a Polish expression into a placement.
+///
+/// Slicing semantics: `a b V` places `b` to the right of `a`; `a b H`
+/// stacks `b` on top of `a`. Subtree bounding boxes are the max/sum of the
+/// child dimensions (no shape curves — modules may rotate via the annealer's
+/// rotation flags instead).
+pub(crate) fn evaluate(expr: &PolishExpr, modules: &[Module]) -> Placement {
+    #[derive(Debug)]
+    enum Node {
+        Leaf(usize),
+        Cut(Box<Node>, Box<Node>, PolishElem),
+    }
+
+    fn dims(node: &Node, expr: &PolishExpr, modules: &[Module]) -> (f64, f64) {
+        match node {
+            Node::Leaf(i) => expr.module_shape(modules, *i),
+            Node::Cut(a, b, op) => {
+                let (aw, ah) = dims(a, expr, modules);
+                let (bw, bh) = dims(b, expr, modules);
+                match op {
+                    PolishElem::V => (aw + bw, ah.max(bh)),
+                    PolishElem::H => (aw.max(bw), ah + bh),
+                    PolishElem::Operand(_) => unreachable!("cut with operand op"),
+                }
+            }
+        }
+    }
+
+    fn assign(
+        node: &Node,
+        x: f64,
+        y: f64,
+        expr: &PolishExpr,
+        modules: &[Module],
+        out: &mut [Rect],
+    ) {
+        match node {
+            Node::Leaf(i) => {
+                let (w, h) = expr.module_shape(modules, *i);
+                out[*i] = Rect { x, y, w, h };
+            }
+            Node::Cut(a, b, op) => {
+                let (aw, ah) = dims(a, expr, modules);
+                assign(a, x, y, expr, modules, out);
+                match op {
+                    PolishElem::V => assign(b, x + aw, y, expr, modules, out),
+                    PolishElem::H => assign(b, x, y + ah, expr, modules, out),
+                    PolishElem::Operand(_) => unreachable!(),
+                }
+            }
+        }
+    }
+
+    // Build the tree with an operand stack.
+    let mut stack: Vec<Node> = Vec::new();
+    for e in &expr.elems {
+        match e {
+            PolishElem::Operand(i) => stack.push(Node::Leaf(*i)),
+            op => {
+                let b = stack.pop().expect("valid polish expression");
+                let a = stack.pop().expect("valid polish expression");
+                stack.push(Node::Cut(Box::new(a), Box::new(b), *op));
+            }
+        }
+    }
+    let root = stack.pop().expect("non-empty expression");
+    assert!(stack.is_empty(), "expression must reduce to a single tree");
+
+    let (die_w, die_h) = dims(&root, expr, modules);
+    let mut rects = vec![
+        Rect {
+            x: 0.0,
+            y: 0.0,
+            w: 0.0,
+            h: 0.0
+        };
+        modules.len()
+    ];
+    assign(&root, 0.0, 0.0, expr, modules, &mut rects);
+    Placement {
+        rects,
+        die_w,
+        die_h,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slicing::Module;
+
+    fn unit_modules(n: usize) -> Vec<Module> {
+        (0..n)
+            .map(|i| Module::new(format!("m{i}"), 1.0, 0))
+            .collect()
+    }
+
+    #[test]
+    fn two_module_vertical_cut() {
+        let modules = unit_modules(2);
+        let expr = PolishExpr {
+            elems: vec![
+                PolishElem::Operand(0),
+                PolishElem::Operand(1),
+                PolishElem::V,
+            ],
+            rotated: vec![false; 2],
+        };
+        let p = evaluate(&expr, &modules);
+        assert_eq!(p.die(), (2.0, 1.0));
+        assert_eq!(p.rect(1).x, 1.0);
+        assert!(p.is_overlap_free());
+        assert!((p.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_module_horizontal_cut() {
+        let modules = unit_modules(2);
+        let expr = PolishExpr {
+            elems: vec![
+                PolishElem::Operand(0),
+                PolishElem::Operand(1),
+                PolishElem::H,
+            ],
+            rotated: vec![false; 2],
+        };
+        let p = evaluate(&expr, &modules);
+        assert_eq!(p.die(), (1.0, 2.0));
+        assert_eq!(p.rect(1).y, 1.0);
+    }
+
+    #[test]
+    fn initial_expression_places_everything() {
+        let modules = unit_modules(7);
+        let expr = PolishExpr::initial(7);
+        let p = evaluate(&expr, &modules);
+        assert_eq!(p.rect_count(), 7);
+        assert!(p.is_overlap_free());
+        assert!(p.utilization() > 0.0);
+        // All modules inside the die.
+        let (dw, dh) = p.die();
+        for r in p.rects() {
+            assert!(r.x >= -1e-9 && r.y >= -1e-9);
+            assert!(r.x + r.w <= dw + 1e-9 && r.y + r.h <= dh + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rect_overlap_detection() {
+        let a = Rect {
+            x: 0.0,
+            y: 0.0,
+            w: 2.0,
+            h: 2.0,
+        };
+        let b = Rect {
+            x: 1.0,
+            y: 1.0,
+            w: 2.0,
+            h: 2.0,
+        };
+        let c = Rect {
+            x: 2.0,
+            y: 0.0,
+            w: 1.0,
+            h: 1.0,
+        };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c), "touching edges do not overlap");
+        assert_eq!(a.center(), (1.0, 1.0));
+    }
+}

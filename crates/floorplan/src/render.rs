@@ -1,0 +1,122 @@
+//! ASCII rendering of floorplans (the reproduction of Figure 5).
+
+use crate::placement::Placement;
+
+/// Renders a floorplan as an ASCII grid of `cols × rows` characters.
+///
+/// Each module is filled with a label character (`A`, `B`, … then `a` …,
+/// cycling); `markers` adds point markers (e.g. switch sites) drawn as `*`
+/// on top. The output includes a frame and a legend mapping labels to the
+/// provided `names`.
+///
+/// # Panics
+///
+/// Panics if `names.len() != placement.rect_count()` or the grid is
+/// degenerate (`cols`/`rows` < 2).
+pub fn render_ascii(
+    placement: &Placement,
+    names: &[&str],
+    markers: &[(f64, f64)],
+    cols: usize,
+    rows: usize,
+) -> String {
+    assert_eq!(
+        names.len(),
+        placement.rect_count(),
+        "one name per placed module"
+    );
+    assert!(cols >= 2 && rows >= 2, "grid too small");
+    let (dw, dh) = placement.die();
+    let sx = cols as f64 / dw.max(1e-9);
+    let sy = rows as f64 / dh.max(1e-9);
+
+    let label = |i: usize| -> char {
+        let alphabet: Vec<char> = ('A'..='Z').chain('a'..='z').chain('0'..='9').collect();
+        alphabet[i % alphabet.len()]
+    };
+
+    let mut grid = vec![vec![' '; cols]; rows];
+    for (i, r) in placement.rects().iter().enumerate() {
+        let x0 = (r.x * sx).floor() as usize;
+        let x1 = (((r.x + r.w) * sx).ceil() as usize).min(cols);
+        let y0 = (r.y * sy).floor() as usize;
+        let y1 = (((r.y + r.h) * sy).ceil() as usize).min(rows);
+        for row in grid.iter_mut().take(y1).skip(y0) {
+            for cell in row.iter_mut().take(x1).skip(x0) {
+                *cell = label(i);
+            }
+        }
+    }
+    for &(mx, my) in markers {
+        let c = ((mx * sx) as usize).min(cols - 1);
+        let r = ((my * sy) as usize).min(rows - 1);
+        grid[r][c] = '*';
+    }
+
+    // Render with y growing upward (row 0 at the bottom).
+    let mut out = String::new();
+    out.push('+');
+    out.push_str(&"-".repeat(cols));
+    out.push_str("+\n");
+    for row in grid.iter().rev() {
+        out.push('|');
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(cols));
+    out.push_str("+\n");
+    for (i, name) in names.iter().enumerate() {
+        out.push_str(&format!("  {} = {}\n", label(i), name));
+    }
+    if !markers.is_empty() {
+        out.push_str("  * = NoC switch\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anneal::{floorplan, FloorplanConfig};
+    use crate::slicing::Module;
+
+    #[test]
+    fn renders_all_modules_and_legend() {
+        let modules = vec![
+            Module::new("cpu", 2.0, 0),
+            Module::new("mem", 1.0, 1),
+            Module::new("dsp", 1.0, 0),
+        ];
+        let plan = floorplan(
+            &modules,
+            &[],
+            &FloorplanConfig {
+                iterations: 500,
+                ..FloorplanConfig::default()
+            },
+        );
+        let s = render_ascii(&plan, &["cpu", "mem", "dsp"], &[(0.1, 0.1)], 40, 16);
+        assert!(s.contains('A'));
+        assert!(s.contains('B'));
+        assert!(s.contains('C'));
+        assert!(s.contains('*'));
+        assert!(s.contains("A = cpu"));
+        assert!(s.lines().count() >= 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "one name per placed module")]
+    fn validates_name_count() {
+        let modules = vec![Module::new("a", 1.0, 0)];
+        let plan = floorplan(
+            &modules,
+            &[],
+            &FloorplanConfig {
+                iterations: 100,
+                ..FloorplanConfig::default()
+            },
+        );
+        render_ascii(&plan, &[], &[], 10, 10);
+    }
+}

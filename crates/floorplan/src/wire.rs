@@ -1,0 +1,143 @@
+//! Wire-length computation and NoC component placement.
+
+use crate::placement::Placement;
+
+/// A NoC component (switch or NI) to drop onto a finished floorplan,
+/// described by what it attaches to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attachment {
+    /// `(module index, weight)` pairs: the blocks this component talks to
+    /// and how much traffic flows to each (e.g. bandwidth in MB/s).
+    pub anchors: Vec<(usize, f64)>,
+}
+
+impl Attachment {
+    /// Creates an attachment from anchor pairs.
+    pub fn new(anchors: Vec<(usize, f64)>) -> Self {
+        Attachment { anchors }
+    }
+}
+
+/// Manhattan distance between two points, in mm.
+pub fn manhattan(a: (f64, f64), b: (f64, f64)) -> f64 {
+    (a.0 - b.0).abs() + (a.1 - b.1).abs()
+}
+
+/// Places NoC components at the traffic-weighted centroid of their anchors.
+///
+/// Switches and NIs are tiny compared to cores and are routed over the cell
+/// rows (§3.1: over-the-cell links), so they need no legalized sites — the
+/// centroid minimizes the weighted sum of Manhattan wire lengths well enough
+/// for the paper's wire-power/delay estimates.
+///
+/// Components with no anchors land at the die center. Weights that sum to
+/// zero degrade to the unweighted centroid.
+///
+/// # Panics
+///
+/// Panics if an anchor references a module outside the placement.
+pub fn place_attachments(placement: &Placement, items: &[Attachment]) -> Vec<(f64, f64)> {
+    let (dw, dh) = placement.die();
+    items
+        .iter()
+        .map(|att| {
+            if att.anchors.is_empty() {
+                return (dw / 2.0, dh / 2.0);
+            }
+            let mut total_w = 0.0;
+            for &(m, w) in &att.anchors {
+                assert!(m < placement.rect_count(), "anchor module {m} missing");
+                total_w += w.max(0.0);
+            }
+            let (mut x, mut y) = (0.0, 0.0);
+            if total_w <= 0.0 {
+                for &(m, _) in &att.anchors {
+                    let (cx, cy) = placement.center(m);
+                    x += cx;
+                    y += cy;
+                }
+                (x / att.anchors.len() as f64, y / att.anchors.len() as f64)
+            } else {
+                for &(m, w) in &att.anchors {
+                    let (cx, cy) = placement.center(m);
+                    x += cx * w.max(0.0) / total_w;
+                    y += cy * w.max(0.0) / total_w;
+                }
+                (x, y)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anneal::{floorplan, FloorplanConfig};
+    use crate::slicing::Module;
+
+    fn simple_plan() -> Placement {
+        let modules = vec![
+            Module::new("a", 1.0, 0),
+            Module::new("b", 1.0, 0),
+            Module::new("c", 1.0, 0),
+            Module::new("d", 1.0, 0),
+        ];
+        floorplan(
+            &modules,
+            &[],
+            &FloorplanConfig {
+                iterations: 1000,
+                ..FloorplanConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(manhattan((0.0, 0.0), (3.0, 4.0)), 7.0);
+        assert_eq!(manhattan((1.0, 1.0), (1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn centroid_lands_between_anchors() {
+        let plan = simple_plan();
+        let att = Attachment::new(vec![(0, 1.0), (1, 1.0)]);
+        let pos = place_attachments(&plan, &[att])[0];
+        let a = plan.center(0);
+        let b = plan.center(1);
+        assert!((pos.0 - (a.0 + b.0) / 2.0).abs() < 1e-9);
+        assert!((pos.1 - (a.1 + b.1) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_bias_the_centroid() {
+        let plan = simple_plan();
+        let att = Attachment::new(vec![(0, 9.0), (1, 1.0)]);
+        let pos = place_attachments(&plan, &[att])[0];
+        let a = plan.center(0);
+        let b = plan.center(1);
+        assert!(
+            manhattan(pos, a) < manhattan(pos, b),
+            "centroid should sit near the heavy anchor"
+        );
+    }
+
+    #[test]
+    fn no_anchors_defaults_to_die_center() {
+        let plan = simple_plan();
+        let pos = place_attachments(&plan, &[Attachment::new(vec![])])[0];
+        let (dw, dh) = plan.die();
+        assert_eq!(pos, (dw / 2.0, dh / 2.0));
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_unweighted() {
+        let plan = simple_plan();
+        let att = Attachment::new(vec![(0, 0.0), (1, 0.0)]);
+        let pos = place_attachments(&plan, &[att])[0];
+        let a = plan.center(0);
+        let b = plan.center(1);
+        assert!((pos.0 - (a.0 + b.0) / 2.0).abs() < 1e-9);
+        assert!((pos.1 - (a.1 + b.1) / 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the floorplanner.
+
+use proptest::prelude::*;
+use vi_noc_floorplan::{floorplan, FloorplanConfig, Module, Net};
+
+fn arb_modules() -> impl Strategy<Value = Vec<Module>> {
+    proptest::collection::vec((0.2f64..6.0, 0usize..4), 1..14).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (area, island))| Module::new(format!("m{i}"), area, island))
+            .collect()
+    })
+}
+
+fn quick_cfg(seed: u64) -> FloorplanConfig {
+    FloorplanConfig {
+        seed,
+        iterations: 1_500,
+        ..FloorplanConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Slicing floorplans never overlap and never leak outside the die.
+    #[test]
+    fn placements_are_legal(modules in arb_modules(), seed in 0u64..500) {
+        let plan = floorplan(&modules, &[], &quick_cfg(seed));
+        prop_assert_eq!(plan.rect_count(), modules.len());
+        prop_assert!(plan.is_overlap_free());
+        let (dw, dh) = plan.die();
+        for r in plan.rects() {
+            prop_assert!(r.x >= -1e-9 && r.y >= -1e-9);
+            prop_assert!(r.x + r.w <= dw + 1e-9);
+            prop_assert!(r.y + r.h <= dh + 1e-9);
+        }
+    }
+
+    /// The die can never be smaller than the sum of module areas, and
+    /// annealing keeps utilization above a floor.
+    #[test]
+    fn area_bounds(modules in arb_modules(), seed in 0u64..500) {
+        let plan = floorplan(&modules, &[], &quick_cfg(seed));
+        let total: f64 = modules.iter().map(Module::area_mm2).sum();
+        prop_assert!(plan.die_area_mm2() >= total - 1e-9);
+        prop_assert!(
+            plan.utilization() > 0.3,
+            "utilization {} too low for {} modules",
+            plan.utilization(),
+            modules.len()
+        );
+    }
+
+    /// Same seed, same floorplan; module rotation preserves area exactly.
+    #[test]
+    fn deterministic_and_area_preserving(modules in arb_modules()) {
+        let a = floorplan(&modules, &[], &quick_cfg(9));
+        let b = floorplan(&modules, &[], &quick_cfg(9));
+        prop_assert_eq!(&a, &b);
+        let placed: f64 = a.rects().iter().map(|r| r.area()).sum();
+        let total: f64 = modules.iter().map(Module::area_mm2).sum();
+        prop_assert!((placed - total).abs() < 1e-6);
+    }
+
+    /// Nets never break legality, whatever their weights.
+    #[test]
+    fn nets_dont_break_legality(
+        modules in arb_modules(),
+        weights in proptest::collection::vec(0.1f64..100.0, 1..8),
+    ) {
+        let n = modules.len();
+        let nets: Vec<Net> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Net::two_pin(i % n, (i * 7 + 1) % n, w))
+            .filter(|net| net.pins[0] != net.pins[1])
+            .collect();
+        let plan = floorplan(&modules, &nets, &quick_cfg(3));
+        prop_assert!(plan.is_overlap_free());
+    }
+}

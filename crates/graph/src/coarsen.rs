@@ -1,0 +1,163 @@
+//! Heavy-edge matching coarsening for multilevel partitioning.
+
+use crate::sym::SymGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// A coarsened graph together with the fine→coarse vertex mapping.
+#[derive(Debug, Clone)]
+pub struct CoarseGraph {
+    /// The coarse graph (vertex weights are sums of merged fine vertices).
+    pub graph: SymGraph,
+    /// `map[fine_vertex] = coarse_vertex`.
+    pub map: Vec<usize>,
+}
+
+impl CoarseGraph {
+    /// Projects a coarse-level assignment back onto the fine graph.
+    pub fn project(&self, coarse_assignment: &[usize]) -> Vec<usize> {
+        self.map.iter().map(|&c| coarse_assignment[c]).collect()
+    }
+}
+
+/// One level of heavy-edge matching coarsening.
+///
+/// Vertices are visited in a seeded random order; each unmatched vertex is
+/// merged with its unmatched neighbor of maximum edge weight (or left alone
+/// if all neighbors are matched). Edge weights between coarse vertices
+/// accumulate; internal edges disappear.
+///
+/// The coarse graph has at least `ceil(n/2)` vertices; if no merging is
+/// possible (e.g. edgeless graph) it is an identity copy.
+pub fn coarsen(g: &SymGraph, rng: &mut StdRng) -> CoarseGraph {
+    let n = g.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+
+    let mut match_of = vec![usize::MAX; n];
+    for &u in &order {
+        if match_of[u] != usize::MAX {
+            continue;
+        }
+        // Heaviest unmatched neighbor.
+        let mut best: Option<(usize, f64)> = None;
+        for &(v, w) in g.neighbors(u) {
+            if match_of[v] != usize::MAX || v == u {
+                continue;
+            }
+            match best {
+                Some((_, bw)) if w <= bw => {}
+                _ => best = Some((v, w)),
+            }
+        }
+        match best {
+            Some((v, _)) => {
+                match_of[u] = v;
+                match_of[v] = u;
+            }
+            None => match_of[u] = u, // stays single
+        }
+    }
+
+    // Assign coarse indices: the lower-indexed endpoint of each match owns it.
+    let mut map = vec![usize::MAX; n];
+    let mut coarse_weights = Vec::new();
+    for u in 0..n {
+        if map[u] != usize::MAX {
+            continue;
+        }
+        let partner = match_of[u];
+        let c = coarse_weights.len();
+        map[u] = c;
+        let mut w = g.vertex_weight(u);
+        if partner != u && partner != usize::MAX {
+            map[partner] = c;
+            w += g.vertex_weight(partner);
+        }
+        coarse_weights.push(w);
+    }
+
+    let mut coarse = SymGraph::with_vertex_weights(coarse_weights);
+    for u in 0..n {
+        for &(v, w) in g.neighbors(u) {
+            if u < v && map[u] != map[v] {
+                coarse.add_edge(map[u], map[v], w);
+            }
+        }
+    }
+    CoarseGraph { graph: coarse, map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn path(n: usize) -> SymGraph {
+        let mut g = SymGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, 1.0 + i as f64);
+        }
+        g
+    }
+
+    #[test]
+    fn coarsening_shrinks_graph() {
+        let g = path(10);
+        let c = coarsen(&g, &mut rng());
+        assert!(c.graph.len() < 10);
+        assert!(c.graph.len() >= 5);
+    }
+
+    #[test]
+    fn vertex_weight_is_conserved() {
+        let g = path(9);
+        let c = coarsen(&g, &mut rng());
+        assert!((c.graph.total_vertex_weight() - g.total_vertex_weight()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cut_edges_survive_internal_edges_vanish() {
+        // Triangle with one heavy edge: the heavy edge should be contracted
+        // preferentially, leaving the two light edges merged into coarse ones.
+        let mut g = SymGraph::new(3);
+        g.add_edge(0, 1, 100.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(0, 2, 1.0);
+        let c = coarsen(&g, &mut rng());
+        assert_eq!(c.graph.len(), 2);
+        // {0,1} merged; edges (1,2) and (0,2) fold into a single weight-2 edge.
+        assert!((c.graph.total_edge_weight() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edgeless_graph_is_copied() {
+        let g = SymGraph::new(4);
+        let c = coarsen(&g, &mut rng());
+        assert_eq!(c.graph.len(), 4);
+    }
+
+    #[test]
+    fn projection_round_trips() {
+        let g = path(8);
+        let c = coarsen(&g, &mut rng());
+        let coarse_assignment: Vec<usize> = (0..c.graph.len()).map(|i| i % 2).collect();
+        let fine = c.project(&coarse_assignment);
+        assert_eq!(fine.len(), 8);
+        for v in 0..8 {
+            assert_eq!(fine[v], coarse_assignment[c.map[v]]);
+        }
+    }
+
+    #[test]
+    fn coarsening_is_deterministic_for_fixed_seed() {
+        let g = path(12);
+        let a = coarsen(&g, &mut StdRng::seed_from_u64(3));
+        let b = coarsen(&g, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a.map, b.map);
+    }
+}

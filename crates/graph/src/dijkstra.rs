@@ -1,0 +1,264 @@
+//! Dijkstra shortest paths with caller-supplied edge costs and filters.
+//!
+//! The path-allocation step of the synthesis algorithm (paper §4, step 15)
+//! searches minimum-cost routes over a switch-level graph whose edge costs
+//! depend on dynamic state (open-a-new-link vs. reuse, remaining capacity).
+//! The functions here therefore take the cost as a closure evaluated per edge
+//! and an optional edge-admissibility filter, rather than a static weight.
+
+use crate::digraph::DiGraph;
+use crate::ids::{EdgeId, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Max-heap entry ordered so the smallest cost pops first.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap and we want minimum cost first.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Result of a single-source shortest-path computation.
+///
+/// Produced by [`dijkstra`] / [`dijkstra_filtered`].
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    source: NodeId,
+    dist: Vec<f64>,
+    prev: Vec<Option<(NodeId, EdgeId)>>,
+}
+
+impl ShortestPathTree {
+    /// The source node of the computation.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Shortest distance to `node`, or `None` if unreachable.
+    pub fn distance(&self, node: NodeId) -> Option<f64> {
+        let d = self.dist[node.index()];
+        if d.is_finite() {
+            Some(d)
+        } else {
+            None
+        }
+    }
+
+    /// Node sequence of the shortest path `source -> node` (inclusive),
+    /// or `None` if unreachable.
+    pub fn path_nodes(&self, node: NodeId) -> Option<Vec<NodeId>> {
+        self.distance(node)?;
+        let mut path = vec![node];
+        let mut cur = node;
+        while let Some((p, _)) = self.prev[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.source);
+        path.reverse();
+        Some(path)
+    }
+
+    /// Edge sequence of the shortest path `source -> node`,
+    /// or `None` if unreachable. Empty when `node == source`.
+    pub fn path_edges(&self, node: NodeId) -> Option<Vec<EdgeId>> {
+        self.distance(node)?;
+        let mut edges = Vec::new();
+        let mut cur = node;
+        while let Some((p, e)) = self.prev[cur.index()] {
+            edges.push(e);
+            cur = p;
+        }
+        edges.reverse();
+        Some(edges)
+    }
+}
+
+/// Computes shortest paths from `source` with per-edge costs given by `cost`.
+///
+/// Costs must be non-negative; this is checked with a debug assertion.
+/// Stops early once `goal` (if provided) is settled.
+///
+/// # Example
+///
+/// ```
+/// use vi_noc_graph::{DiGraph, dijkstra};
+///
+/// let mut g: DiGraph<(), f64> = DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// let c = g.add_node(());
+/// g.add_edge(a, b, 1.0);
+/// g.add_edge(b, c, 1.0);
+/// g.add_edge(a, c, 5.0);
+/// let tree = dijkstra(&g, a, Some(c), |_, w| *w);
+/// assert_eq!(tree.distance(c), Some(2.0));
+/// assert_eq!(tree.path_nodes(c).unwrap(), vec![a, b, c]);
+/// ```
+pub fn dijkstra<N, E>(
+    g: &DiGraph<N, E>,
+    source: NodeId,
+    goal: Option<NodeId>,
+    cost: impl Fn(EdgeId, &E) -> f64,
+) -> ShortestPathTree {
+    dijkstra_filtered(g, source, goal, cost, |_, _| true)
+}
+
+/// Like [`dijkstra`], but only relaxes edges for which `admit` returns `true`.
+///
+/// The filter is how the synthesis flow enforces the shutdown-legality rule:
+/// candidate links that would route a flow through a third voltage island are
+/// simply not admitted into the search.
+pub fn dijkstra_filtered<N, E>(
+    g: &DiGraph<N, E>,
+    source: NodeId,
+    goal: Option<NodeId>,
+    cost: impl Fn(EdgeId, &E) -> f64,
+    admit: impl Fn(EdgeId, &E) -> bool,
+) -> ShortestPathTree {
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: source,
+    });
+
+    while let Some(HeapEntry { cost: d, node: u }) = heap.pop() {
+        if settled[u.index()] {
+            continue;
+        }
+        settled[u.index()] = true;
+        if goal == Some(u) {
+            break;
+        }
+        for e in g.out_edges(u) {
+            let payload = g.edge(e);
+            if !admit(e, payload) {
+                continue;
+            }
+            let w = cost(e, payload);
+            debug_assert!(w >= 0.0, "dijkstra requires non-negative edge costs");
+            let v = g.target(e);
+            let nd = d + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                prev[v.index()] = Some((u, e));
+                heap.push(HeapEntry { cost: nd, node: v });
+            }
+        }
+    }
+
+    ShortestPathTree { source, dist, prev }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (DiGraph<(), f64>, [NodeId; 4]) {
+        // a -> b -> d (cost 1+1), a -> c -> d (cost 3+3)
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, d, 1.0);
+        g.add_edge(a, c, 3.0);
+        g.add_edge(c, d, 3.0);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn picks_cheapest_route() {
+        let (g, [a, b, _, d]) = diamond();
+        let t = dijkstra(&g, a, None, |_, w| *w);
+        assert_eq!(t.distance(d), Some(2.0));
+        assert_eq!(t.path_nodes(d).unwrap(), vec![a, b, d]);
+        assert_eq!(t.path_edges(d).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn source_has_zero_distance_and_empty_path() {
+        let (g, [a, ..]) = diamond();
+        let t = dijkstra(&g, a, None, |_, w| *w);
+        assert_eq!(t.distance(a), Some(0.0));
+        assert_eq!(t.path_nodes(a).unwrap(), vec![a]);
+        assert!(t.path_edges(a).unwrap().is_empty());
+        assert_eq!(t.source(), a);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let (g, [a, ..]) = diamond();
+        // d has no outgoing edges, so nothing is reachable from it but itself.
+        let d = NodeId::from_index(3);
+        let t = dijkstra(&g, d, None, |_, w| *w);
+        assert_eq!(t.distance(a), None);
+        assert!(t.path_nodes(a).is_none());
+        assert!(t.path_edges(a).is_none());
+    }
+
+    #[test]
+    fn filter_blocks_edges() {
+        let (g, [a, _, c, d]) = diamond();
+        // Forbid the cheap b-route; the path must go through c.
+        let t = dijkstra_filtered(&g, a, Some(d), |_, w| *w, |_, w| *w >= 3.0);
+        assert_eq!(t.distance(d), Some(6.0));
+        assert_eq!(t.path_nodes(d).unwrap(), vec![a, c, d]);
+    }
+
+    #[test]
+    fn early_exit_still_settles_goal() {
+        let (g, [a, _, _, d]) = diamond();
+        let t = dijkstra(&g, a, Some(d), |_, w| *w);
+        assert_eq!(t.distance(d), Some(2.0));
+    }
+
+    #[test]
+    fn dynamic_cost_closure_is_respected() {
+        let (g, [a, _, _, d]) = diamond();
+        // Invert preference: make the nominally cheap edges expensive.
+        let t = dijkstra(&g, a, None, |_, w| if *w < 2.0 { 10.0 } else { *w });
+        assert_eq!(t.distance(d), Some(6.0));
+    }
+
+    #[test]
+    fn ties_are_deterministic() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        g.add_edge(a, c, 1.0);
+        g.add_edge(b, d, 1.0);
+        g.add_edge(c, d, 1.0);
+        let p1 = dijkstra(&g, a, None, |_, w| *w).path_nodes(d).unwrap();
+        let p2 = dijkstra(&g, a, None, |_, w| *w).path_nodes(d).unwrap();
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,290 @@
+//! Fiduccia–Mattheyses-style refinement passes.
+//!
+//! Two flavors are provided:
+//!
+//! * [`refine_bisection`] — the classic FM pass for two-way partitions with
+//!   per-side weight caps and hill-climbing (moves are committed as the best
+//!   prefix of a full tentative pass, so the pass can escape local minima).
+//! * [`refine_kway`] — a simpler greedy k-way pass that relocates boundary
+//!   vertices to their best-gain part, used to polish k-way partitions after
+//!   recursive bisection or agglomeration.
+//!
+//! Both run in O(passes · n²) in the worst case, which is ample for the graph
+//! sizes arising in NoC synthesis (tens to low hundreds of vertices).
+
+use crate::sym::SymGraph;
+
+/// Tolerance below which a gain is considered zero (avoids cycling on f64
+/// noise).
+const GAIN_EPS: f64 = 1e-9;
+
+/// Connectivity of vertex `v` to each of the `k` parts under `assignment`.
+fn connectivity(g: &SymGraph, assignment: &[usize], v: usize, k: usize) -> Vec<f64> {
+    let mut conn = vec![0.0; k];
+    for &(nbr, w) in g.neighbors(v) {
+        conn[assignment[nbr]] += w;
+    }
+    conn
+}
+
+/// One FM hill-climbing refinement of a bisection.
+///
+/// `side[v] in {0, 1}`; `max_weight[s]` caps the total vertex weight of side
+/// `s`. Runs up to `passes` full passes, each committing the best prefix of
+/// tentative moves. Returns the total cut-weight improvement achieved.
+///
+/// Sides are never emptied. Moves that would overflow the destination cap are
+/// skipped, which also guarantees termination.
+pub(crate) fn refine_bisection(
+    g: &SymGraph,
+    side: &mut [usize],
+    max_weight: [f64; 2],
+    passes: usize,
+) -> f64 {
+    let n = g.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total_improvement = 0.0;
+
+    for _ in 0..passes {
+        // Per-pass state.
+        let mut locked = vec![false; n];
+        let mut gain: Vec<f64> = (0..n)
+            .map(|v| {
+                let conn = connectivity(g, side, v, 2);
+                conn[1 - side[v]] - conn[side[v]]
+            })
+            .collect();
+        let mut side_weight = [0.0f64; 2];
+        for v in 0..n {
+            side_weight[side[v]] += g.vertex_weight(v);
+        }
+        let mut side_count = [0usize; 2];
+        for v in 0..n {
+            side_count[side[v]] += 1;
+        }
+
+        let mut moves: Vec<usize> = Vec::new();
+        let mut cum_gain = 0.0;
+        let mut best_gain = 0.0;
+        let mut best_prefix = 0;
+
+        for _ in 0..n {
+            // Pick the unlocked vertex with maximal gain whose move is legal.
+            let mut best: Option<(usize, f64)> = None;
+            for v in 0..n {
+                if locked[v] {
+                    continue;
+                }
+                let from = side[v];
+                let to = 1 - from;
+                if side_count[from] == 1 {
+                    continue; // never empty a side
+                }
+                if side_weight[to] + g.vertex_weight(v) > max_weight[to] {
+                    continue;
+                }
+                match best {
+                    Some((_, bg)) if gain[v] <= bg => {}
+                    _ => best = Some((v, gain[v])),
+                }
+            }
+            let Some((v, gv)) = best else { break };
+
+            // Tentatively move v.
+            let from = side[v];
+            let to = 1 - from;
+            side[v] = to;
+            side_weight[from] -= g.vertex_weight(v);
+            side_weight[to] += g.vertex_weight(v);
+            side_count[from] -= 1;
+            side_count[to] += 1;
+            locked[v] = true;
+            cum_gain += gv;
+            moves.push(v);
+
+            // Update neighbor gains: for a neighbor u, gain changes by
+            // ±2·w(u,v) depending on whether v moved toward or away from u.
+            for &(u, w) in g.neighbors(v) {
+                if locked[u] {
+                    continue;
+                }
+                if side[u] == to {
+                    gain[u] -= 2.0 * w;
+                } else {
+                    gain[u] += 2.0 * w;
+                }
+            }
+            // v's own gain flips sign (not used again this pass; kept tidy).
+            gain[v] = -gv;
+
+            if cum_gain > best_gain + GAIN_EPS {
+                best_gain = cum_gain;
+                best_prefix = moves.len();
+            }
+        }
+
+        // Roll back to the best prefix.
+        for &v in moves.iter().skip(best_prefix) {
+            side[v] = 1 - side[v];
+        }
+
+        if best_gain <= GAIN_EPS {
+            break;
+        }
+        total_improvement += best_gain;
+    }
+    total_improvement
+}
+
+/// Greedy k-way refinement: repeatedly relocates the vertex/part pair with
+/// the highest positive gain, subject to `max_weight` caps per part and the
+/// rule that no part may be emptied.
+///
+/// Returns the total cut improvement.
+pub(crate) fn refine_kway(
+    g: &SymGraph,
+    assignment: &mut [usize],
+    k: usize,
+    max_weight: &[f64],
+    passes: usize,
+) -> f64 {
+    let n = g.len();
+    if n == 0 || k < 2 {
+        return 0.0;
+    }
+    debug_assert_eq!(max_weight.len(), k);
+
+    let mut part_weight = vec![0.0f64; k];
+    let mut part_count = vec![0usize; k];
+    for v in 0..n {
+        part_weight[assignment[v]] += g.vertex_weight(v);
+        part_count[assignment[v]] += 1;
+    }
+
+    let mut total = 0.0;
+    for _ in 0..passes {
+        let mut improved = false;
+        for v in 0..n {
+            let from = assignment[v];
+            if part_count[from] == 1 {
+                continue;
+            }
+            let conn = connectivity(g, assignment, v, k);
+            // Best destination by gain.
+            let mut best_to = from;
+            let mut best_gain = 0.0;
+            for to in 0..k {
+                if to == from {
+                    continue;
+                }
+                if part_weight[to] + g.vertex_weight(v) > max_weight[to] {
+                    continue;
+                }
+                let gain = conn[to] - conn[from];
+                if gain > best_gain + GAIN_EPS {
+                    best_gain = gain;
+                    best_to = to;
+                }
+            }
+            if best_to != from {
+                part_weight[from] -= g.vertex_weight(v);
+                part_weight[best_to] += g.vertex_weight(v);
+                part_count[from] -= 1;
+                part_count[best_to] += 1;
+                assignment[v] = best_to;
+                total += best_gain;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partition;
+
+    /// Two dense clusters of 4 joined by a single light edge.
+    fn two_cliques() -> SymGraph {
+        let mut g = SymGraph::new(8);
+        for c in 0..2 {
+            let base = c * 4;
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    g.add_edge(base + i, base + j, 10.0);
+                }
+            }
+        }
+        g.add_edge(3, 4, 1.0);
+        g
+    }
+
+    #[test]
+    fn fm_recovers_natural_bisection_from_bad_start() {
+        let g = two_cliques();
+        // Deliberately interleaved start: cut = lots.
+        let mut side = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let before = Partition::new(2, side.clone()).cut_weight(&g);
+        // One vertex of slack per side: FM swaps need transient imbalance.
+        let improvement = refine_bisection(&g, &mut side, [5.0, 5.0], 8);
+        let after = Partition::new(2, side.clone()).cut_weight(&g);
+        assert!(improvement > 0.0);
+        assert!((before - improvement - after).abs() < 1e-9);
+        assert_eq!(after, 1.0, "optimal cut separates the cliques");
+    }
+
+    #[test]
+    fn fm_respects_weight_caps() {
+        let g = two_cliques();
+        let mut side = vec![0, 0, 0, 0, 0, 0, 0, 1];
+        // Cap side 1 at weight 1: nothing may move into it beyond vertex 7.
+        refine_bisection(&g, &mut side, [8.0, 1.0], 4);
+        let w1: f64 = side
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == 1)
+            .map(|(v, _)| g.vertex_weight(v))
+            .sum();
+        assert!(w1 <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn fm_never_empties_a_side() {
+        let g = two_cliques();
+        let mut side = vec![0, 0, 0, 0, 0, 0, 0, 1];
+        refine_bisection(&g, &mut side, [8.0, 8.0], 8);
+        assert!(side.contains(&0));
+        assert!(side.contains(&1));
+    }
+
+    #[test]
+    fn kway_refinement_improves_scrambled_partition() {
+        let g = two_cliques();
+        let mut a = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let before = Partition::new(2, a.clone()).cut_weight(&g);
+        let gain = refine_kway(&g, &mut a, 2, &[5.0, 5.0], 8);
+        let after = Partition::new(2, a.clone()).cut_weight(&g);
+        assert!(gain > 0.0);
+        assert!(after < before);
+    }
+
+    #[test]
+    fn kway_noop_on_single_part() {
+        let g = two_cliques();
+        let mut a = vec![0; 8];
+        assert_eq!(refine_kway(&g, &mut a, 1, &[8.0], 4), 0.0);
+    }
+
+    #[test]
+    fn fm_noop_on_tiny_graphs() {
+        let g = SymGraph::new(1);
+        let mut side = vec![0];
+        assert_eq!(refine_bisection(&g, &mut side, [1.0, 1.0], 4), 0.0);
+    }
+}

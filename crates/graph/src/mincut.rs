@@ -1,0 +1,152 @@
+//! Stoer–Wagner global minimum cut.
+//!
+//! Used as an oracle in tests: the cut weight of any bisection found by the
+//! heuristics is lower-bounded by the global min cut.
+
+use crate::sym::SymGraph;
+
+/// Computes the global minimum cut of `g` by the Stoer–Wagner algorithm.
+///
+/// Returns `(cut_weight, side)` where `side[v] = true` marks the vertices of
+/// one shore of the minimum cut. Runs in O(n³); intended for small graphs.
+///
+/// # Panics
+///
+/// Panics if the graph has fewer than 2 vertices.
+pub fn stoer_wagner(g: &SymGraph) -> (f64, Vec<bool>) {
+    let n = g.len();
+    assert!(n >= 2, "min cut requires at least two vertices");
+
+    // Dense symmetric weight matrix over super-vertices.
+    let mut w = vec![vec![0.0f64; n]; n];
+    #[allow(clippy::needless_range_loop)] // symmetric fill of w[u][v]/w[v][u]
+    for u in 0..n {
+        for &(v, ew) in g.neighbors(u) {
+            if u < v {
+                w[u][v] += ew;
+                w[v][u] += ew;
+            }
+        }
+    }
+    // members[i]: original vertices merged into super-vertex i.
+    let mut members: Vec<Vec<usize>> = (0..n).map(|v| vec![v]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+
+    let mut best_cut = f64::INFINITY;
+    let mut best_side: Vec<bool> = vec![false; n];
+
+    while active.len() > 1 {
+        // Maximum adjacency (maximum weighted degree to A) search.
+        let m = active.len();
+        let mut in_a = vec![false; m];
+        let mut conn: Vec<f64> = vec![0.0; m];
+        let mut prev = usize::MAX;
+        let mut last = usize::MAX;
+        for _ in 0..m {
+            // Most strongly connected vertex not yet in A.
+            let (ai, _) = conn
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !in_a[*i])
+                .max_by(|(i, a), (j, b)| a.total_cmp(b).then(j.cmp(i)))
+                .expect("active vertices remain");
+            in_a[ai] = true;
+            prev = last;
+            last = ai;
+            for i in 0..m {
+                if !in_a[i] {
+                    conn[i] += w[active[ai]][active[i]];
+                }
+            }
+        }
+
+        // Cut of the phase: `last` alone vs the rest.
+        let t = active[last];
+        let s = active[prev];
+        let cut_of_phase: f64 = active.iter().filter(|&&v| v != t).map(|&v| w[t][v]).sum();
+        if cut_of_phase < best_cut {
+            best_cut = cut_of_phase;
+            best_side = vec![false; n];
+            for &orig in &members[t] {
+                best_side[orig] = true;
+            }
+        }
+
+        // Merge t into s.
+        let t_members = std::mem::take(&mut members[t]);
+        members[s].extend(t_members);
+        for &v in &active {
+            if v != s && v != t {
+                w[s][v] += w[t][v];
+                w[v][s] = w[s][v];
+            }
+        }
+        active.retain(|&v| v != t);
+    }
+
+    (best_cut, best_side)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_bridge_cut() {
+        // Two triangles joined by one edge of weight 0.5.
+        let mut g = SymGraph::new(6);
+        for base in [0, 3] {
+            g.add_edge(base, base + 1, 3.0);
+            g.add_edge(base + 1, base + 2, 3.0);
+            g.add_edge(base, base + 2, 3.0);
+        }
+        g.add_edge(2, 3, 0.5);
+        let (cut, side) = stoer_wagner(&g);
+        assert!((cut - 0.5).abs() < 1e-9);
+        assert_eq!(side[0], side[1]);
+        assert_eq!(side[1], side[2]);
+        assert_ne!(side[2], side[3]);
+    }
+
+    #[test]
+    fn min_cut_of_path_is_lightest_edge() {
+        let mut g = SymGraph::new(4);
+        g.add_edge(0, 1, 4.0);
+        g.add_edge(1, 2, 1.5);
+        g.add_edge(2, 3, 4.0);
+        let (cut, _) = stoer_wagner(&g);
+        assert!((cut - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_cut() {
+        let mut g = SymGraph::new(4);
+        g.add_edge(0, 1, 2.0);
+        g.add_edge(2, 3, 2.0);
+        let (cut, side) = stoer_wagner(&g);
+        assert_eq!(cut, 0.0);
+        assert!(side.iter().any(|&s| s));
+        assert!(side.iter().any(|&s| !s));
+    }
+
+    #[test]
+    fn k4_uniform_cut_is_three() {
+        let mut g = SymGraph::new(4);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                g.add_edge(i, j, 1.0);
+            }
+        }
+        let (cut, side) = stoer_wagner(&g);
+        assert!((cut - 3.0).abs() < 1e-9);
+        // Minimum cut isolates a single vertex.
+        assert_eq!(side.iter().filter(|&&s| s).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two vertices")]
+    fn rejects_singleton() {
+        let g = SymGraph::new(1);
+        stoer_wagner(&g);
+    }
+}

@@ -1,0 +1,211 @@
+//! Partition representation and quality metrics.
+
+use crate::sym::SymGraph;
+
+/// An assignment of graph vertices to `k` parts.
+///
+/// Produced by [`crate::partition_kway`] and friends. Part indices are dense
+/// in `0..k`; parts are allowed to be empty only transiently inside the
+/// algorithms — public constructors validate emptiness on request via
+/// [`Partition::nonempty_part_count`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    k: usize,
+    assignment: Vec<usize>,
+}
+
+impl Partition {
+    /// Creates a partition from an explicit assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is `>= k` or `k == 0`.
+    pub fn new(k: usize, assignment: Vec<usize>) -> Self {
+        assert!(k > 0, "partition needs at least one part");
+        assert!(
+            assignment.iter().all(|&p| p < k),
+            "assignment references part >= k"
+        );
+        Partition { k, assignment }
+    }
+
+    /// The trivial partition putting every vertex in part 0.
+    pub fn trivial(n: usize) -> Self {
+        Partition {
+            k: 1,
+            assignment: vec![0; n],
+        }
+    }
+
+    /// The discrete partition putting vertex `i` in part `i`.
+    pub fn discrete(n: usize) -> Self {
+        Partition {
+            k: n.max(1),
+            assignment: (0..n).collect(),
+        }
+    }
+
+    /// Number of parts (including possibly empty ones).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Returns `true` if the partition covers no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Part index of vertex `v`.
+    pub fn part_of(&self, v: usize) -> usize {
+        self.assignment[v]
+    }
+
+    /// The raw assignment slice (`assignment[v] = part`).
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Vertices grouped per part.
+    pub fn parts(&self) -> Vec<Vec<usize>> {
+        let mut parts = vec![Vec::new(); self.k];
+        for (v, &p) in self.assignment.iter().enumerate() {
+            parts[p].push(v);
+        }
+        parts
+    }
+
+    /// Number of parts that contain at least one vertex.
+    pub fn nonempty_part_count(&self) -> usize {
+        let mut seen = vec![false; self.k];
+        for &p in &self.assignment {
+            seen[p] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    }
+
+    /// Total vertex weight per part.
+    pub fn part_weights(&self, g: &SymGraph) -> Vec<f64> {
+        let mut w = vec![0.0; self.k];
+        for (v, &p) in self.assignment.iter().enumerate() {
+            w[p] += g.vertex_weight(v);
+        }
+        w
+    }
+
+    /// Total weight of edges whose endpoints lie in different parts.
+    pub fn cut_weight(&self, g: &SymGraph) -> f64 {
+        let mut cut = 0.0;
+        for u in 0..g.len() {
+            for &(v, w) in g.neighbors(u) {
+                if u < v && self.assignment[u] != self.assignment[v] {
+                    cut += w;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Maximum part weight divided by average part weight (1.0 = perfectly
+    /// balanced). Empty parts count as zero weight.
+    pub fn imbalance(&self, g: &SymGraph) -> f64 {
+        let w = self.part_weights(g);
+        let total: f64 = w.iter().sum();
+        if total == 0.0 || self.k == 0 {
+            return 1.0;
+        }
+        let avg = total / self.k as f64;
+        w.iter().cloned().fold(0.0, f64::max) / avg
+    }
+
+    /// Renumbers parts so that only non-empty parts remain, preserving order
+    /// of first appearance. Returns the new partition.
+    pub fn compacted(&self) -> Partition {
+        let mut remap = vec![usize::MAX; self.k];
+        let mut next = 0;
+        let mut assignment = Vec::with_capacity(self.assignment.len());
+        for &p in &self.assignment {
+            if remap[p] == usize::MAX {
+                remap[p] = next;
+                next += 1;
+            }
+            assignment.push(remap[p]);
+        }
+        Partition {
+            k: next.max(1),
+            assignment,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> SymGraph {
+        let mut g = SymGraph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 5.0);
+        g.add_edge(2, 3, 1.0);
+        g
+    }
+
+    #[test]
+    fn cut_weight_counts_cross_edges_once() {
+        let g = path4();
+        let p = Partition::new(2, vec![0, 0, 1, 1]);
+        assert_eq!(p.cut_weight(&g), 5.0);
+    }
+
+    #[test]
+    fn trivial_partition_has_zero_cut() {
+        let g = path4();
+        let p = Partition::trivial(4);
+        assert_eq!(p.cut_weight(&g), 0.0);
+        assert_eq!(p.k(), 1);
+        assert_eq!(p.nonempty_part_count(), 1);
+    }
+
+    #[test]
+    fn discrete_partition_cuts_everything() {
+        let g = path4();
+        let p = Partition::discrete(4);
+        assert_eq!(p.cut_weight(&g), 7.0);
+        assert_eq!(p.k(), 4);
+    }
+
+    #[test]
+    fn parts_group_vertices() {
+        let p = Partition::new(3, vec![2, 0, 2, 1]);
+        let parts = p.parts();
+        assert_eq!(parts[0], vec![1]);
+        assert_eq!(parts[1], vec![3]);
+        assert_eq!(parts[2], vec![0, 2]);
+    }
+
+    #[test]
+    fn part_weights_and_imbalance() {
+        let g = path4();
+        let p = Partition::new(2, vec![0, 0, 0, 1]);
+        assert_eq!(p.part_weights(&g), vec![3.0, 1.0]);
+        assert!((p.imbalance(&g) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compacted_removes_empty_parts() {
+        let p = Partition::new(5, vec![4, 1, 4, 1]);
+        let c = p.compacted();
+        assert_eq!(c.k(), 2);
+        assert_eq!(c.assignment(), &[0, 1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "references part")]
+    fn new_validates_assignment() {
+        Partition::new(2, vec![0, 2]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Breadth-first / depth-first traversal and connectivity queries.
+
+use crate::digraph::DiGraph;
+use crate::ids::NodeId;
+use std::collections::VecDeque;
+
+/// Returns the nodes reachable from `start` following directed edges,
+/// in breadth-first order (including `start` itself).
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+pub fn bfs_order<N, E>(g: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        order.push(n);
+        for s in g.successors(n) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                queue.push_back(s);
+            }
+        }
+    }
+    order
+}
+
+/// Returns the nodes reachable from `start` following directed edges,
+/// in depth-first preorder (including `start` itself).
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+pub fn dfs_order<N, E>(g: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    while let Some(n) = stack.pop() {
+        if seen[n.index()] {
+            continue;
+        }
+        seen[n.index()] = true;
+        order.push(n);
+        // Push successors in reverse so the first successor is visited first.
+        let succ: Vec<_> = g.successors(n).collect();
+        for s in succ.into_iter().rev() {
+            if !seen[s.index()] {
+                stack.push(s);
+            }
+        }
+    }
+    order
+}
+
+/// Returns the set of nodes reachable from `start` as a boolean mask indexed
+/// by node index.
+pub fn reachable_from<N, E>(g: &DiGraph<N, E>, start: NodeId) -> Vec<bool> {
+    let mut mask = vec![false; g.node_count()];
+    for n in bfs_order(g, start) {
+        mask[n.index()] = true;
+    }
+    mask
+}
+
+/// Computes weakly connected components (edge direction ignored).
+///
+/// Returns `(component_of, n_components)` where `component_of[i]` is the
+/// 0-based component index of node `i`.
+pub fn connected_components<N, E>(g: &DiGraph<N, E>) -> (Vec<usize>, usize) {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0;
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let mut queue = VecDeque::new();
+        comp[s] = next;
+        queue.push_back(NodeId::from_index(s));
+        while let Some(u) = queue.pop_front() {
+            let mut visit = |v: NodeId| {
+                if comp[v.index()] == usize::MAX {
+                    comp[v.index()] = next;
+                    queue.push_back(v);
+                }
+            };
+            for v in g.successors(u) {
+                visit(v);
+            }
+            for v in g.predecessors(u) {
+                visit(v);
+            }
+        }
+        next += 1;
+    }
+    (comp, next)
+}
+
+/// Returns `true` if the graph is weakly connected (or empty).
+pub fn is_connected<N, E>(g: &DiGraph<N, E>) -> bool {
+    if g.node_count() == 0 {
+        return true;
+    }
+    connected_components(g).1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 -> 1 -> 2, 3 isolated.
+    fn chain_plus_isolated() -> DiGraph<(), ()> {
+        let mut g = DiGraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ());
+        g.add_edge(n[1], n[2], ());
+        g
+    }
+
+    #[test]
+    fn bfs_visits_reachable_in_order() {
+        let g = chain_plus_isolated();
+        let order = bfs_order(&g, NodeId::from_index(0));
+        assert_eq!(
+            order,
+            vec![
+                NodeId::from_index(0),
+                NodeId::from_index(1),
+                NodeId::from_index(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn dfs_visits_reachable() {
+        let g = chain_plus_isolated();
+        let order = dfs_order(&g, NodeId::from_index(0));
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], NodeId::from_index(0));
+    }
+
+    #[test]
+    fn dfs_prefers_first_successor() {
+        // 0 -> 1, 0 -> 2, 1 -> 3
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ());
+        g.add_edge(n[0], n[2], ());
+        g.add_edge(n[1], n[3], ());
+        let order = dfs_order(&g, n[0]);
+        assert_eq!(order, vec![n[0], n[1], n[3], n[2]]);
+    }
+
+    #[test]
+    fn reachability_mask_excludes_isolated() {
+        let g = chain_plus_isolated();
+        let mask = reachable_from(&g, NodeId::from_index(0));
+        assert_eq!(mask, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn reachability_is_directional() {
+        let g = chain_plus_isolated();
+        let mask = reachable_from(&g, NodeId::from_index(2));
+        assert_eq!(mask, vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn components_ignore_direction() {
+        let g = chain_plus_isolated();
+        let (comp, n) = connected_components(&g);
+        assert_eq!(n, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert!(is_connected(&g));
+    }
+}

@@ -1,0 +1,130 @@
+//! Bi-synchronous voltage/frequency converter FIFO model.
+
+use crate::technology::Technology;
+use crate::units::{Area, Bandwidth, Frequency, Power};
+
+/// Analytic model of the bi-synchronous FIFO + level shifters inserted on
+/// every link that crosses a voltage-island boundary.
+///
+/// The paper (§3.1) uses these converters for both voltage and frequency
+/// conversion between islands — even same-frequency islands need them
+/// because each island has its own clock tree (unbounded skew). §5 states
+/// the latency cost: *"When packets cross the islands, a 4 cycle delay is
+/// incurred on the voltage-frequency converters."*
+#[derive(Debug, Clone, PartialEq)]
+pub struct BisyncFifoModel {
+    tech: Technology,
+    width_bits: usize,
+}
+
+impl BisyncFifoModel {
+    /// Crossing latency in cycles, as given in the paper.
+    pub const CROSSING_LATENCY_CYCLES: u32 = 4;
+
+    /// Creates a converter model for `width_bits`-wide links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_bits` is zero.
+    pub fn new(tech: &Technology, width_bits: usize) -> Self {
+        assert!(width_bits > 0, "FIFO width must be positive");
+        BisyncFifoModel {
+            tech: tech.clone(),
+            width_bits,
+        }
+    }
+
+    /// Latency added to a flow crossing islands, in cycles.
+    pub fn latency_cycles(&self) -> u32 {
+        Self::CROSSING_LATENCY_CYCLES
+    }
+
+    /// Silicon area of the FIFO and its level shifters (a handful of
+    /// registers and synchronizer flops — a few hundred cells).
+    pub fn area(&self) -> Area {
+        Area::from_mm2(0.003 * self.width_bits as f64 / 32.0 + 0.001)
+    }
+
+    /// Dynamic power: both clock domains tick the FIFO pointers; every
+    /// transported bit pays FIFO write+read plus level-shifting energy.
+    pub fn power(
+        &self,
+        writer_freq: Frequency,
+        reader_freq: Frequency,
+        bandwidth: Bandwidth,
+    ) -> Power {
+        let w = self.width_bits as f64 / 32.0;
+        let idle = Power::from_mw((writer_freq.mhz() + reader_freq.mhz()) * 0.0005 * w);
+        let e_bit_pj = 0.12 + self.tech.level_shift_energy_pj_per_bit;
+        let traffic = Power::from_watts(bandwidth.bits_per_s() * e_bit_pj * 1e-12);
+        idle + traffic
+    }
+
+    /// Effective capacity of a crossing: limited by the *slower* domain.
+    pub fn capacity(&self, writer_freq: Frequency, reader_freq: Frequency) -> Bandwidth {
+        let f = writer_freq.hz().min(reader_freq.hz());
+        Bandwidth::from_bytes_per_s(self.width_bits as f64 / 8.0 * f)
+    }
+
+    /// Leakage power (ungated; a converter straddles two islands and is
+    /// gated together with whichever side owns it — the synthesis flow
+    /// assigns it to the link's source island).
+    pub fn leakage_power(&self) -> Power {
+        Power::from_mw(self.area().mm2() * self.tech.leak_density_mw_per_mm2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> BisyncFifoModel {
+        BisyncFifoModel::new(&Technology::cmos_65nm(), 32)
+    }
+
+    #[test]
+    fn latency_matches_paper() {
+        assert_eq!(model().latency_cycles(), 4);
+    }
+
+    #[test]
+    fn capacity_limited_by_slower_domain() {
+        let m = model();
+        let cap = m.capacity(Frequency::from_mhz(200.0), Frequency::from_mhz(800.0));
+        assert!((cap.bytes_per_s() - 4.0 * 200e6).abs() < 1.0);
+        let sym = m.capacity(Frequency::from_mhz(800.0), Frequency::from_mhz(200.0));
+        assert_eq!(cap.bytes_per_s(), sym.bytes_per_s());
+    }
+
+    #[test]
+    fn crossing_power_exceeds_equivalent_plain_transport() {
+        // The converter pays level shifting on top of FIFO energy: moving
+        // traffic across islands must cost more than an idle converter.
+        let m = model();
+        let f = Frequency::from_mhz(400.0);
+        let idle = m.power(f, f, Bandwidth::ZERO);
+        let busy = m.power(f, f, Bandwidth::from_mbps(400.0));
+        assert!(
+            busy.mw() > idle.mw() + 0.5,
+            "traffic energy should dominate"
+        );
+    }
+
+    #[test]
+    fn both_clock_domains_contribute_idle_power() {
+        let m = model();
+        let one = m.power(Frequency::from_mhz(400.0), Frequency::ZERO, Bandwidth::ZERO);
+        let two = m.power(
+            Frequency::from_mhz(400.0),
+            Frequency::from_mhz(400.0),
+            Bandwidth::ZERO,
+        );
+        assert!((two.mw() / one.mw() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_is_small_but_nonzero() {
+        let a = model().area().mm2();
+        assert!(a > 0.001 && a < 0.05);
+    }
+}

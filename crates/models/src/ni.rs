@@ -1,0 +1,103 @@
+//! Network interface (NI) model.
+
+use crate::technology::Technology;
+use crate::units::{Area, Bandwidth, Frequency, Power};
+
+/// Analytic model of a network interface.
+///
+/// An NI converts the core's protocol (e.g. OCP/AXI) to the network packet
+/// format and bridges the core clock to the island's NoC clock (§3.1 of the
+/// paper: *"The NIs also perform clock frequency conversion, if the cores are
+/// running at different frequencies than the switches in the VI"*).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NiModel {
+    tech: Technology,
+    width_bits: usize,
+}
+
+impl NiModel {
+    /// Creates an NI model for `width_bits`-wide flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_bits` is zero.
+    pub fn new(tech: &Technology, width_bits: usize) -> Self {
+        assert!(width_bits > 0, "NI width must be positive");
+        NiModel {
+            tech: tech.clone(),
+            width_bits,
+        }
+    }
+
+    /// Silicon area of one NI (packetization buffers + protocol FSM).
+    pub fn area(&self) -> Area {
+        Area::from_mm2(0.009 * self.width_bits as f64 / 32.0 + 0.003)
+    }
+
+    /// Packetization/depacketization latency through the NI, in NoC cycles.
+    pub fn latency_cycles(&self) -> u32 {
+        2
+    }
+
+    /// Dynamic power at NoC-side clock `freq` moving `bandwidth` of traffic.
+    pub fn power(&self, freq: Frequency, bandwidth: Bandwidth) -> Power {
+        let w = self.width_bits as f64 / 32.0;
+        let idle = Power::from_mw(freq.mhz() * 0.0011 * w);
+        let e_bit_pj = 0.22 * self.tech.activity_factor / 0.5;
+        let traffic = Power::from_watts(bandwidth.bits_per_s() * e_bit_pj * 1e-12);
+        idle + traffic
+    }
+
+    /// Leakage power (ungated).
+    pub fn leakage_power(&self) -> Power {
+        Power::from_mw(self.area().mm2() * self.tech.leak_density_mw_per_mm2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> NiModel {
+        NiModel::new(&Technology::cmos_65nm(), 32)
+    }
+
+    #[test]
+    fn power_grows_with_frequency_and_traffic() {
+        let ni = model();
+        let base = ni.power(Frequency::from_mhz(200.0), Bandwidth::ZERO);
+        let faster = ni.power(Frequency::from_mhz(400.0), Bandwidth::ZERO);
+        let loaded = ni.power(Frequency::from_mhz(200.0), Bandwidth::from_mbps(400.0));
+        assert!(faster.mw() > base.mw());
+        assert!(loaded.mw() > base.mw());
+    }
+
+    #[test]
+    fn calibration_sub_milliwatt_idle() {
+        let ni = model();
+        let p = ni.power(Frequency::from_mhz(400.0), Bandwidth::ZERO);
+        assert!(
+            p.mw() < 1.0,
+            "idle NI should be well under a mW, got {}",
+            p.mw()
+        );
+    }
+
+    #[test]
+    fn area_is_small() {
+        let a = model().area().mm2();
+        assert!(a > 0.005 && a < 0.05);
+    }
+
+    #[test]
+    fn latency_is_fixed_small() {
+        assert_eq!(model().latency_cycles(), 2);
+    }
+
+    #[test]
+    fn leakage_proportional_to_area() {
+        let ni = model();
+        let expect = ni.area().mm2() * Technology::cmos_65nm().leak_density_mw_per_mm2;
+        assert!((ni.leakage_power().mw() - expect).abs() < 1e-12);
+    }
+}

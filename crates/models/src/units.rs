@@ -1,0 +1,245 @@
+//! Typed physical quantities.
+//!
+//! Thin `f64` newtypes that keep frequencies, powers, areas and bandwidths
+//! from being mixed up in the synthesis flow (C-NEWTYPE). Arithmetic is
+//! provided only where physically meaningful (adding powers, scaling by a
+//! dimensionless factor).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+macro_rules! quantity {
+    ($(#[$doc:meta])* $name:ident, $unit:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Returns `true` if the value is finite (not NaN/∞).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.4} {}", self.0, $unit)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A clock frequency, stored in hertz.
+    Frequency,
+    "Hz"
+);
+quantity!(
+    /// Electrical power, stored in watts.
+    Power,
+    "W"
+);
+quantity!(
+    /// Silicon area, stored in mm².
+    Area,
+    "mm^2"
+);
+quantity!(
+    /// Data bandwidth, stored in bytes per second.
+    Bandwidth,
+    "B/s"
+);
+
+impl Frequency {
+    /// Creates a frequency from hertz.
+    pub fn from_hz(hz: f64) -> Self {
+        Frequency(hz)
+    }
+
+    /// Creates a frequency from megahertz.
+    pub fn from_mhz(mhz: f64) -> Self {
+        Frequency(mhz * 1e6)
+    }
+
+    /// Value in hertz.
+    pub fn hz(self) -> f64 {
+        self.0
+    }
+
+    /// Value in megahertz.
+    pub fn mhz(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Clock period in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    pub fn period_ns(self) -> f64 {
+        assert!(self.0 > 0.0, "period of zero frequency");
+        1e9 / self.0
+    }
+}
+
+impl Power {
+    /// Creates a power from watts.
+    pub fn from_watts(w: f64) -> Self {
+        Power(w)
+    }
+
+    /// Creates a power from milliwatts.
+    pub fn from_mw(mw: f64) -> Self {
+        Power(mw * 1e-3)
+    }
+
+    /// Value in watts.
+    pub fn watts(self) -> f64 {
+        self.0
+    }
+
+    /// Value in milliwatts.
+    pub fn mw(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl Area {
+    /// Creates an area from mm².
+    pub fn from_mm2(mm2: f64) -> Self {
+        Area(mm2)
+    }
+
+    /// Value in mm².
+    pub fn mm2(self) -> f64 {
+        self.0
+    }
+}
+
+impl Bandwidth {
+    /// Creates a bandwidth from bytes per second.
+    pub fn from_bytes_per_s(bps: f64) -> Self {
+        Bandwidth(bps)
+    }
+
+    /// Creates a bandwidth from megabytes per second (10⁶ B/s).
+    pub fn from_mbps(mbps: f64) -> Self {
+        Bandwidth(mbps * 1e6)
+    }
+
+    /// Value in bytes per second.
+    pub fn bytes_per_s(self) -> f64 {
+        self.0
+    }
+
+    /// Value in megabytes per second.
+    pub fn mbps(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Value in bits per second.
+    pub fn bits_per_s(self) -> f64 {
+        self.0 * 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_conversions() {
+        let f = Frequency::from_mhz(500.0);
+        assert_eq!(f.hz(), 5e8);
+        assert_eq!(f.mhz(), 500.0);
+        assert!((f.period_ns() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_arithmetic() {
+        let a = Power::from_mw(3.0);
+        let b = Power::from_mw(4.5);
+        assert!(((a + b).mw() - 7.5).abs() < 1e-12);
+        assert!(((b - a).mw() - 1.5).abs() < 1e-12);
+        assert!(((a * 2.0).mw() - 6.0).abs() < 1e-12);
+        let total: Power = [a, b, b].into_iter().sum();
+        assert!((total.mw() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_conversions() {
+        let bw = Bandwidth::from_mbps(400.0);
+        assert_eq!(bw.bytes_per_s(), 4e8);
+        assert_eq!(bw.bits_per_s(), 3.2e9);
+        assert_eq!(bw.mbps(), 400.0);
+    }
+
+    #[test]
+    fn ratio_division_is_dimensionless() {
+        let r = Bandwidth::from_mbps(200.0) / Bandwidth::from_mbps(400.0);
+        assert!((r - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert!(Power::from_mw(1.0).to_string().contains('W'));
+        assert!(Area::from_mm2(2.0).to_string().contains("mm^2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero frequency")]
+    fn zero_frequency_has_no_period() {
+        Frequency::ZERO.period_ns();
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the component models: the monotonicities the
+//! synthesis algorithm relies on must hold over the whole parameter space.
+
+use proptest::prelude::*;
+use vi_noc_models::{
+    Bandwidth, BisyncFifoModel, Frequency, LinkModel, NiModel, SwitchModel, Technology,
+};
+
+proptest! {
+    /// Switch power strictly grows with frequency and with traffic.
+    #[test]
+    fn switch_power_monotone(
+        ports in 1usize..24,
+        f1 in 50.0f64..900.0,
+        df in 10.0f64..500.0,
+        bw in 0.0f64..4000.0,
+        dbw in 10.0f64..2000.0,
+    ) {
+        let t = Technology::cmos_65nm();
+        let sw = SwitchModel::new(&t, ports, ports, 32);
+        let p1 = sw.idle_power(Frequency::from_mhz(f1));
+        let p2 = sw.idle_power(Frequency::from_mhz(f1 + df));
+        prop_assert!(p2 > p1);
+        let q1 = sw.traffic_power(Bandwidth::from_mbps(bw));
+        let q2 = sw.traffic_power(Bandwidth::from_mbps(bw + dbw));
+        prop_assert!(q2 > q1);
+    }
+
+    /// Bigger switches are never faster, and `max_size_at` inverts
+    /// `max_frequency` consistently.
+    #[test]
+    fn switch_timing_consistent(radix in 2usize..32, f in 50.0f64..1200.0) {
+        let t = Technology::cmos_65nm();
+        let sw = SwitchModel::new(&t, radix, radix, 32);
+        let bigger = SwitchModel::new(&t, radix + 1, radix + 1, 32);
+        prop_assert!(bigger.max_frequency() <= sw.max_frequency());
+        // Any switch is allowed at its own maximum frequency.
+        let allowed = SwitchModel::max_size_at(&t, sw.max_frequency());
+        prop_assert!(allowed >= radix, "radix {radix} rejected at own f_max");
+        // max_size_at is anti-monotone in frequency.
+        let slow = SwitchModel::max_size_at(&t, Frequency::from_mhz(f));
+        let fast = SwitchModel::max_size_at(&t, Frequency::from_mhz(f * 1.5));
+        prop_assert!(slow >= fast);
+    }
+
+    /// Link power is linear in bandwidth and monotone in length; timing
+    /// feasibility agrees with `max_length_mm`.
+    #[test]
+    fn link_model_consistent(
+        len in 0.1f64..12.0,
+        bw in 1.0f64..4000.0,
+        f in 50.0f64..1000.0,
+    ) {
+        let t = Technology::cmos_65nm();
+        let l = LinkModel::new(&t, 32);
+        let p1 = l.traffic_power(len, Bandwidth::from_mbps(bw));
+        let p2 = l.traffic_power(len, Bandwidth::from_mbps(2.0 * bw));
+        prop_assert!((p2.mw() / p1.mw() - 2.0).abs() < 1e-6);
+        let longer = l.traffic_power(len * 1.5, Bandwidth::from_mbps(bw));
+        prop_assert!(longer > p1);
+
+        let freq = Frequency::from_mhz(f);
+        let max = l.max_length_mm(freq);
+        if max > 0.0 {
+            prop_assert!(l.is_feasible(max * 0.999, freq));
+            prop_assert!(!l.is_feasible(max * 1.001 + 1e-9, freq));
+        }
+        // Capacity is width x frequency.
+        prop_assert!((l.capacity(freq).bytes_per_s() - 4.0 * freq.hz()).abs() < 1.0);
+    }
+
+    /// Converter capacity is symmetric and limited by the slower domain;
+    /// power is monotone in both clocks and in traffic.
+    #[test]
+    fn bisync_model_consistent(
+        fa in 50.0f64..900.0,
+        fb in 50.0f64..900.0,
+        bw in 0.0f64..2000.0,
+    ) {
+        let t = Technology::cmos_65nm();
+        let m = BisyncFifoModel::new(&t, 32);
+        let a = Frequency::from_mhz(fa);
+        let b = Frequency::from_mhz(fb);
+        prop_assert_eq!(
+            m.capacity(a, b).bytes_per_s(),
+            m.capacity(b, a).bytes_per_s()
+        );
+        prop_assert!((m.capacity(a, b).bytes_per_s() - 4.0 * fa.min(fb) * 1e6).abs() < 1.0);
+        let p = m.power(a, b, Bandwidth::from_mbps(bw));
+        let p_loaded = m.power(a, b, Bandwidth::from_mbps(bw + 100.0));
+        prop_assert!(p_loaded > p);
+        let p_faster = m.power(Frequency::from_mhz(fa + 50.0), b, Bandwidth::from_mbps(bw));
+        prop_assert!(p_faster > p);
+        prop_assert_eq!(m.latency_cycles(), 4);
+    }
+
+    /// NI power is monotone in clock and traffic; leakage scales with area.
+    #[test]
+    fn ni_model_consistent(f in 50.0f64..900.0, bw in 0.0f64..3000.0) {
+        let t = Technology::cmos_65nm();
+        let ni = NiModel::new(&t, 32);
+        let p = ni.power(Frequency::from_mhz(f), Bandwidth::from_mbps(bw));
+        let pf = ni.power(Frequency::from_mhz(f + 100.0), Bandwidth::from_mbps(bw));
+        let pb = ni.power(Frequency::from_mhz(f), Bandwidth::from_mbps(bw + 100.0));
+        prop_assert!(pf > p);
+        prop_assert!(pb > p);
+        prop_assert!(ni.leakage_power().mw() > 0.0);
+    }
+}

@@ -1,0 +1,489 @@
+//! The multi-clock-domain simulation engine.
+
+use crate::network::{PortTarget, SimNetwork};
+use crate::stats::{FlowStats, SimStats};
+use crate::traffic::{FlowGenerator, TrafficKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use vi_noc_core::Topology;
+use vi_noc_soc::{FlowId, SocSpec};
+
+/// Simulator parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Packet payload size in bytes (flit count = size / link width).
+    pub packet_bytes: usize,
+    /// Link data width in bits (must match the synthesized topology).
+    pub link_width_bits: usize,
+    /// Output-queue capacity per port, flits.
+    pub queue_capacity: usize,
+    /// Injection process.
+    pub traffic: TrafficKind,
+    /// RNG seed (Poisson gaps, injection phases).
+    pub seed: u64,
+    /// Scale all flow bandwidths by this factor (1.0 = the spec's load).
+    pub load_factor: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            packet_bytes: 64,
+            link_width_bits: 32,
+            queue_capacity: 8,
+            traffic: TrafficKind::Cbr,
+            seed: 0x51A1,
+            load_factor: 1.0,
+        }
+    }
+}
+
+/// A flit traversing the network.
+#[derive(Debug, Clone, Copy)]
+struct Flit {
+    flow: u32,
+    /// Index of the hop this flit currently sits at (into the flow's
+    /// port route).
+    hop: u32,
+    is_tail: bool,
+    /// Time the packet entered the source NI, ps.
+    injected_ps: u64,
+    /// Earliest time the flit may leave its current queue, ps.
+    ready_ps: u64,
+}
+
+/// The cycle-level simulator.
+///
+/// Every island ticks at its own clock period; each switch output port
+/// forwards at most one flit per local cycle; enqueueing into a full
+/// downstream queue stalls (credit-style backpressure); island-crossing hops
+/// add the 4-cycle bi-synchronous dwell in the reader's domain.
+#[derive(Debug)]
+pub struct Simulator {
+    net: SimNetwork,
+    cfg: SimConfig,
+    rng: StdRng,
+    /// Per-switch, per-port output queues.
+    queues: Vec<Vec<VecDeque<Flit>>>,
+    /// Per-flow staged flits not yet accepted by the source switch.
+    staging: Vec<VecDeque<Flit>>,
+    generators: Vec<FlowGenerator>,
+    /// Round-robin pointer per switch.
+    rr: Vec<usize>,
+    /// Round-robin pointer over flows per source core.
+    inj_rr: Vec<usize>,
+    /// Flows grouped by source core (each core's NI injects one flit per
+    /// island cycle across its flows).
+    flows_by_core: Vec<Vec<u32>>,
+    /// Next tick per extended island, ps.
+    next_tick: Vec<u64>,
+    island_on: Vec<bool>,
+    now_ps: u64,
+    flits_per_packet: u32,
+    stats: SimStats,
+}
+
+impl Simulator {
+    /// Builds a simulator for `topo` carrying the traffic of `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology does not route every flow of `spec`.
+    pub fn new(spec: &SocSpec, topo: &Topology, cfg: &SimConfig) -> Self {
+        let net = SimNetwork::build(spec, topo);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let flits_per_packet = (cfg.packet_bytes * 8).div_ceil(cfg.link_width_bits).max(1) as u32;
+
+        let queues: Vec<Vec<VecDeque<Flit>>> = net
+            .switches
+            .iter()
+            .map(|s| s.ports.iter().map(|_| VecDeque::new()).collect())
+            .collect();
+
+        let mut flows_by_core = vec![Vec::new(); spec.core_count()];
+        let mut generators = Vec::with_capacity(spec.flow_count());
+        for fid in spec.flow_ids() {
+            let f = spec.flow(fid);
+            use rand::RngExt;
+            let phase: f64 = rng.random::<f64>();
+            generators.push(FlowGenerator::new(
+                f.bandwidth.bytes_per_s() * cfg.load_factor,
+                cfg.packet_bytes as f64,
+                phase,
+                cfg.traffic,
+            ));
+            flows_by_core[f.src.index()].push(fid.index() as u32);
+            // The first hop of every route must sit on the source core's own
+            // switch — flits are injected there by the core's NI.
+            assert_eq!(
+                net.route(fid)[0].0,
+                net.switch_of_core[f.src.index()],
+                "flow {fid}: route does not start at the source core's switch"
+            );
+        }
+
+        let n_domains = net.period_ps.len();
+        let n_switches = net.switch_count();
+        let n_cores = spec.core_count();
+        Simulator {
+            rr: vec![0; n_switches],
+            inj_rr: vec![0; n_cores],
+            flows_by_core,
+            staging: vec![VecDeque::new(); spec.flow_count()],
+            generators,
+            queues,
+            next_tick: net.period_ps.clone(),
+            island_on: vec![true; n_domains],
+            now_ps: 0,
+            flits_per_packet,
+            stats: SimStats {
+                flows: vec![FlowStats::default(); spec.flow_count()],
+                elapsed_ps: 0,
+                flits_in_flight: 0,
+                switch_flits: vec![0; n_switches],
+            },
+            net,
+            cfg: cfg.clone(),
+            rng,
+        }
+    }
+
+    /// Current simulated time, ps.
+    pub fn now_ps(&self) -> u64 {
+        self.now_ps
+    }
+
+    /// Stops injection of `flow` (used by shutdown scenarios).
+    pub fn deactivate_flow(&mut self, flow: FlowId) {
+        self.generators[flow.index()].active = false;
+    }
+
+    /// Power-gates extended island `island_ext`: its switches stop ticking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if flits are still queued in the island (gate only after
+    /// draining — the scenario driver handles this).
+    pub fn gate_island(&mut self, island_ext: usize) {
+        for (si, sw) in self.net.switches.iter().enumerate() {
+            if sw.island_ext == island_ext {
+                let queued: usize = self.queues[si].iter().map(VecDeque::len).sum();
+                assert_eq!(
+                    queued, 0,
+                    "island {island_ext} gated with {queued} flits in switch {si}"
+                );
+            }
+        }
+        self.island_on[island_ext] = false;
+    }
+
+    /// Returns `true` if no flits remain queued anywhere (staging included).
+    pub fn is_drained(&self) -> bool {
+        self.staging.iter().all(VecDeque::is_empty)
+            && self
+                .queues
+                .iter()
+                .flat_map(|q| q.iter())
+                .all(VecDeque::is_empty)
+    }
+
+    /// Returns `true` if no flits remain queued in the switches of extended
+    /// island `island_ext` (the pre-condition for gating it).
+    pub fn island_drained(&self, island_ext: usize) -> bool {
+        self.net
+            .switches
+            .iter()
+            .enumerate()
+            .filter(|(_, sw)| sw.island_ext == island_ext)
+            .all(|(si, _)| self.queues[si].iter().all(VecDeque::is_empty))
+    }
+
+    /// Runs until `deadline_ps`, returning a snapshot of the statistics.
+    pub fn run_until_ps(&mut self, deadline_ps: u64) -> SimStats {
+        while let Some((t, domains)) = self.earliest_tick(deadline_ps) {
+            self.now_ps = t;
+            for d in domains {
+                self.tick_domain(d);
+                self.next_tick[d] += self.net.period_ps[d];
+            }
+        }
+        self.now_ps = deadline_ps;
+        self.snapshot()
+    }
+
+    /// Runs for `ns` nanoseconds from the current time.
+    pub fn run_for_ns(&mut self, ns: u64) -> SimStats {
+        let deadline = self.now_ps + ns * 1_000;
+        self.run_until_ps(deadline)
+    }
+
+    fn earliest_tick(&self, deadline_ps: u64) -> Option<(u64, Vec<usize>)> {
+        let mut t = u64::MAX;
+        for (d, &next) in self.next_tick.iter().enumerate() {
+            if self.island_on[d] && next < t {
+                t = next;
+            }
+        }
+        if t >= deadline_ps || t == u64::MAX {
+            return None;
+        }
+        let domains: Vec<usize> = (0..self.next_tick.len())
+            .filter(|&d| self.island_on[d] && self.next_tick[d] == t)
+            .collect();
+        Some((t, domains))
+    }
+
+    /// One clock edge of every switch (and source NI) in domain `d`.
+    fn tick_domain(&mut self, d: usize) {
+        let t = self.now_ps;
+        // Switch output stage: each port forwards at most one ready flit.
+        for si in 0..self.net.switch_count() {
+            if self.net.switches[si].island_ext != d {
+                continue;
+            }
+            let n_ports = self.queues[si].len();
+            let start = self.rr[si];
+            self.rr[si] = (start + 1).max(1) % n_ports.max(1);
+            for off in 0..n_ports {
+                let p = (start + off) % n_ports;
+                self.forward_one(si, p, t);
+            }
+        }
+        // Injection stage: one flit per source *core* per cycle (each core
+        // has its own NI link), taken round-robin over the core's flows.
+        for ci in 0..self.flows_by_core.len() {
+            if self.net.island_of_core[ci] != d {
+                continue;
+            }
+            self.generate_arrivals(ci, t);
+            self.inject_one(ci, t);
+        }
+    }
+
+    /// Moves packets whose injection time has come into the staging queue.
+    fn generate_arrivals(&mut self, ci: usize, t: u64) {
+        let flows = std::mem::take(&mut self.flows_by_core[ci]);
+        for &fi in &flows {
+            let g = &mut self.generators[fi as usize];
+            while g.active && g.next_ps <= t as f64 {
+                let injected_ps = g.next_ps.max(0.0) as u64;
+                for k in 0..self.flits_per_packet {
+                    self.staging[fi as usize].push_back(Flit {
+                        flow: fi,
+                        hop: 0,
+                        is_tail: k + 1 == self.flits_per_packet,
+                        injected_ps,
+                        ready_ps: 0,
+                    });
+                }
+                self.stats.flows[fi as usize].injected_packets += 1;
+                g.schedule_next(&mut self.rng);
+            }
+        }
+        self.flows_by_core[ci] = flows;
+    }
+
+    /// Moves one staged flit of core `ci` into its switch's first-hop queue.
+    fn inject_one(&mut self, ci: usize, t: u64) {
+        let n = self.flows_by_core[ci].len();
+        if n == 0 {
+            return;
+        }
+        let start = self.inj_rr[ci];
+        self.inj_rr[ci] = (start + 1) % n;
+        for off in 0..n {
+            let fi = self.flows_by_core[ci][(start + off) % n] as usize;
+            if self.staging[fi].is_empty() {
+                continue;
+            }
+            let (si, port) = self.net.route(FlowId::from_index(fi))[0];
+            if self.queues[si][port].len() >= self.cfg.queue_capacity {
+                continue;
+            }
+            let mut flit = self.staging[fi].pop_front().expect("non-empty");
+            let d = self.net.switches[si].island_ext;
+            // NI link + switch traversal before the flit may leave.
+            flit.ready_ps = t + 2 * self.net.period_ps[d];
+            self.queues[si][port].push_back(flit);
+            return;
+        }
+    }
+
+    /// Forwards the head flit of queue (si, p), if ready and accepted.
+    fn forward_one(&mut self, si: usize, p: usize, t: u64) {
+        let Some(&head) = self.queues[si][p].front() else {
+            return;
+        };
+        if head.ready_ps > t {
+            return;
+        }
+        match self.net.switches[si].ports[p].target {
+            PortTarget::Eject => {
+                let flit = self.queues[si][p].pop_front().expect("head exists");
+                self.stats.switch_flits[si] += 1;
+                if flit.is_tail {
+                    let d = self.net.switches[si].island_ext;
+                    // Final NI link traversal.
+                    let latency = t + self.net.period_ps[d] - flit.injected_ps;
+                    let fs = &mut self.stats.flows[flit.flow as usize];
+                    fs.delivered_packets += 1;
+                    fs.total_latency_ps += latency as u128;
+                    fs.max_latency_ps = fs.max_latency_ps.max(latency);
+                }
+            }
+            PortTarget::Link { to, crossing } => {
+                let route = &self.net.route_ports[head.flow as usize];
+                let next_hop = head.hop as usize + 1;
+                let (next_sw, next_port) = route[next_hop];
+                debug_assert_eq!(next_sw, to);
+                if self.queues[to][next_port].len() >= self.cfg.queue_capacity {
+                    return; // backpressure
+                }
+                let mut flit = self.queues[si][p].pop_front().expect("head exists");
+                self.stats.switch_flits[si] += 1;
+                let dd = self.net.switches[to].island_ext;
+                let dwell = if crossing {
+                    self.net.crossing_cycles * self.net.period_ps[dd]
+                } else {
+                    0
+                };
+                // Link + downstream switch traversal + converter dwell.
+                flit.ready_ps = t + 2 * self.net.period_ps[dd] + dwell;
+                flit.hop = next_hop as u32;
+                self.queues[to][next_port].push_back(flit);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> SimStats {
+        let mut stats = self.stats.clone();
+        stats.elapsed_ps = self.now_ps;
+        stats.flits_in_flight = self.staging.iter().map(|q| q.len() as u64).sum::<u64>()
+            + self
+                .queues
+                .iter()
+                .flat_map(|q| q.iter())
+                .map(|q| q.len() as u64)
+                .sum::<u64>();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vi_noc_core::{synthesize, SynthesisConfig};
+    use vi_noc_soc::{benchmarks, partition};
+
+    fn sim_for(k: usize) -> (SocSpec, Simulator) {
+        let soc = benchmarks::d12_auto();
+        let vi = partition::logical_partition(&soc, k).unwrap();
+        let space = synthesize(&soc, &vi, &SynthesisConfig::default()).unwrap();
+        let point = space.min_power_point().unwrap();
+        let sim = Simulator::new(&soc, &point.topology, &SimConfig::default());
+        (soc, sim)
+    }
+
+    #[test]
+    fn packets_flow_end_to_end() {
+        let (_, mut sim) = sim_for(4);
+        let stats = sim.run_for_ns(50_000);
+        assert!(stats.total_delivered_packets() > 100);
+        assert!(stats.avg_latency_ps().is_some());
+    }
+
+    #[test]
+    fn flit_conservation() {
+        let (_, mut sim) = sim_for(4);
+        let stats = sim.run_for_ns(30_000);
+        let fpp = sim.flits_per_packet as u64;
+        let injected_flits = stats.total_injected_packets() * fpp;
+        // Delivered tail flits imply the whole packet was ejected; count all
+        // ejected flits through the eject port counters is complex, so use:
+        // injected = delivered + in-flight (+ flits of partially delivered
+        // packets, bounded by queue capacity × ports).
+        let delivered_flits = stats.total_delivered_packets() * fpp;
+        assert!(
+            injected_flits >= delivered_flits,
+            "delivered more than injected"
+        );
+        let outstanding = injected_flits - delivered_flits;
+        // Everything not delivered must be somewhere in the network or
+        // about to be (partial packets in flight).
+        assert!(
+            stats.flits_in_flight <= outstanding,
+            "in-flight {} exceeds outstanding {}",
+            stats.flits_in_flight,
+            outstanding
+        );
+    }
+
+    #[test]
+    fn cbr_throughput_tracks_demand() {
+        // The frequency plan clocks each island at *exactly* its peak
+        // bandwidth demand (paper step 1), so the hottest NI saturates at
+        // load 1.0 and queueing is critical. Measure slightly below
+        // saturation, where delivered throughput must track demand.
+        let soc = benchmarks::d12_auto();
+        let vi = partition::logical_partition(&soc, 4).unwrap();
+        let space = synthesize(&soc, &vi, &SynthesisConfig::default()).unwrap();
+        let point = space.min_power_point().unwrap();
+        let cfg = SimConfig {
+            load_factor: 0.85,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(&soc, &point.topology, &cfg);
+        let stats = sim.run_for_ns(200_000);
+        let mut worst_rel_err: f64 = 0.0;
+        for fid in soc.flow_ids() {
+            let f = soc.flow(fid);
+            if f.bandwidth.mbps() < 100.0 {
+                continue; // light flows deliver too few packets to measure
+            }
+            let got = stats.flow_throughput_bytes_per_s(fid, 64.0);
+            let want = f.bandwidth.bytes_per_s() * 0.85;
+            worst_rel_err = worst_rel_err.max((got - want).abs() / want);
+        }
+        assert!(
+            worst_rel_err < 0.10,
+            "worst throughput error {:.1}%",
+            worst_rel_err * 100.0
+        );
+    }
+
+    #[test]
+    fn multi_island_latency_exceeds_single_island() {
+        let (_, mut sim1) = sim_for(1);
+        let (_, mut sim4) = sim_for(4);
+        let s1 = sim1.run_for_ns(100_000);
+        let s4 = sim4.run_for_ns(100_000);
+        assert!(
+            s4.avg_latency_ps().unwrap() > s1.avg_latency_ps().unwrap(),
+            "crossing islands must cost latency: {} vs {}",
+            s4.avg_latency_ps().unwrap(),
+            s1.avg_latency_ps().unwrap()
+        );
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let (_, mut a) = sim_for(4);
+        let (_, mut b) = sim_for(4);
+        let sa = a.run_for_ns(20_000);
+        let sb = b.run_for_ns(20_000);
+        assert_eq!(sa.total_delivered_packets(), sb.total_delivered_packets());
+        assert_eq!(sa.avg_latency_ps(), sb.avg_latency_ps());
+    }
+
+    #[test]
+    fn deactivated_flows_stop_injecting() {
+        let (soc, mut sim) = sim_for(4);
+        for fid in soc.flow_ids() {
+            sim.deactivate_flow(fid);
+        }
+        let stats = sim.run_for_ns(20_000);
+        assert_eq!(stats.total_injected_packets(), 0);
+        assert!(sim.is_drained());
+    }
+}

@@ -1,0 +1,247 @@
+//! Static simulation network derived from a synthesized topology.
+
+use std::collections::HashMap;
+use vi_noc_core::{SwitchId, Topology};
+use vi_noc_models::BisyncFifoModel;
+use vi_noc_soc::{FlowId, SocSpec};
+
+/// Where an output port of a switch leads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PortTarget {
+    /// Ejection to one attached core's NI (each core has its own NI link,
+    /// hence its own ejection port).
+    Eject,
+    /// A link to another switch: `(downstream switch, crossing)`.
+    Link {
+        /// Downstream switch index.
+        to: usize,
+        /// `true` if the link crosses a clock/voltage boundary.
+        crossing: bool,
+    },
+}
+
+/// One output port (an output-buffered queue feeding a link or an NI).
+#[derive(Debug, Clone)]
+pub(crate) struct Port {
+    pub target: PortTarget,
+}
+
+/// A switch instance in the simulation.
+#[derive(Debug, Clone)]
+pub(crate) struct SimSwitch {
+    /// Extended island index (clock domain).
+    pub island_ext: usize,
+    pub ports: Vec<Port>,
+}
+
+/// The static structure the engine runs on: switches with resolved output
+/// ports, per-island clock periods, and per-flow port-level routes.
+#[derive(Debug, Clone)]
+pub struct SimNetwork {
+    pub(crate) switches: Vec<SimSwitch>,
+    /// Clock period per extended island, picoseconds.
+    pub(crate) period_ps: Vec<u64>,
+    /// For each flow: `(switch, port)` hops, ending at the destination
+    /// core's ejection port.
+    pub(crate) route_ports: Vec<Vec<(usize, usize)>>,
+    /// Switch of each core (NI attachment).
+    pub(crate) switch_of_core: Vec<usize>,
+    /// Clock domain of each core's NI (its switch's island).
+    pub(crate) island_of_core: Vec<usize>,
+    /// Crossing dwell in reader-domain cycles.
+    pub(crate) crossing_cycles: u64,
+}
+
+impl SimNetwork {
+    /// Builds the simulation structure for `topo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some flow of `spec` has no route in `topo` (synthesized
+    /// topologies always route everything).
+    pub fn build(spec: &SocSpec, topo: &Topology) -> Self {
+        let n_switch = topo.switches().len();
+        let mut switches: Vec<SimSwitch> = (0..n_switch)
+            .map(|i| SimSwitch {
+                island_ext: topo.switches()[i].island_ext,
+                ports: Vec::new(),
+            })
+            .collect();
+
+        // One ejection port per attached core (each core has its own NI
+        // link of one flit per island cycle).
+        let mut eject_port_of_core = vec![usize::MAX; spec.core_count()];
+        let mut switch_of_core = vec![usize::MAX; spec.core_count()];
+        let mut island_of_core = vec![usize::MAX; spec.core_count()];
+        for (i, sw) in topo.switches().iter().enumerate() {
+            for &core in &sw.cores {
+                eject_port_of_core[core.index()] = switches[i].ports.len();
+                switch_of_core[core.index()] = i;
+                island_of_core[core.index()] = sw.island_ext;
+                switches[i].ports.push(Port {
+                    target: PortTarget::Eject,
+                });
+            }
+        }
+        // Link ports.
+        let mut link_port = HashMap::new();
+        for l in topo.links() {
+            let from = l.from.index();
+            let idx = switches[from].ports.len();
+            switches[from].ports.push(Port {
+                target: PortTarget::Link {
+                    to: l.to.index(),
+                    crossing: l.crosses_domain(),
+                },
+            });
+            link_port.insert((l.from, l.to), idx);
+        }
+
+        // Clock periods (extended islands: real + intermediate).
+        let n_isl = topo.island_count();
+        let period_ps: Vec<u64> = (0..=n_isl)
+            .map(|j| {
+                let f = topo.island_frequency(j);
+                (1e12 / f.hz().max(1.0)).round() as u64
+            })
+            .collect();
+
+        // Per-flow port routes.
+        let mut route_ports = Vec::with_capacity(spec.flow_count());
+        for fid in spec.flow_ids() {
+            let route = topo
+                .route(fid)
+                .unwrap_or_else(|| panic!("flow {fid} has no route"));
+            let dst = spec.flow(fid).dst;
+            let mut hops = Vec::with_capacity(route.switches.len());
+            for (h, &s) in route.switches.iter().enumerate() {
+                let port = if h + 1 < route.switches.len() {
+                    let next: SwitchId = route.switches[h + 1];
+                    link_port[&(s, next)]
+                } else {
+                    eject_port_of_core[dst.index()]
+                };
+                hops.push((s.index(), port));
+            }
+            route_ports.push(hops);
+        }
+
+        SimNetwork {
+            switches,
+            period_ps,
+            route_ports,
+            switch_of_core,
+            island_of_core,
+            crossing_cycles: BisyncFifoModel::CROSSING_LATENCY_CYCLES as u64,
+        }
+    }
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Clock period of extended island `island_ext`, picoseconds.
+    pub fn period_ps(&self, island_ext: usize) -> u64 {
+        self.period_ps[island_ext]
+    }
+
+    /// The port-level route of `flow` as `(switch, port)` pairs.
+    pub(crate) fn route(&self, flow: FlowId) -> &[(usize, usize)] {
+        &self.route_ports[flow.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vi_noc_core::{synthesize, SynthesisConfig};
+    use vi_noc_soc::{benchmarks, partition};
+
+    fn network() -> (SocSpec, SimNetwork) {
+        let soc = benchmarks::d12_auto();
+        let vi = partition::logical_partition(&soc, 4).unwrap();
+        let space = synthesize(&soc, &vi, &SynthesisConfig::default()).unwrap();
+        let topo = &space.min_power_point().unwrap().topology;
+        let net = SimNetwork::build(&soc, topo);
+        (soc, net)
+    }
+
+    #[test]
+    fn every_flow_has_a_port_route() {
+        let (soc, net) = network();
+        for fid in soc.flow_ids() {
+            let route = net.route(fid);
+            assert!(!route.is_empty());
+            // Last hop ejects; earlier hops are links.
+            let (last_sw, last_port) = *route.last().unwrap();
+            assert_eq!(
+                net.switches[last_sw].ports[last_port].target,
+                PortTarget::Eject
+            );
+            for &(sw, port) in &route[..route.len() - 1] {
+                assert!(matches!(
+                    net.switches[sw].ports[port].target,
+                    PortTarget::Link { .. }
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn port_links_are_consistent_chains() {
+        let (soc, net) = network();
+        for fid in soc.flow_ids() {
+            let route = net.route(fid);
+            for w in route.windows(2) {
+                let (sw, port) = w[0];
+                match net.switches[sw].ports[port].target {
+                    PortTarget::Link { to, .. } => assert_eq!(to, w[1].0),
+                    PortTarget::Eject => panic!("premature ejection"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_cores_have_distinct_eject_ports() {
+        let (soc, net) = network();
+        // Flows to different cores on the same switch must use different
+        // ejection ports (each core has its own NI link).
+        for a in soc.flow_ids() {
+            for b in soc.flow_ids() {
+                if a == b {
+                    continue;
+                }
+                let (fa, fb) = (soc.flow(a), soc.flow(b));
+                let (sa, pa) = *net.route(a).last().unwrap();
+                let (sb, pb) = *net.route(b).last().unwrap();
+                if sa == sb && fa.dst != fb.dst {
+                    assert_ne!(pa, pb, "flows {a},{b} share an eject port");
+                }
+                if fa.dst == fb.dst {
+                    assert_eq!((sa, pa), (sb, pb));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn periods_reflect_island_frequencies() {
+        let (_, net) = network();
+        for p in &net.period_ps {
+            assert!(*p >= 1_000, "period {p} ps implies > 1 GHz island");
+            assert!(*p <= 50_000, "period {p} ps implies < 20 MHz island");
+        }
+        assert_eq!(net.crossing_cycles, 4);
+    }
+
+    #[test]
+    fn core_attachments_resolved() {
+        let (soc, net) = network();
+        for c in soc.core_ids() {
+            assert!(net.switch_of_core[c.index()] != usize::MAX);
+            assert!(net.island_of_core[c.index()] != usize::MAX);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Simulation statistics.
+
+use vi_noc_soc::FlowId;
+
+/// Per-flow delivery statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowStats {
+    /// Packets injected into the source NI.
+    pub injected_packets: u64,
+    /// Packets fully delivered (tail flit ejected).
+    pub delivered_packets: u64,
+    /// Sum of delivered-packet latencies, ps.
+    pub total_latency_ps: u128,
+    /// Worst delivered-packet latency, ps.
+    pub max_latency_ps: u64,
+}
+
+impl FlowStats {
+    /// Mean packet latency in picoseconds (`None` before any delivery).
+    pub fn avg_latency_ps(&self) -> Option<f64> {
+        if self.delivered_packets == 0 {
+            None
+        } else {
+            Some(self.total_latency_ps as f64 / self.delivered_packets as f64)
+        }
+    }
+}
+
+/// Whole-run statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Per-flow stats, indexed by flow id.
+    pub flows: Vec<FlowStats>,
+    /// Simulated time, ps.
+    pub elapsed_ps: u64,
+    /// Flits still queued in the network at the end of the run.
+    pub flits_in_flight: u64,
+    /// Flits forwarded per topology switch (activity counters).
+    pub switch_flits: Vec<u64>,
+}
+
+impl SimStats {
+    /// Stats of one flow.
+    pub fn flow(&self, id: FlowId) -> &FlowStats {
+        &self.flows[id.index()]
+    }
+
+    /// Total packets delivered over all flows.
+    pub fn total_delivered_packets(&self) -> u64 {
+        self.flows.iter().map(|f| f.delivered_packets).sum()
+    }
+
+    /// Total packets injected over all flows.
+    pub fn total_injected_packets(&self) -> u64 {
+        self.flows.iter().map(|f| f.injected_packets).sum()
+    }
+
+    /// Mean packet latency over all delivered packets, ps.
+    pub fn avg_latency_ps(&self) -> Option<f64> {
+        let delivered: u64 = self.total_delivered_packets();
+        if delivered == 0 {
+            return None;
+        }
+        let total: u128 = self.flows.iter().map(|f| f.total_latency_ps).sum();
+        Some(total as f64 / delivered as f64)
+    }
+
+    /// Delivered throughput of a flow in bytes/s given the packet size.
+    pub fn flow_throughput_bytes_per_s(&self, id: FlowId, packet_bytes: f64) -> f64 {
+        if self.elapsed_ps == 0 {
+            return 0.0;
+        }
+        self.flows[id.index()].delivered_packets as f64 * packet_bytes
+            / (self.elapsed_ps as f64 / 1e12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_latency_handles_empty() {
+        let f = FlowStats::default();
+        assert_eq!(f.avg_latency_ps(), None);
+        let s = SimStats::default();
+        assert_eq!(s.avg_latency_ps(), None);
+    }
+
+    #[test]
+    fn aggregates_sum_flows() {
+        let stats = SimStats {
+            flows: vec![
+                FlowStats {
+                    injected_packets: 10,
+                    delivered_packets: 8,
+                    total_latency_ps: 8_000,
+                    max_latency_ps: 2_000,
+                },
+                FlowStats {
+                    injected_packets: 5,
+                    delivered_packets: 5,
+                    total_latency_ps: 5_000,
+                    max_latency_ps: 1_500,
+                },
+            ],
+            elapsed_ps: 1_000_000,
+            flits_in_flight: 3,
+            switch_flits: vec![],
+        };
+        assert_eq!(stats.total_delivered_packets(), 13);
+        assert_eq!(stats.total_injected_packets(), 15);
+        assert!((stats.avg_latency_ps().unwrap() - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_from_packets() {
+        let stats = SimStats {
+            flows: vec![FlowStats {
+                injected_packets: 100,
+                delivered_packets: 100,
+                total_latency_ps: 0,
+                max_latency_ps: 0,
+            }],
+            elapsed_ps: 1_000_000_000, // 1 ms
+            flits_in_flight: 0,
+            switch_flits: vec![],
+        };
+        let tput = stats.flow_throughput_bytes_per_s(FlowId::from_index(0), 64.0);
+        assert!((tput - 6.4e6).abs() < 1.0);
+    }
+}

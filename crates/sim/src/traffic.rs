@@ -1,0 +1,102 @@
+//! Per-flow traffic generation.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Packet injection process of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficKind {
+    /// Constant bit rate: one packet every `interval` exactly.
+    Cbr,
+    /// Poisson arrivals with the same mean rate (exponential gaps).
+    Poisson,
+}
+
+/// Per-flow injection state.
+#[derive(Debug, Clone)]
+pub(crate) struct FlowGenerator {
+    /// Mean gap between packet injections, ps.
+    pub interval_ps: f64,
+    /// Next injection time, ps.
+    pub next_ps: f64,
+    /// Whether the flow still injects (shutdown scenarios stop flows).
+    pub active: bool,
+    pub kind: TrafficKind,
+}
+
+impl FlowGenerator {
+    /// Creates a generator for a flow of `bandwidth_bytes_per_s` with
+    /// `packet_bytes`-sized packets, de-synchronized by `phase` in [0,1).
+    pub fn new(
+        bandwidth_bytes_per_s: f64,
+        packet_bytes: f64,
+        phase: f64,
+        kind: TrafficKind,
+    ) -> Self {
+        let packets_per_s = bandwidth_bytes_per_s / packet_bytes;
+        let interval_ps = 1e12 / packets_per_s.max(1e-3);
+        FlowGenerator {
+            interval_ps,
+            next_ps: interval_ps * phase,
+            active: true,
+            kind,
+        }
+    }
+
+    /// Advances to the next injection instant after an injection at
+    /// `self.next_ps`.
+    pub fn schedule_next(&mut self, rng: &mut StdRng) {
+        let gap = match self.kind {
+            TrafficKind::Cbr => self.interval_ps,
+            TrafficKind::Poisson => {
+                // Inverse-CDF exponential with mean `interval_ps`.
+                let u: f64 = rng.random::<f64>().max(1e-12);
+                -self.interval_ps * u.ln()
+            }
+        };
+        self.next_ps += gap.max(1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cbr_interval_matches_bandwidth() {
+        // 400 MB/s with 64 B packets = 6.25 M packets/s = 160 ns gap.
+        let g = FlowGenerator::new(400e6, 64.0, 0.0, TrafficKind::Cbr);
+        assert!((g.interval_ps - 160_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn cbr_is_perfectly_periodic() {
+        let mut g = FlowGenerator::new(100e6, 64.0, 0.0, TrafficKind::Cbr);
+        let mut rng = StdRng::seed_from_u64(1);
+        let start = g.next_ps;
+        g.schedule_next(&mut rng);
+        g.schedule_next(&mut rng);
+        assert!((g.next_ps - start - 2.0 * g.interval_ps).abs() < 1.0);
+    }
+
+    #[test]
+    fn poisson_mean_approximates_interval() {
+        let mut g = FlowGenerator::new(100e6, 64.0, 0.0, TrafficKind::Poisson);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let start = g.next_ps;
+        for _ in 0..n {
+            g.schedule_next(&mut rng);
+        }
+        let mean_gap = (g.next_ps - start) / n as f64;
+        let err = (mean_gap - g.interval_ps).abs() / g.interval_ps;
+        assert!(err < 0.05, "Poisson mean off by {:.1}%", err * 100.0);
+    }
+
+    #[test]
+    fn phase_offsets_initial_injection() {
+        let g = FlowGenerator::new(100e6, 64.0, 0.5, TrafficKind::Cbr);
+        assert!((g.next_ps - g.interval_ps * 0.5).abs() < 1.0);
+    }
+}

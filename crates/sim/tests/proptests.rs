@@ -1,0 +1,112 @@
+//! Property-based tests for the simulator: conservation, determinism, and
+//! agreement with the analytic latency model on random designs.
+
+use proptest::prelude::*;
+use vi_noc_core::{synthesize, SynthesisConfig};
+use vi_noc_sim::{zero_load_latency_ps, SimConfig, Simulator, TrafficKind};
+use vi_noc_soc::{generate_synthetic, partition, SyntheticConfig};
+
+fn design(
+    n_cores: usize,
+    seed: u64,
+    k: usize,
+) -> Option<(vi_noc_soc::SocSpec, vi_noc_core::Topology)> {
+    let spec = generate_synthetic(&SyntheticConfig {
+        n_cores,
+        seed,
+        ..SyntheticConfig::default()
+    });
+    let vi = partition::communication_partition(&spec, k.min(spec.core_count()), seed).ok()?;
+    let space = synthesize(&spec, &vi, &SynthesisConfig::default()).ok()?;
+    let topo = space.min_power_point()?.topology.clone();
+    Some((spec, topo))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Flits are conserved: never deliver more than injected, and everything
+    /// outstanding is accounted for in the queues.
+    #[test]
+    fn conservation(
+        n_cores in 8usize..20,
+        seed in 0u64..32,
+        load in 0.2f64..0.9,
+        poisson in proptest::bool::ANY,
+    ) {
+        let Some((spec, topo)) = design(n_cores, seed, 3) else { return Ok(()); };
+        let cfg = SimConfig {
+            load_factor: load,
+            traffic: if poisson { TrafficKind::Poisson } else { TrafficKind::Cbr },
+            seed,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(&spec, &topo, &cfg);
+        let stats = sim.run_for_ns(40_000);
+        prop_assert!(stats.total_delivered_packets() <= stats.total_injected_packets());
+        // Per-flow deliveries are monotone in time.
+        let stats2 = sim.run_for_ns(20_000);
+        for fid in spec.flow_ids() {
+            prop_assert!(
+                stats2.flow(fid).delivered_packets >= stats.flow(fid).delivered_packets
+            );
+            prop_assert!(
+                stats2.flow(fid).injected_packets >= stats.flow(fid).injected_packets
+            );
+        }
+    }
+
+    /// Measured single-packet latency never beats the analytic zero-load
+    /// bound on any flow of any random design.
+    #[test]
+    fn zero_load_is_a_lower_bound(n_cores in 8usize..16, seed in 0u64..24) {
+        let Some((spec, topo)) = design(n_cores, seed, 3) else { return Ok(()); };
+        // Probe the highest-bandwidth flow alone.
+        let probe = spec
+            .flow_ids()
+            .max_by(|&a, &b| {
+                spec.flow(a)
+                    .bandwidth
+                    .partial_cmp(&spec.flow(b).bandwidth)
+                    .unwrap()
+            })
+            .unwrap();
+        let cfg = SimConfig {
+            packet_bytes: 4,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(&spec, &topo, &cfg);
+        for fid in spec.flow_ids() {
+            if fid != probe {
+                sim.deactivate_flow(fid);
+            }
+        }
+        let stats = sim.run_for_ns(50_000);
+        if let Some(measured) = stats.flow(probe).avg_latency_ps() {
+            let analytic = zero_load_latency_ps(&spec, &topo, probe).unwrap() as f64;
+            prop_assert!(
+                measured + 1.0 >= analytic,
+                "measured {measured} ps beats zero-load bound {analytic} ps"
+            );
+        }
+    }
+
+    /// Same seed, same trajectory — packet-for-packet.
+    #[test]
+    fn determinism(seed in 0u64..32, load in 0.3f64..0.8) {
+        let Some((spec, topo)) = design(12, seed, 3) else { return Ok(()); };
+        let cfg = SimConfig {
+            load_factor: load,
+            seed,
+            traffic: TrafficKind::Poisson,
+            ..SimConfig::default()
+        };
+        let mut a = Simulator::new(&spec, &topo, &cfg);
+        let mut b = Simulator::new(&spec, &topo, &cfg);
+        let sa = a.run_for_ns(25_000);
+        let sb = b.run_for_ns(25_000);
+        for fid in spec.flow_ids() {
+            prop_assert_eq!(sa.flow(fid), sb.flow(fid));
+        }
+    }
+}

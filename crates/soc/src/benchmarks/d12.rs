@@ -1,0 +1,83 @@
+//! D12 — automotive infotainment head-unit SoC (12 cores).
+
+use crate::core::{CoreKind, CoreSpec};
+use crate::flow::TrafficFlow;
+use crate::spec::SocSpec;
+
+/// Builds a 12-core automotive infotainment SoC: dual CPU with split
+/// caches, one audio DSP, shared SRAM (always-on) + flash, display and
+/// audio outputs, and three vehicle-bus peripheral ports.
+///
+/// Natural logical island count: 4 (memories | compute | media | I/O).
+pub fn d12_auto() -> SocSpec {
+    let mut s = SocSpec::new("d12_auto");
+
+    let cpu0 = s.add_core(CoreSpec::new("cpu0", CoreKind::Cpu, 1.8, 70.0, 400.0));
+    let cpu1 = s.add_core(CoreSpec::new("cpu1", CoreKind::Cpu, 1.8, 60.0, 400.0));
+    let icache = s.add_core(CoreSpec::new("icache", CoreKind::Cache, 0.8, 14.0, 400.0));
+    let dcache = s.add_core(CoreSpec::new("dcache", CoreKind::Cache, 0.8, 13.0, 400.0));
+    let dsp = s.add_core(CoreSpec::new("dsp", CoreKind::Dsp, 1.4, 40.0, 300.0));
+    let sram = s.add_core(CoreSpec::new("sram", CoreKind::Memory, 1.6, 18.0, 300.0).always_on());
+    let flash = s.add_core(CoreSpec::new("flash", CoreKind::Memory, 1.0, 8.0, 133.0));
+    let display = s.add_core(CoreSpec::new(
+        "display",
+        CoreKind::Display,
+        1.0,
+        24.0,
+        150.0,
+    ));
+    let audio = s.add_core(CoreSpec::new("audio", CoreKind::Audio, 0.7, 10.0, 100.0));
+    let can0 = s.add_core(CoreSpec::new("can0", CoreKind::Peripheral, 0.3, 4.0, 50.0));
+    let can1 = s.add_core(CoreSpec::new("can1", CoreKind::Peripheral, 0.3, 4.0, 50.0));
+    let usb = s.add_core(CoreSpec::new("usb", CoreKind::Peripheral, 0.5, 7.0, 60.0));
+
+    // CPU cluster <-> caches <-> SRAM.
+    s.add_flow(TrafficFlow::new(cpu0, icache, 600.0, 12));
+    s.add_flow(TrafficFlow::new(icache, cpu0, 900.0, 12));
+    s.add_flow(TrafficFlow::new(cpu1, dcache, 450.0, 12));
+    s.add_flow(TrafficFlow::new(dcache, cpu1, 700.0, 12));
+    s.add_flow(TrafficFlow::new(icache, sram, 200.0, 16));
+    s.add_flow(TrafficFlow::new(sram, icache, 260.0, 16));
+    s.add_flow(TrafficFlow::new(dcache, sram, 170.0, 16));
+    s.add_flow(TrafficFlow::new(sram, dcache, 210.0, 16));
+
+    // DSP decodes audio out of SRAM.
+    s.add_flow(TrafficFlow::new(dsp, sram, 220.0, 14));
+    s.add_flow(TrafficFlow::new(sram, dsp, 280.0, 14));
+    s.add_flow(TrafficFlow::new(dsp, audio, 25.0, 26));
+
+    // Maps/UI frame buffer to the display.
+    s.add_flow(TrafficFlow::new(sram, display, 240.0, 18));
+    s.add_flow(TrafficFlow::new(flash, sram, 90.0, 24));
+    s.add_flow(TrafficFlow::new(sram, flash, 40.0, 24));
+
+    // Vehicle buses and USB media import.
+    s.add_flow(TrafficFlow::new(can0, sram, 2.0, 40));
+    s.add_flow(TrafficFlow::new(sram, can0, 2.0, 40));
+    s.add_flow(TrafficFlow::new(can1, sram, 2.0, 40));
+    s.add_flow(TrafficFlow::new(sram, can1, 2.0, 40));
+    s.add_flow(TrafficFlow::new(usb, sram, 45.0, 30));
+    s.add_flow(TrafficFlow::new(sram, usb, 30.0, 30));
+
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::logical_partition;
+
+    #[test]
+    fn validates_with_12_cores() {
+        let soc = d12_auto();
+        assert_eq!(soc.core_count(), 12);
+        soc.validate().unwrap();
+    }
+
+    #[test]
+    fn supports_four_logical_islands() {
+        let soc = d12_auto();
+        let vi = logical_partition(&soc, 4).unwrap();
+        assert_eq!(vi.island_count(), 4);
+    }
+}

@@ -1,0 +1,137 @@
+//! D16 — set-top box / digital TV SoC (16 cores).
+
+use crate::core::{CoreKind, CoreSpec};
+use crate::flow::TrafficFlow;
+use crate::spec::SocSpec;
+
+/// Builds a 16-core set-top-box SoC: host CPU with split caches, a
+/// transport-stream demux accelerator, dual video decoders + encoder for
+/// transcode, audio and display, three memories (SDRAM/SRAM always-on),
+/// DMA, a smart-card security block and two network/storage ports.
+///
+/// Natural logical island count: 5 (memories | cpu-side | accelerator |
+/// media | I/O).
+pub fn d16_settop() -> SocSpec {
+    let mut s = SocSpec::new("d16_settop");
+
+    let cpu = s.add_core(CoreSpec::new("cpu", CoreKind::Cpu, 2.0, 80.0, 450.0));
+    let icache = s.add_core(CoreSpec::new("icache", CoreKind::Cache, 0.8, 15.0, 450.0));
+    let dcache = s.add_core(CoreSpec::new("dcache", CoreKind::Cache, 0.8, 14.0, 450.0));
+    let dma = s.add_core(CoreSpec::new("dma", CoreKind::Dma, 0.5, 10.0, 300.0));
+    let smartcard = s.add_core(CoreSpec::new(
+        "smartcard",
+        CoreKind::Security,
+        0.6,
+        8.0,
+        150.0,
+    ));
+    let demux = s.add_core(CoreSpec::new(
+        "demux",
+        CoreKind::Accelerator,
+        1.0,
+        22.0,
+        250.0,
+    ));
+    let viddec0 = s.add_core(CoreSpec::new(
+        "viddec0",
+        CoreKind::VideoDecoder,
+        2.5,
+        70.0,
+        250.0,
+    ));
+    let viddec1 = s.add_core(CoreSpec::new(
+        "viddec1",
+        CoreKind::VideoDecoder,
+        2.5,
+        65.0,
+        250.0,
+    ));
+    let videnc = s.add_core(CoreSpec::new(
+        "videnc",
+        CoreKind::VideoEncoder,
+        2.2,
+        55.0,
+        250.0,
+    ));
+    let audio = s.add_core(CoreSpec::new("audio", CoreKind::Audio, 0.8, 12.0, 100.0));
+    let display = s.add_core(CoreSpec::new(
+        "display",
+        CoreKind::Display,
+        1.1,
+        26.0,
+        150.0,
+    ));
+    let sdram = s.add_core(CoreSpec::new("sdram", CoreKind::Memory, 2.6, 34.0, 266.0).always_on());
+    let sram = s.add_core(CoreSpec::new("sram", CoreKind::Memory, 1.6, 18.0, 300.0).always_on());
+    let flash = s.add_core(CoreSpec::new("flash", CoreKind::Memory, 1.0, 8.0, 133.0));
+    let eth = s.add_core(CoreSpec::new("eth", CoreKind::Peripheral, 0.6, 10.0, 125.0));
+    let sata = s.add_core(CoreSpec::new(
+        "sata",
+        CoreKind::Peripheral,
+        0.7,
+        11.0,
+        150.0,
+    ));
+
+    // Host CPU.
+    s.add_flow(TrafficFlow::new(cpu, icache, 650.0, 12));
+    s.add_flow(TrafficFlow::new(icache, cpu, 1000.0, 12));
+    s.add_flow(TrafficFlow::new(cpu, dcache, 500.0, 12));
+    s.add_flow(TrafficFlow::new(dcache, cpu, 750.0, 12));
+    s.add_flow(TrafficFlow::new(icache, sdram, 210.0, 16));
+    s.add_flow(TrafficFlow::new(sdram, icache, 280.0, 16));
+    s.add_flow(TrafficFlow::new(dcache, sdram, 180.0, 16));
+    s.add_flow(TrafficFlow::new(sdram, dcache, 230.0, 16));
+
+    // Streams: network/disk -> demux -> decoders -> display.
+    s.add_flow(TrafficFlow::new(eth, demux, 60.0, 24));
+    s.add_flow(TrafficFlow::new(sata, demux, 90.0, 24));
+    s.add_flow(TrafficFlow::new(demux, sdram, 140.0, 18));
+    s.add_flow(TrafficFlow::new(sdram, viddec0, 340.0, 18));
+    s.add_flow(TrafficFlow::new(viddec0, sdram, 270.0, 18));
+    s.add_flow(TrafficFlow::new(sdram, viddec1, 300.0, 18));
+    s.add_flow(TrafficFlow::new(viddec1, sdram, 240.0, 18));
+    s.add_flow(TrafficFlow::new(viddec0, display, 180.0, 20));
+    s.add_flow(TrafficFlow::new(viddec1, display, 160.0, 20));
+    s.add_flow(TrafficFlow::new(sdram, display, 220.0, 18));
+
+    // Transcode back to disk.
+    s.add_flow(TrafficFlow::new(sdram, videnc, 200.0, 20));
+    s.add_flow(TrafficFlow::new(videnc, sdram, 130.0, 20));
+    s.add_flow(TrafficFlow::new(sdram, sata, 80.0, 26));
+
+    // Audio from SRAM buffers.
+    s.add_flow(TrafficFlow::new(sram, audio, 16.0, 30));
+    s.add_flow(TrafficFlow::new(audio, sram, 10.0, 30));
+    s.add_flow(TrafficFlow::new(sdram, sram, 120.0, 20));
+    s.add_flow(TrafficFlow::new(sram, sdram, 90.0, 20));
+
+    // Conditional access, DMA housekeeping, firmware.
+    s.add_flow(TrafficFlow::new(demux, smartcard, 20.0, 26));
+    s.add_flow(TrafficFlow::new(smartcard, demux, 15.0, 26));
+    s.add_flow(TrafficFlow::new(dma, sdram, 150.0, 20));
+    s.add_flow(TrafficFlow::new(sdram, dma, 150.0, 20));
+    s.add_flow(TrafficFlow::new(flash, dma, 70.0, 28));
+    s.add_flow(TrafficFlow::new(dma, flash, 30.0, 28));
+
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::logical_partition;
+
+    #[test]
+    fn validates_with_16_cores() {
+        let soc = d16_settop();
+        assert_eq!(soc.core_count(), 16);
+        soc.validate().unwrap();
+    }
+
+    #[test]
+    fn supports_five_logical_islands() {
+        let vi = logical_partition(&d16_settop(), 5).unwrap();
+        assert_eq!(vi.island_count(), 5);
+    }
+}

@@ -1,0 +1,127 @@
+//! D20 — cellular baseband processor SoC (20 cores).
+
+use crate::core::{CoreKind, CoreSpec};
+use crate::flow::TrafficFlow;
+use crate::spec::SocSpec;
+
+/// Builds a 20-core baseband SoC: dual control CPUs with shared caches,
+/// four layer-1 DSPs plus an FFT accelerator, three memories (SDRAM and
+/// SRAM0 always-on), DMA, a ciphering engine, an audio vocoder and five
+/// radio/host interface ports.
+///
+/// Natural logical island count: 5.
+pub fn d20_baseband() -> SocSpec {
+    let mut s = SocSpec::new("d20_baseband");
+
+    let cpu0 = s.add_core(CoreSpec::new("cpu0", CoreKind::Cpu, 1.8, 65.0, 400.0));
+    let cpu1 = s.add_core(CoreSpec::new("cpu1", CoreKind::Cpu, 1.8, 55.0, 400.0));
+    let icache = s.add_core(CoreSpec::new("icache", CoreKind::Cache, 0.8, 13.0, 400.0));
+    let dcache = s.add_core(CoreSpec::new("dcache", CoreKind::Cache, 0.8, 12.0, 400.0));
+    let dma = s.add_core(CoreSpec::new("dma", CoreKind::Dma, 0.5, 10.0, 300.0));
+    let cipher = s.add_core(CoreSpec::new(
+        "cipher",
+        CoreKind::Security,
+        0.7,
+        12.0,
+        250.0,
+    ));
+    let dsp0 = s.add_core(CoreSpec::new("dsp0", CoreKind::Dsp, 1.5, 48.0, 350.0));
+    let dsp1 = s.add_core(CoreSpec::new("dsp1", CoreKind::Dsp, 1.5, 46.0, 350.0));
+    let dsp2 = s.add_core(CoreSpec::new("dsp2", CoreKind::Dsp, 1.5, 44.0, 350.0));
+    let dsp3 = s.add_core(CoreSpec::new("dsp3", CoreKind::Dsp, 1.5, 42.0, 350.0));
+    let fft = s.add_core(CoreSpec::new(
+        "fft",
+        CoreKind::Accelerator,
+        1.0,
+        30.0,
+        300.0,
+    ));
+    let vocoder = s.add_core(CoreSpec::new("vocoder", CoreKind::Audio, 0.8, 14.0, 150.0));
+    let sdram = s.add_core(CoreSpec::new("sdram", CoreKind::Memory, 2.4, 30.0, 266.0).always_on());
+    let sram0 = s.add_core(CoreSpec::new("sram0", CoreKind::Memory, 1.8, 20.0, 350.0).always_on());
+    let sram1 = s.add_core(CoreSpec::new("sram1", CoreKind::Memory, 1.4, 14.0, 350.0));
+    let rf_if = s.add_core(CoreSpec::new(
+        "rf_if",
+        CoreKind::Peripheral,
+        0.6,
+        12.0,
+        150.0,
+    ));
+    let host_if = s.add_core(CoreSpec::new(
+        "host_if",
+        CoreKind::Peripheral,
+        0.5,
+        8.0,
+        100.0,
+    ));
+    let usim = s.add_core(CoreSpec::new("usim", CoreKind::Peripheral, 0.2, 2.0, 50.0));
+    let gpio = s.add_core(CoreSpec::new("gpio", CoreKind::Peripheral, 0.2, 2.0, 50.0));
+    let timer = s.add_core(CoreSpec::new("timer", CoreKind::Peripheral, 0.2, 2.0, 50.0));
+
+    // Control CPUs.
+    s.add_flow(TrafficFlow::new(cpu0, icache, 550.0, 12));
+    s.add_flow(TrafficFlow::new(icache, cpu0, 850.0, 12));
+    s.add_flow(TrafficFlow::new(cpu1, dcache, 420.0, 12));
+    s.add_flow(TrafficFlow::new(dcache, cpu1, 650.0, 12));
+    s.add_flow(TrafficFlow::new(icache, sdram, 170.0, 16));
+    s.add_flow(TrafficFlow::new(sdram, icache, 230.0, 16));
+    s.add_flow(TrafficFlow::new(dcache, sdram, 150.0, 16));
+    s.add_flow(TrafficFlow::new(sdram, dcache, 190.0, 16));
+
+    // Layer-1 pipeline: RF samples -> DSP chain + FFT, buffers in SRAM0/1.
+    s.add_flow(TrafficFlow::new(rf_if, dsp0, 260.0, 14));
+    s.add_flow(TrafficFlow::new(dsp0, dsp1, 220.0, 14));
+    s.add_flow(TrafficFlow::new(dsp1, fft, 240.0, 14));
+    s.add_flow(TrafficFlow::new(fft, dsp2, 240.0, 14));
+    s.add_flow(TrafficFlow::new(dsp2, dsp3, 190.0, 14));
+    s.add_flow(TrafficFlow::new(dsp3, rf_if, 180.0, 14));
+    s.add_flow(TrafficFlow::new(dsp0, sram0, 300.0, 14));
+    s.add_flow(TrafficFlow::new(sram0, dsp0, 360.0, 14));
+    s.add_flow(TrafficFlow::new(dsp1, sram0, 260.0, 14));
+    s.add_flow(TrafficFlow::new(sram0, dsp1, 300.0, 14));
+    s.add_flow(TrafficFlow::new(dsp2, sram1, 230.0, 14));
+    s.add_flow(TrafficFlow::new(sram1, dsp2, 270.0, 14));
+    s.add_flow(TrafficFlow::new(dsp3, sram1, 200.0, 14));
+    s.add_flow(TrafficFlow::new(sram1, dsp3, 240.0, 14));
+
+    // Ciphering between the protocol stack and the air interface.
+    s.add_flow(TrafficFlow::new(cipher, sdram, 90.0, 20));
+    s.add_flow(TrafficFlow::new(sdram, cipher, 110.0, 20));
+    s.add_flow(TrafficFlow::new(dsp3, cipher, 70.0, 18));
+
+    // Vocoder.
+    s.add_flow(TrafficFlow::new(sram0, vocoder, 20.0, 28));
+    s.add_flow(TrafficFlow::new(vocoder, sram0, 14.0, 28));
+
+    // DMA, host interface and low-rate peripherals.
+    s.add_flow(TrafficFlow::new(dma, sdram, 160.0, 20));
+    s.add_flow(TrafficFlow::new(sdram, dma, 160.0, 20));
+    s.add_flow(TrafficFlow::new(host_if, sdram, 80.0, 26));
+    s.add_flow(TrafficFlow::new(sdram, host_if, 100.0, 26));
+    s.add_flow(TrafficFlow::new(usim, dma, 1.0, 40));
+    s.add_flow(TrafficFlow::new(dma, usim, 1.0, 40));
+    s.add_flow(TrafficFlow::new(gpio, dma, 1.0, 40));
+    s.add_flow(TrafficFlow::new(dma, gpio, 1.0, 40));
+    s.add_flow(TrafficFlow::new(timer, cpu0, 2.0, 30));
+
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::logical_partition;
+
+    #[test]
+    fn validates_with_20_cores() {
+        let soc = d20_baseband();
+        assert_eq!(soc.core_count(), 20);
+        soc.validate().unwrap();
+    }
+
+    #[test]
+    fn supports_five_logical_islands() {
+        let vi = logical_partition(&d20_baseband(), 5).unwrap();
+        assert_eq!(vi.island_count(), 5);
+    }
+}

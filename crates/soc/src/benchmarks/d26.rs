@@ -1,0 +1,227 @@
+//! D26 — the paper's 26-core mobile communication & multimedia SoC.
+
+use crate::core::{CoreKind, CoreSpec};
+use crate::flow::TrafficFlow;
+use crate::spec::SocSpec;
+
+/// Builds the 26-core mobile/multimedia SoC of the paper's case study.
+///
+/// Two application processors with split I/D caches, three DSPs, a DMA
+/// engine, three memories (shared SDRAM and SRAM are always-on), a video
+/// decode/encode + imaging + display pipeline, audio, a cellular modem, a
+/// security engine and six peripheral ports.
+///
+/// Traffic structure: hot CPU↔cache fill/writeback flows, cache↔SDRAM miss
+/// traffic, DSP↔SRAM signal buffers, a media DMA pipeline through SDRAM, and
+/// light control traffic to the peripherals — the mix that makes
+/// communication-based islanding profitable (Figure 2).
+pub fn d26_mobile() -> SocSpec {
+    let mut s = SocSpec::new("d26_mobile");
+
+    // Compute cluster.
+    let arm0 = s.add_core(CoreSpec::new("arm0", CoreKind::Cpu, 2.2, 95.0, 500.0));
+    let arm1 = s.add_core(CoreSpec::new("arm1", CoreKind::Cpu, 2.2, 85.0, 500.0));
+    let dsp0 = s.add_core(CoreSpec::new("dsp0", CoreKind::Dsp, 1.6, 55.0, 350.0));
+    let dsp1 = s.add_core(CoreSpec::new("dsp1", CoreKind::Dsp, 1.6, 50.0, 350.0));
+    let dsp2 = s.add_core(CoreSpec::new("dsp2", CoreKind::Dsp, 1.6, 45.0, 300.0));
+    let icache0 = s.add_core(CoreSpec::new("icache0", CoreKind::Cache, 0.9, 18.0, 500.0));
+    let dcache0 = s.add_core(CoreSpec::new("dcache0", CoreKind::Cache, 0.9, 16.0, 500.0));
+    let icache1 = s.add_core(CoreSpec::new("icache1", CoreKind::Cache, 0.9, 15.0, 500.0));
+    let dcache1 = s.add_core(CoreSpec::new("dcache1", CoreKind::Cache, 0.9, 14.0, 500.0));
+    let dma = s.add_core(CoreSpec::new("dma", CoreKind::Dma, 0.5, 12.0, 300.0));
+
+    // Memories. The shared SDRAM controller and on-chip SRAM must stay
+    // powered whenever anything else runs.
+    let sdram = s.add_core(CoreSpec::new("sdram", CoreKind::Memory, 2.8, 38.0, 266.0).always_on());
+    let sram = s.add_core(CoreSpec::new("sram", CoreKind::Memory, 2.0, 22.0, 333.0).always_on());
+    let flash = s.add_core(CoreSpec::new("flash", CoreKind::Memory, 1.2, 10.0, 133.0));
+
+    // Media pipeline.
+    let viddec = s.add_core(CoreSpec::new(
+        "viddec",
+        CoreKind::VideoDecoder,
+        2.6,
+        75.0,
+        250.0,
+    ));
+    let videnc = s.add_core(CoreSpec::new(
+        "videnc",
+        CoreKind::VideoEncoder,
+        2.4,
+        65.0,
+        250.0,
+    ));
+    let imaging = s.add_core(CoreSpec::new(
+        "imaging",
+        CoreKind::Imaging,
+        1.8,
+        48.0,
+        200.0,
+    ));
+    let display = s.add_core(CoreSpec::new(
+        "display",
+        CoreKind::Display,
+        1.1,
+        28.0,
+        150.0,
+    ));
+    let audio = s.add_core(CoreSpec::new("audio", CoreKind::Audio, 0.8, 12.0, 100.0));
+
+    // Connectivity & system.
+    let modem = s.add_core(CoreSpec::new("modem", CoreKind::Modem, 3.0, 70.0, 300.0));
+    let security = s.add_core(CoreSpec::new(
+        "security",
+        CoreKind::Security,
+        0.7,
+        14.0,
+        200.0,
+    ));
+
+    // Peripheral ports.
+    let usb = s.add_core(CoreSpec::new("usb", CoreKind::Peripheral, 0.6, 9.0, 60.0));
+    let uart = s.add_core(CoreSpec::new("uart", CoreKind::Peripheral, 0.2, 2.0, 50.0));
+    let spi = s.add_core(CoreSpec::new("spi", CoreKind::Peripheral, 0.2, 3.0, 50.0));
+    let i2c = s.add_core(CoreSpec::new("i2c", CoreKind::Peripheral, 0.2, 2.0, 50.0));
+    let sdio = s.add_core(CoreSpec::new("sdio", CoreKind::Peripheral, 0.5, 8.0, 100.0));
+    let gpio = s.add_core(CoreSpec::new("gpio", CoreKind::Peripheral, 0.2, 2.0, 50.0));
+
+    // CPU <-> cache: the hottest flows of the design.
+    s.add_flow(TrafficFlow::new(arm0, icache0, 800.0, 12));
+    s.add_flow(TrafficFlow::new(icache0, arm0, 1200.0, 12));
+    s.add_flow(TrafficFlow::new(arm0, dcache0, 600.0, 12));
+    s.add_flow(TrafficFlow::new(dcache0, arm0, 900.0, 12));
+    s.add_flow(TrafficFlow::new(arm1, icache1, 700.0, 12));
+    s.add_flow(TrafficFlow::new(icache1, arm1, 1000.0, 12));
+    s.add_flow(TrafficFlow::new(arm1, dcache1, 500.0, 12));
+    s.add_flow(TrafficFlow::new(dcache1, arm1, 800.0, 12));
+
+    // Cache <-> SDRAM miss/refill traffic.
+    s.add_flow(TrafficFlow::new(icache0, sdram, 240.0, 16));
+    s.add_flow(TrafficFlow::new(sdram, icache0, 320.0, 16));
+    s.add_flow(TrafficFlow::new(dcache0, sdram, 200.0, 16));
+    s.add_flow(TrafficFlow::new(sdram, dcache0, 260.0, 16));
+    s.add_flow(TrafficFlow::new(icache1, sdram, 200.0, 16));
+    s.add_flow(TrafficFlow::new(sdram, icache1, 270.0, 16));
+    s.add_flow(TrafficFlow::new(dcache1, sdram, 170.0, 16));
+    s.add_flow(TrafficFlow::new(sdram, dcache1, 220.0, 16));
+
+    // DSP cluster works out of the on-chip SRAM, with a neighbour pipeline.
+    s.add_flow(TrafficFlow::new(dsp0, sram, 380.0, 14));
+    s.add_flow(TrafficFlow::new(sram, dsp0, 460.0, 14));
+    s.add_flow(TrafficFlow::new(dsp1, sram, 300.0, 14));
+    s.add_flow(TrafficFlow::new(sram, dsp1, 380.0, 14));
+    s.add_flow(TrafficFlow::new(dsp2, sram, 240.0, 14));
+    s.add_flow(TrafficFlow::new(sram, dsp2, 300.0, 14));
+    s.add_flow(TrafficFlow::new(dsp0, dsp1, 150.0, 14));
+    s.add_flow(TrafficFlow::new(dsp1, dsp2, 110.0, 14));
+
+    // DMA moves bulk data between memories and I/O.
+    s.add_flow(TrafficFlow::new(dma, sdram, 210.0, 18));
+    s.add_flow(TrafficFlow::new(sdram, dma, 210.0, 18));
+    s.add_flow(TrafficFlow::new(dma, sram, 80.0, 20));
+    s.add_flow(TrafficFlow::new(sram, dma, 60.0, 20));
+    s.add_flow(TrafficFlow::new(dma, flash, 90.0, 24));
+    s.add_flow(TrafficFlow::new(flash, dma, 120.0, 24));
+
+    // Video decode: compressed stream + reference frames live in SDRAM.
+    s.add_flow(TrafficFlow::new(sdram, viddec, 350.0, 18));
+    s.add_flow(TrafficFlow::new(viddec, sdram, 280.0, 18));
+    s.add_flow(TrafficFlow::new(viddec, display, 190.0, 20));
+    s.add_flow(TrafficFlow::new(sdram, display, 280.0, 18));
+
+    // Camera capture -> imaging -> encoder -> SDRAM.
+    s.add_flow(TrafficFlow::new(imaging, videnc, 210.0, 20));
+    s.add_flow(TrafficFlow::new(imaging, sdram, 230.0, 20));
+    s.add_flow(TrafficFlow::new(videnc, sdram, 160.0, 20));
+    s.add_flow(TrafficFlow::new(sdram, videnc, 120.0, 20));
+
+    // Audio runs from SRAM buffers.
+    s.add_flow(TrafficFlow::new(sram, audio, 18.0, 30));
+    s.add_flow(TrafficFlow::new(audio, sram, 12.0, 30));
+
+    // Modem exchanges packet data with SDRAM; security filters it.
+    s.add_flow(TrafficFlow::new(modem, sdram, 130.0, 20));
+    s.add_flow(TrafficFlow::new(sdram, modem, 110.0, 20));
+    s.add_flow(TrafficFlow::new(modem, security, 70.0, 22));
+    s.add_flow(TrafficFlow::new(security, sdram, 60.0, 22));
+    s.add_flow(TrafficFlow::new(sdram, security, 50.0, 22));
+
+    // Peripheral ports: light, latency-tolerant flows via DMA/SDRAM.
+    s.add_flow(TrafficFlow::new(usb, sdram, 60.0, 30));
+    s.add_flow(TrafficFlow::new(sdram, usb, 80.0, 30));
+    s.add_flow(TrafficFlow::new(uart, dma, 2.0, 40));
+    s.add_flow(TrafficFlow::new(dma, uart, 3.0, 40));
+    s.add_flow(TrafficFlow::new(spi, dma, 10.0, 40));
+    s.add_flow(TrafficFlow::new(dma, spi, 12.0, 40));
+    s.add_flow(TrafficFlow::new(i2c, dma, 3.0, 40));
+    s.add_flow(TrafficFlow::new(dma, i2c, 4.0, 40));
+    s.add_flow(TrafficFlow::new(sdio, sdram, 50.0, 30));
+    s.add_flow(TrafficFlow::new(sdram, sdio, 60.0, 30));
+    s.add_flow(TrafficFlow::new(gpio, dma, 1.0, 40));
+    s.add_flow(TrafficFlow::new(dma, gpio, 2.0, 40));
+
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_26_cores_and_validates() {
+        let soc = d26_mobile();
+        assert_eq!(soc.core_count(), 26);
+        soc.validate().unwrap();
+    }
+
+    #[test]
+    fn matches_paper_description() {
+        // "several processors, DSPs, caches, DMA controller, integrated
+        //  memory, video decoder engines and a multitude of peripheral I/O".
+        use crate::core::CoreKind::*;
+        let soc = d26_mobile();
+        assert!(soc.cores_of_kind(Cpu).len() >= 2);
+        assert!(soc.cores_of_kind(Dsp).len() >= 3);
+        assert!(soc.cores_of_kind(Cache).len() >= 4);
+        assert_eq!(soc.cores_of_kind(Dma).len(), 1);
+        assert!(soc.cores_of_kind(Memory).len() >= 3);
+        assert!(!soc.cores_of_kind(VideoDecoder).is_empty());
+        assert!(soc.cores_of_kind(Peripheral).len() >= 6);
+    }
+
+    #[test]
+    fn hottest_flow_is_cache_fill() {
+        let soc = d26_mobile();
+        assert_eq!(soc.max_bandwidth().mbps(), 1200.0);
+        assert_eq!(soc.min_latency_cycles(), 12);
+    }
+
+    #[test]
+    fn system_power_and_area_in_mobile_range() {
+        let soc = d26_mobile();
+        let p = soc.total_core_dyn_power().mw();
+        let a = soc.total_core_area().mm2();
+        assert!(p > 500.0 && p < 1500.0, "system power {p} mW");
+        assert!(a > 25.0 && a < 60.0, "system area {a} mm^2");
+    }
+
+    #[test]
+    fn traffic_is_connected() {
+        // Every core reaches every other through the traffic graph —
+        // required for a single-island reference NoC to make sense.
+        let soc = d26_mobile();
+        let g = soc.traffic_graph();
+        let mut seen = vec![false; g.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(u) = stack.pop() {
+            for &(v, _) in g.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "traffic graph disconnected");
+    }
+}

@@ -1,0 +1,211 @@
+//! D36 — tablet application processor SoC (36 cores).
+
+use crate::core::{CoreKind, CoreSpec};
+use crate::flow::TrafficFlow;
+use crate::spec::SocSpec;
+
+/// Builds a 36-core tablet SoC: quad CPU with per-pair split caches, GPU,
+/// two DSPs, full media pipeline, four memories (dual-channel SDRAM + SRAM
+/// always-on), connectivity trio (cellular, Wi-Fi, BT) and ten peripheral
+/// ports.
+///
+/// Natural logical island count: 7.
+pub fn d36_tablet() -> SocSpec {
+    let mut s = SocSpec::new("d36_tablet");
+
+    let cpu0 = s.add_core(CoreSpec::new("cpu0", CoreKind::Cpu, 2.4, 100.0, 600.0));
+    let cpu1 = s.add_core(CoreSpec::new("cpu1", CoreKind::Cpu, 2.4, 95.0, 600.0));
+    let cpu2 = s.add_core(CoreSpec::new("cpu2", CoreKind::Cpu, 2.4, 90.0, 600.0));
+    let cpu3 = s.add_core(CoreSpec::new("cpu3", CoreKind::Cpu, 2.4, 85.0, 600.0));
+    let icache0 = s.add_core(CoreSpec::new("icache0", CoreKind::Cache, 1.0, 20.0, 600.0));
+    let dcache0 = s.add_core(CoreSpec::new("dcache0", CoreKind::Cache, 1.0, 19.0, 600.0));
+    let icache1 = s.add_core(CoreSpec::new("icache1", CoreKind::Cache, 1.0, 18.0, 600.0));
+    let dcache1 = s.add_core(CoreSpec::new("dcache1", CoreKind::Cache, 1.0, 17.0, 600.0));
+    let dma = s.add_core(CoreSpec::new("dma", CoreKind::Dma, 0.6, 14.0, 300.0));
+    let security = s.add_core(CoreSpec::new(
+        "security",
+        CoreKind::Security,
+        0.8,
+        15.0,
+        250.0,
+    ));
+    let gpu = s.add_core(CoreSpec::new("gpu", CoreKind::Gpu, 3.5, 110.0, 450.0));
+    let dsp0 = s.add_core(CoreSpec::new("dsp0", CoreKind::Dsp, 1.6, 50.0, 350.0));
+    let dsp1 = s.add_core(CoreSpec::new("dsp1", CoreKind::Dsp, 1.6, 48.0, 350.0));
+    let viddec = s.add_core(CoreSpec::new(
+        "viddec",
+        CoreKind::VideoDecoder,
+        2.8,
+        80.0,
+        300.0,
+    ));
+    let videnc = s.add_core(CoreSpec::new(
+        "videnc",
+        CoreKind::VideoEncoder,
+        2.6,
+        70.0,
+        300.0,
+    ));
+    let display = s.add_core(CoreSpec::new(
+        "display",
+        CoreKind::Display,
+        1.3,
+        32.0,
+        200.0,
+    ));
+    let imaging = s.add_core(CoreSpec::new(
+        "imaging",
+        CoreKind::Imaging,
+        2.0,
+        55.0,
+        250.0,
+    ));
+    let audio = s.add_core(CoreSpec::new("audio", CoreKind::Audio, 0.9, 14.0, 100.0));
+    let sdram0 =
+        s.add_core(CoreSpec::new("sdram0", CoreKind::Memory, 3.0, 42.0, 333.0).always_on());
+    let sdram1 =
+        s.add_core(CoreSpec::new("sdram1", CoreKind::Memory, 3.0, 40.0, 333.0).always_on());
+    let sram = s.add_core(CoreSpec::new("sram", CoreKind::Memory, 2.0, 22.0, 400.0).always_on());
+    let flash = s.add_core(CoreSpec::new("flash", CoreKind::Memory, 1.2, 10.0, 133.0));
+    let modem = s.add_core(CoreSpec::new("modem", CoreKind::Modem, 3.2, 75.0, 300.0));
+    let wifi = s.add_core(CoreSpec::new("wifi", CoreKind::Modem, 1.8, 45.0, 250.0));
+    let bt = s.add_core(CoreSpec::new("bt", CoreKind::Modem, 0.9, 15.0, 150.0));
+    let usb0 = s.add_core(CoreSpec::new("usb0", CoreKind::Peripheral, 0.6, 9.0, 60.0));
+    let usb1 = s.add_core(CoreSpec::new("usb1", CoreKind::Peripheral, 0.6, 8.0, 60.0));
+    let uart = s.add_core(CoreSpec::new("uart", CoreKind::Peripheral, 0.2, 2.0, 50.0));
+    let spi = s.add_core(CoreSpec::new("spi", CoreKind::Peripheral, 0.2, 3.0, 50.0));
+    let i2c = s.add_core(CoreSpec::new("i2c", CoreKind::Peripheral, 0.2, 2.0, 50.0));
+    let sdio = s.add_core(CoreSpec::new("sdio", CoreKind::Peripheral, 0.5, 8.0, 100.0));
+    let gpio = s.add_core(CoreSpec::new("gpio", CoreKind::Peripheral, 0.2, 2.0, 50.0));
+    let keypad = s.add_core(CoreSpec::new(
+        "keypad",
+        CoreKind::Peripheral,
+        0.2,
+        1.0,
+        50.0,
+    ));
+    let touch = s.add_core(CoreSpec::new("touch", CoreKind::Peripheral, 0.3, 4.0, 50.0));
+    let sensors = s.add_core(CoreSpec::new(
+        "sensors",
+        CoreKind::Peripheral,
+        0.3,
+        4.0,
+        50.0,
+    ));
+    let mipi = s.add_core(CoreSpec::new("mipi", CoreKind::Peripheral, 0.4, 6.0, 100.0));
+
+    // CPU pairs share cache slices.
+    s.add_flow(TrafficFlow::new(cpu0, icache0, 800.0, 12));
+    s.add_flow(TrafficFlow::new(icache0, cpu0, 1250.0, 12));
+    s.add_flow(TrafficFlow::new(cpu1, icache0, 700.0, 12));
+    s.add_flow(TrafficFlow::new(icache0, cpu1, 1050.0, 12));
+    s.add_flow(TrafficFlow::new(cpu0, dcache0, 620.0, 12));
+    s.add_flow(TrafficFlow::new(dcache0, cpu0, 950.0, 12));
+    s.add_flow(TrafficFlow::new(cpu1, dcache0, 560.0, 12));
+    s.add_flow(TrafficFlow::new(dcache0, cpu1, 850.0, 12));
+    s.add_flow(TrafficFlow::new(cpu2, icache1, 760.0, 12));
+    s.add_flow(TrafficFlow::new(icache1, cpu2, 1150.0, 12));
+    s.add_flow(TrafficFlow::new(cpu3, icache1, 680.0, 12));
+    s.add_flow(TrafficFlow::new(icache1, cpu3, 1000.0, 12));
+    s.add_flow(TrafficFlow::new(cpu2, dcache1, 600.0, 12));
+    s.add_flow(TrafficFlow::new(dcache1, cpu2, 900.0, 12));
+    s.add_flow(TrafficFlow::new(cpu3, dcache1, 540.0, 12));
+    s.add_flow(TrafficFlow::new(dcache1, cpu3, 820.0, 12));
+
+    // Caches miss to the two SDRAM channels.
+    s.add_flow(TrafficFlow::new(icache0, sdram0, 280.0, 16));
+    s.add_flow(TrafficFlow::new(sdram0, icache0, 360.0, 16));
+    s.add_flow(TrafficFlow::new(dcache0, sdram0, 240.0, 16));
+    s.add_flow(TrafficFlow::new(sdram0, dcache0, 300.0, 16));
+    s.add_flow(TrafficFlow::new(icache1, sdram1, 260.0, 16));
+    s.add_flow(TrafficFlow::new(sdram1, icache1, 340.0, 16));
+    s.add_flow(TrafficFlow::new(dcache1, sdram1, 230.0, 16));
+    s.add_flow(TrafficFlow::new(sdram1, dcache1, 290.0, 16));
+
+    // GPU streams textures/frames from channel 1.
+    s.add_flow(TrafficFlow::new(gpu, sdram1, 420.0, 14));
+    s.add_flow(TrafficFlow::new(sdram1, gpu, 520.0, 14));
+    s.add_flow(TrafficFlow::new(gpu, display, 260.0, 18));
+
+    // DSPs on SRAM.
+    s.add_flow(TrafficFlow::new(dsp0, sram, 340.0, 14));
+    s.add_flow(TrafficFlow::new(sram, dsp0, 420.0, 14));
+    s.add_flow(TrafficFlow::new(dsp1, sram, 300.0, 14));
+    s.add_flow(TrafficFlow::new(sram, dsp1, 360.0, 14));
+    s.add_flow(TrafficFlow::new(dsp0, dsp1, 140.0, 14));
+
+    // Media pipeline on channel 0.
+    s.add_flow(TrafficFlow::new(sdram0, viddec, 380.0, 18));
+    s.add_flow(TrafficFlow::new(viddec, sdram0, 300.0, 18));
+    s.add_flow(TrafficFlow::new(viddec, display, 210.0, 20));
+    s.add_flow(TrafficFlow::new(sdram0, display, 300.0, 18));
+    s.add_flow(TrafficFlow::new(mipi, imaging, 240.0, 20));
+    s.add_flow(TrafficFlow::new(imaging, videnc, 230.0, 20));
+    s.add_flow(TrafficFlow::new(imaging, sdram0, 260.0, 20));
+    s.add_flow(TrafficFlow::new(videnc, sdram0, 180.0, 20));
+    s.add_flow(TrafficFlow::new(sdram0, videnc, 130.0, 20));
+    s.add_flow(TrafficFlow::new(sram, audio, 20.0, 30));
+    s.add_flow(TrafficFlow::new(audio, sram, 13.0, 30));
+
+    // Connectivity.
+    s.add_flow(TrafficFlow::new(modem, sdram0, 140.0, 20));
+    s.add_flow(TrafficFlow::new(sdram0, modem, 120.0, 20));
+    s.add_flow(TrafficFlow::new(wifi, sdram1, 160.0, 20));
+    s.add_flow(TrafficFlow::new(sdram1, wifi, 180.0, 20));
+    s.add_flow(TrafficFlow::new(bt, sram, 12.0, 30));
+    s.add_flow(TrafficFlow::new(sram, bt, 10.0, 30));
+    s.add_flow(TrafficFlow::new(modem, security, 80.0, 22));
+    s.add_flow(TrafficFlow::new(security, sdram0, 70.0, 22));
+
+    // DMA + storage + low-rate I/O.
+    s.add_flow(TrafficFlow::new(dma, sdram0, 220.0, 18));
+    s.add_flow(TrafficFlow::new(sdram0, dma, 220.0, 18));
+    s.add_flow(TrafficFlow::new(dma, flash, 100.0, 24));
+    s.add_flow(TrafficFlow::new(flash, dma, 130.0, 24));
+    s.add_flow(TrafficFlow::new(usb0, sdram1, 70.0, 30));
+    s.add_flow(TrafficFlow::new(sdram1, usb0, 90.0, 30));
+    s.add_flow(TrafficFlow::new(usb1, sdram1, 50.0, 30));
+    s.add_flow(TrafficFlow::new(sdram1, usb1, 60.0, 30));
+    s.add_flow(TrafficFlow::new(sdio, sdram1, 55.0, 30));
+    s.add_flow(TrafficFlow::new(sdram1, sdio, 65.0, 30));
+    s.add_flow(TrafficFlow::new(uart, dma, 2.0, 40));
+    s.add_flow(TrafficFlow::new(dma, uart, 3.0, 40));
+    s.add_flow(TrafficFlow::new(spi, dma, 9.0, 40));
+    s.add_flow(TrafficFlow::new(dma, spi, 11.0, 40));
+    s.add_flow(TrafficFlow::new(i2c, dma, 3.0, 40));
+    s.add_flow(TrafficFlow::new(dma, i2c, 4.0, 40));
+    s.add_flow(TrafficFlow::new(gpio, dma, 1.0, 40));
+    s.add_flow(TrafficFlow::new(dma, gpio, 2.0, 40));
+    s.add_flow(TrafficFlow::new(keypad, dma, 1.0, 40));
+    s.add_flow(TrafficFlow::new(touch, dma, 6.0, 36));
+    s.add_flow(TrafficFlow::new(sensors, dma, 5.0, 36));
+    s.add_flow(TrafficFlow::new(dma, sensors, 2.0, 36));
+
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::logical_partition;
+
+    #[test]
+    fn validates_with_36_cores() {
+        let soc = d36_tablet();
+        assert_eq!(soc.core_count(), 36);
+        soc.validate().unwrap();
+    }
+
+    #[test]
+    fn supports_seven_logical_islands() {
+        let vi = logical_partition(&d36_tablet(), 7).unwrap();
+        assert_eq!(vi.island_count(), 7);
+    }
+
+    #[test]
+    fn is_the_largest_suite_member() {
+        let soc = d36_tablet();
+        assert!(soc.total_core_area().mm2() > 40.0);
+        assert!(soc.flow_count() > 60);
+    }
+}

@@ -1,0 +1,106 @@
+//! Bundled SoC benchmarks.
+//!
+//! [`d26_mobile`] reconstructs the paper's case-study SoC: *"The benchmark
+//! has 26 cores, consisting of several processors, DSPs, caches, DMA
+//! controller, integrated memory, video decoder engines and a multitude of
+//! peripheral I/O ports"* (§5). The remaining benchmarks stand in for the
+//! paper's "variety of SoC benchmarks" used for the suite-wide overhead
+//! numbers (3 % power, < 0.5 % area): realistic core mixes and traffic
+//! patterns for four other embedded product classes.
+//!
+//! All bandwidths are sustained MB/s; latency constraints are zero-load NoC
+//! cycles. Every spec validates (`SocSpec::validate`) and supports logical
+//! partitioning at its natural island count.
+
+mod d12;
+mod d16;
+mod d20;
+mod d26;
+mod d36;
+
+pub use d12::d12_auto;
+pub use d16::d16_settop;
+pub use d20::d20_baseband;
+pub use d26::d26_mobile;
+pub use d36::d36_tablet;
+
+use crate::spec::SocSpec;
+
+/// The full benchmark suite with each design's natural logical island count,
+/// as used by the suite-wide overhead experiment (T1).
+pub fn suite() -> Vec<(SocSpec, usize)> {
+    vec![
+        (d12_auto(), 4),
+        (d16_settop(), 5),
+        (d20_baseband(), 5),
+        (d26_mobile(), 6),
+        (d36_tablet(), 7),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::logical_partition;
+
+    #[test]
+    fn all_benchmarks_validate() {
+        for (soc, _) in suite() {
+            soc.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", soc.name()));
+        }
+    }
+
+    #[test]
+    fn suite_core_counts_match_names() {
+        let counts: Vec<(String, usize)> = suite()
+            .into_iter()
+            .map(|(s, _)| (s.name().to_string(), s.core_count()))
+            .collect();
+        assert_eq!(
+            counts,
+            vec![
+                ("d12_auto".to_string(), 12),
+                ("d16_settop".to_string(), 16),
+                ("d20_baseband".to_string(), 20),
+                ("d26_mobile".to_string(), 26),
+                ("d36_tablet".to_string(), 36),
+            ]
+        );
+    }
+
+    #[test]
+    fn natural_island_counts_are_realizable() {
+        for (soc, k) in suite() {
+            let vi =
+                logical_partition(&soc, k).unwrap_or_else(|e| panic!("{} k={k}: {e}", soc.name()));
+            assert_eq!(vi.island_count(), k);
+        }
+    }
+
+    #[test]
+    fn every_benchmark_has_an_always_on_memory() {
+        for (soc, _) in suite() {
+            assert!(
+                soc.cores().iter().any(|c| c.always_on),
+                "{} lacks an always-on core",
+                soc.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_core_participates_in_traffic() {
+        for (soc, _) in suite() {
+            for id in soc.core_ids() {
+                let (i, o) = soc.core_io_bandwidth(id);
+                assert!(
+                    i.bytes_per_s() + o.bytes_per_s() > 0.0,
+                    "{}: core {} has no traffic",
+                    soc.name(),
+                    soc.core(id).name
+                );
+            }
+        }
+    }
+}

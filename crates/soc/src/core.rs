@@ -1,0 +1,185 @@
+//! Core (IP block) descriptions.
+
+use std::fmt;
+use vi_noc_models::{Area, Frequency, Power};
+
+/// Identifier of a core within a [`crate::SocSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoreId(pub(crate) usize);
+
+impl CoreId {
+    /// Creates a core id from a raw dense index.
+    pub fn from_index(index: usize) -> Self {
+        CoreId(index)
+    }
+
+    /// The dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Functional category of a core, used by logical VI partitioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CoreKind {
+    /// General-purpose processor.
+    Cpu,
+    /// Digital signal processor.
+    Dsp,
+    /// Graphics processor.
+    Gpu,
+    /// Instruction or data cache slice.
+    Cache,
+    /// DMA engine.
+    Dma,
+    /// Memory controller / on-chip memory.
+    Memory,
+    /// Video decoder engine.
+    VideoDecoder,
+    /// Video encoder engine.
+    VideoEncoder,
+    /// Camera/imaging signal processor.
+    Imaging,
+    /// Audio codec/processor.
+    Audio,
+    /// Display controller.
+    Display,
+    /// Cellular/wireless modem.
+    Modem,
+    /// Crypto/security engine.
+    Security,
+    /// Fixed-function accelerator (FFT, codec, …).
+    Accelerator,
+    /// Peripheral I/O port (USB, UART, SPI, SDIO, …).
+    Peripheral,
+}
+
+impl CoreKind {
+    /// All kinds, for iteration in tests and generators.
+    pub const ALL: [CoreKind; 15] = [
+        CoreKind::Cpu,
+        CoreKind::Dsp,
+        CoreKind::Gpu,
+        CoreKind::Cache,
+        CoreKind::Dma,
+        CoreKind::Memory,
+        CoreKind::VideoDecoder,
+        CoreKind::VideoEncoder,
+        CoreKind::Imaging,
+        CoreKind::Audio,
+        CoreKind::Display,
+        CoreKind::Modem,
+        CoreKind::Security,
+        CoreKind::Accelerator,
+        CoreKind::Peripheral,
+    ];
+}
+
+impl fmt::Display for CoreKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CoreKind::Cpu => "cpu",
+            CoreKind::Dsp => "dsp",
+            CoreKind::Gpu => "gpu",
+            CoreKind::Cache => "cache",
+            CoreKind::Dma => "dma",
+            CoreKind::Memory => "memory",
+            CoreKind::VideoDecoder => "video-decoder",
+            CoreKind::VideoEncoder => "video-encoder",
+            CoreKind::Imaging => "imaging",
+            CoreKind::Audio => "audio",
+            CoreKind::Display => "display",
+            CoreKind::Modem => "modem",
+            CoreKind::Security => "security",
+            CoreKind::Accelerator => "accelerator",
+            CoreKind::Peripheral => "peripheral",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static description of one core (IP block) of the SoC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreSpec {
+    /// Human-readable instance name (unique within a spec).
+    pub name: String,
+    /// Functional category.
+    pub kind: CoreKind,
+    /// Silicon area of the core.
+    pub area: Area,
+    /// Active dynamic power of the core (used for system-power context).
+    pub dyn_power: Power,
+    /// The core's own clock (NIs convert to the island's NoC clock).
+    pub clock: Frequency,
+    /// `true` if the core must remain powered in every usage scenario
+    /// (e.g. shared memories that any active core may address).
+    pub always_on: bool,
+}
+
+impl CoreSpec {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        kind: CoreKind,
+        area_mm2: f64,
+        dyn_power_mw: f64,
+        clock_mhz: f64,
+    ) -> Self {
+        CoreSpec {
+            name: name.into(),
+            kind,
+            area: Area::from_mm2(area_mm2),
+            dyn_power: Power::from_mw(dyn_power_mw),
+            clock: Frequency::from_mhz(clock_mhz),
+            always_on: false,
+        }
+    }
+
+    /// Marks the core as never-shutdown (builder style).
+    pub fn always_on(mut self) -> Self {
+        self.always_on = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_id_round_trips() {
+        let id = CoreId::from_index(11);
+        assert_eq!(id.index(), 11);
+        assert_eq!(id.to_string(), "c11");
+    }
+
+    #[test]
+    fn kind_display_is_kebab() {
+        assert_eq!(CoreKind::VideoDecoder.to_string(), "video-decoder");
+        assert_eq!(CoreKind::Cpu.to_string(), "cpu");
+    }
+
+    #[test]
+    fn all_kinds_listed_once() {
+        let mut seen = std::collections::HashSet::new();
+        for k in CoreKind::ALL {
+            assert!(seen.insert(format!("{k:?}")));
+        }
+        assert_eq!(seen.len(), 15);
+    }
+
+    #[test]
+    fn builder_sets_always_on() {
+        let c = CoreSpec::new("sdram", CoreKind::Memory, 2.0, 30.0, 200.0).always_on();
+        assert!(c.always_on);
+        assert_eq!(c.kind, CoreKind::Memory);
+        assert!((c.area.mm2() - 2.0).abs() < 1e-12);
+    }
+}

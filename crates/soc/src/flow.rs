@@ -1,0 +1,75 @@
+//! Point-to-point traffic flows.
+
+use crate::core::CoreId;
+use std::fmt;
+use vi_noc_models::Bandwidth;
+
+/// Identifier of a flow within a [`crate::SocSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub(crate) usize);
+
+impl FlowId {
+    /// Creates a flow id from a raw dense index.
+    pub fn from_index(index: usize) -> Self {
+        FlowId(index)
+    }
+
+    /// The dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A unidirectional traffic flow between two cores, with its bandwidth
+/// requirement and zero-load latency constraint.
+///
+/// This is the paper's `(v_i, v_j)` edge with `bw_{i,j}` and `lat_{i,j}`
+/// (Definition 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficFlow {
+    /// Producing core.
+    pub src: CoreId,
+    /// Consuming core.
+    pub dst: CoreId,
+    /// Sustained bandwidth requirement.
+    pub bandwidth: Bandwidth,
+    /// Maximum tolerated zero-load latency, in NoC cycles.
+    pub max_latency_cycles: u32,
+}
+
+impl TrafficFlow {
+    /// Convenience constructor with bandwidth in MB/s.
+    pub fn new(src: CoreId, dst: CoreId, bandwidth_mbps: f64, max_latency_cycles: u32) -> Self {
+        TrafficFlow {
+            src,
+            dst,
+            bandwidth: Bandwidth::from_mbps(bandwidth_mbps),
+            max_latency_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_id_round_trips() {
+        let id = FlowId::from_index(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "f3");
+    }
+
+    #[test]
+    fn constructor_converts_units() {
+        let f = TrafficFlow::new(CoreId::from_index(0), CoreId::from_index(1), 250.0, 12);
+        assert_eq!(f.bandwidth.mbps(), 250.0);
+        assert_eq!(f.max_latency_cycles, 12);
+    }
+}

@@ -1,0 +1,301 @@
+//! Seeded synthetic SoC generator.
+//!
+//! Used by the scaling experiments (T3) and property tests: produces
+//! arbitrary-size SoCs whose traffic has the same *structure* as the bundled
+//! benchmarks — hub traffic into a few memories, hot processor↔cache pairs,
+//! pipeline chains among media/accelerator cores and light peripheral flows.
+
+use crate::core::{CoreKind, CoreSpec};
+use crate::flow::TrafficFlow;
+use crate::spec::SocSpec;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters for [`generate_synthetic`].
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Total number of cores (minimum 4).
+    pub n_cores: usize,
+    /// RNG seed; equal seeds give identical specs.
+    pub seed: u64,
+    /// Fraction of cores that are memories (at least one is created).
+    pub memory_fraction: f64,
+    /// Fraction of cores that are processors (CPU/DSP, each with a cache
+    /// when the budget allows).
+    pub compute_fraction: f64,
+    /// Mean bandwidth of hot flows, MB/s.
+    pub hot_bandwidth_mbps: f64,
+    /// Mean bandwidth of background flows, MB/s.
+    pub light_bandwidth_mbps: f64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            n_cores: 24,
+            seed: 0xC0FFEE,
+            memory_fraction: 0.12,
+            compute_fraction: 0.35,
+            hot_bandwidth_mbps: 700.0,
+            light_bandwidth_mbps: 20.0,
+        }
+    }
+}
+
+/// Generates a synthetic SoC spec.
+///
+/// The result always validates, is fully traffic-connected, has at least one
+/// always-on memory, and populates enough functional groups for logical
+/// partitioning up to 4 islands.
+///
+/// # Panics
+///
+/// Panics if `cfg.n_cores < 4`.
+pub fn generate_synthetic(cfg: &SyntheticConfig) -> SocSpec {
+    assert!(cfg.n_cores >= 4, "need at least 4 cores");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut s = SocSpec::new(format!("synthetic_{}c_{}", cfg.n_cores, cfg.seed));
+
+    let n = cfg.n_cores;
+    let n_mem = ((n as f64 * cfg.memory_fraction).round() as usize).max(1);
+    let n_cpu = ((n as f64 * cfg.compute_fraction / 2.0).round() as usize).max(1);
+    let n_cache = n_cpu.min(n.saturating_sub(n_mem + n_cpu + 2));
+    let n_media = ((n - n_mem - n_cpu - n_cache) / 2).max(1);
+    let n_periph = n - n_mem - n_cpu - n_cache - n_media;
+
+    let mut mems = Vec::new();
+    for i in 0..n_mem {
+        let core = CoreSpec::new(
+            format!("mem{i}"),
+            CoreKind::Memory,
+            1.5 + rng.random::<f64>(),
+            20.0 + rng.random::<f64>() * 20.0,
+            266.0,
+        );
+        let core = if i == 0 { core.always_on() } else { core };
+        mems.push(s.add_core(core));
+    }
+    let mut cpus = Vec::new();
+    for i in 0..n_cpu {
+        let kind = if i % 2 == 0 {
+            CoreKind::Cpu
+        } else {
+            CoreKind::Dsp
+        };
+        cpus.push(s.add_core(CoreSpec::new(
+            format!("proc{i}"),
+            kind,
+            1.5 + rng.random::<f64>(),
+            40.0 + rng.random::<f64>() * 60.0,
+            400.0,
+        )));
+    }
+    let mut caches = Vec::new();
+    for i in 0..n_cache {
+        caches.push(s.add_core(CoreSpec::new(
+            format!("cache{i}"),
+            CoreKind::Cache,
+            0.8,
+            12.0 + rng.random::<f64>() * 8.0,
+            400.0,
+        )));
+    }
+    let media_kinds = [
+        CoreKind::VideoDecoder,
+        CoreKind::VideoEncoder,
+        CoreKind::Imaging,
+        CoreKind::Display,
+        CoreKind::Audio,
+        CoreKind::Accelerator,
+    ];
+    let mut media = Vec::new();
+    for i in 0..n_media {
+        media.push(s.add_core(CoreSpec::new(
+            format!("media{i}"),
+            media_kinds[i % media_kinds.len()],
+            1.0 + rng.random::<f64>() * 2.0,
+            25.0 + rng.random::<f64>() * 50.0,
+            250.0,
+        )));
+    }
+    let mut periphs = Vec::new();
+    for i in 0..n_periph {
+        periphs.push(s.add_core(CoreSpec::new(
+            format!("periph{i}"),
+            CoreKind::Peripheral,
+            0.2 + rng.random::<f64>() * 0.4,
+            2.0 + rng.random::<f64>() * 8.0,
+            60.0,
+        )));
+    }
+
+    let jitter = |rng: &mut StdRng, mean: f64| mean * (0.6 + 0.8 * rng.random::<f64>());
+
+    // Hot processor <-> cache pairs; caches miss to a memory.
+    for (i, &cpu) in cpus.iter().enumerate() {
+        if let Some(&cache) = caches.get(i % n_cache.max(1)) {
+            s.add_flow(TrafficFlow::new(
+                cpu,
+                cache,
+                jitter(&mut rng, cfg.hot_bandwidth_mbps * 0.6),
+                12,
+            ));
+            s.add_flow(TrafficFlow::new(
+                cache,
+                cpu,
+                jitter(&mut rng, cfg.hot_bandwidth_mbps),
+                12,
+            ));
+            let mem = mems[i % n_mem];
+            s.add_flow(TrafficFlow::new(
+                cache,
+                mem,
+                jitter(&mut rng, cfg.hot_bandwidth_mbps * 0.25),
+                16,
+            ));
+            s.add_flow(TrafficFlow::new(
+                mem,
+                cache,
+                jitter(&mut rng, cfg.hot_bandwidth_mbps * 0.3),
+                16,
+            ));
+        } else {
+            // No cache budget: processor talks to memory directly.
+            let mem = mems[i % n_mem];
+            s.add_flow(TrafficFlow::new(
+                cpu,
+                mem,
+                jitter(&mut rng, cfg.hot_bandwidth_mbps * 0.4),
+                14,
+            ));
+            s.add_flow(TrafficFlow::new(
+                mem,
+                cpu,
+                jitter(&mut rng, cfg.hot_bandwidth_mbps * 0.5),
+                14,
+            ));
+        }
+    }
+
+    // Media pipeline chain + memory master.
+    for (i, &m) in media.iter().enumerate() {
+        let mem = mems[(i + 1) % n_mem];
+        s.add_flow(TrafficFlow::new(
+            mem,
+            m,
+            jitter(&mut rng, cfg.hot_bandwidth_mbps * 0.35),
+            18,
+        ));
+        s.add_flow(TrafficFlow::new(
+            m,
+            mem,
+            jitter(&mut rng, cfg.hot_bandwidth_mbps * 0.25),
+            18,
+        ));
+        if i + 1 < media.len() {
+            s.add_flow(TrafficFlow::new(
+                m,
+                media[i + 1],
+                jitter(&mut rng, cfg.hot_bandwidth_mbps * 0.2),
+                20,
+            ));
+        }
+    }
+
+    // Peripherals exchange light traffic with memory 0.
+    for &p in &periphs {
+        s.add_flow(TrafficFlow::new(
+            p,
+            mems[0],
+            jitter(&mut rng, cfg.light_bandwidth_mbps),
+            36,
+        ));
+        s.add_flow(TrafficFlow::new(
+            mems[0],
+            p,
+            jitter(&mut rng, cfg.light_bandwidth_mbps),
+            36,
+        ));
+    }
+
+    // Memories exchange background refresh/copy traffic so the traffic graph
+    // is connected even with several memories.
+    for w in mems.windows(2) {
+        s.add_flow(TrafficFlow::new(
+            w[0],
+            w[1],
+            jitter(&mut rng, cfg.light_bandwidth_mbps * 3.0),
+            24,
+        ));
+    }
+
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_specs_validate() {
+        for n in [4usize, 8, 16, 32, 64, 128] {
+            let cfg = SyntheticConfig {
+                n_cores: n,
+                ..SyntheticConfig::default()
+            };
+            let s = generate_synthetic(&cfg);
+            assert_eq!(s.core_count(), n, "n={n}");
+            s.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SyntheticConfig::default();
+        assert_eq!(generate_synthetic(&cfg), generate_synthetic(&cfg));
+        let other = SyntheticConfig {
+            seed: 1,
+            ..SyntheticConfig::default()
+        };
+        assert_ne!(generate_synthetic(&cfg), generate_synthetic(&other));
+    }
+
+    #[test]
+    fn always_has_always_on_memory() {
+        let s = generate_synthetic(&SyntheticConfig::default());
+        assert!(s.cores().iter().any(|c| c.always_on));
+    }
+
+    #[test]
+    fn traffic_graph_is_connected() {
+        for seed in 0..5 {
+            let s = generate_synthetic(&SyntheticConfig {
+                seed,
+                n_cores: 30,
+                ..SyntheticConfig::default()
+            });
+            let g = s.traffic_graph();
+            let mut seen = vec![false; g.len()];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            while let Some(u) = stack.pop() {
+                for &(v, _) in g.neighbors(u) {
+                    if !seen[v] {
+                        seen[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&x| x), "seed {seed} disconnected");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn rejects_tiny_configs() {
+        generate_synthetic(&SyntheticConfig {
+            n_cores: 3,
+            ..SyntheticConfig::default()
+        });
+    }
+}

@@ -1,0 +1,190 @@
+//! Logical (function-based) voltage-island partitioning.
+
+use super::{PartitionError, ViAssignment};
+use crate::core::CoreKind;
+use crate::spec::SocSpec;
+
+/// Functional groups ordered by the split hierarchy.
+///
+/// Logical partitioning mimics a designer's island plan: islands hold cores
+/// with related function (and therefore correlated activity and similar
+/// voltage/frequency needs). The hierarchy below is cut at increasing depth
+/// to produce 1..=7 islands, matching the paper's sweep:
+///
+/// * k=1: everything together (the reference design point)
+/// * k=2: memories (always-on) | rest
+/// * k=3: memories | compute | media+io
+/// * k=4: memories | compute | media | io
+/// * k=5: memories | cpu-side | dsp-side | media | io
+/// * k=6: memories | cpu-side | dsp-side | video | audio+imaging | io
+/// * k=7: memories | cpu-side | dsp-side | video | audio+imaging |
+///   peripherals | connectivity
+///
+/// `k = core_count` puts every core in its own island (the paper's rightmost
+/// data point, 26 islands for the D26 SoC).
+fn group_of(kind: CoreKind, k: usize) -> usize {
+    use CoreKind::*;
+    // Deepest split (k = 7): 7 functional groups.
+    let deep = match kind {
+        Memory => 0,
+        Cpu | Cache | Dma | Security => 1,
+        Dsp | Gpu | Accelerator => 2,
+        VideoDecoder | VideoEncoder | Display => 3,
+        Audio | Imaging => 4,
+        Peripheral => 5,
+        Modem => 6,
+    };
+    // Merge groups according to how shallow the requested cut is.
+    match k {
+        0 | 1 => 0,
+        2 => {
+            if deep == 0 {
+                0
+            } else {
+                1
+            }
+        }
+        3 => match deep {
+            0 => 0,
+            1 | 2 => 1,
+            _ => 2,
+        },
+        4 => match deep {
+            0 => 0,
+            1 | 2 => 1,
+            3 | 4 => 2,
+            _ => 3,
+        },
+        5 => match deep {
+            0 => 0,
+            1 => 1,
+            2 => 2,
+            3 | 4 => 3,
+            _ => 4,
+        },
+        6 => match deep {
+            0 => 0,
+            1 => 1,
+            2 => 2,
+            3 => 3,
+            4 => 4,
+            _ => 5,
+        },
+        _ => deep,
+    }
+}
+
+/// Partitions `spec` into `k` voltage islands by core functionality.
+///
+/// Supported island counts are `1..=7` (the functional hierarchy above) and
+/// `spec.core_count()` (one island per core). If a functional group is empty
+/// for this spec, islands are renumbered densely, and the *requested* count
+/// must still be realizable — otherwise an error is returned.
+///
+/// # Errors
+///
+/// [`PartitionError::UnsupportedIslandCount`] if `k` is zero, exceeds the
+/// core count, is between 8 and `core_count - 1`, or more islands were
+/// requested than this spec's functional mix can populate.
+pub fn logical_partition(spec: &SocSpec, k: usize) -> Result<ViAssignment, PartitionError> {
+    let n = spec.core_count();
+    let err = || PartitionError::UnsupportedIslandCount {
+        requested: k,
+        cores: n,
+    };
+    if k == 0 || k > n {
+        return Err(err());
+    }
+    if k == n {
+        return Ok(ViAssignment::new(spec, n, (0..n).collect()));
+    }
+    if k > 7 {
+        return Err(err());
+    }
+
+    let raw: Vec<usize> = spec.cores().iter().map(|c| group_of(c.kind, k)).collect();
+    // Renumber densely in order of first appearance by group index order
+    // (keep group 0 = memories first for stable reporting).
+    let mut remap = [usize::MAX; 7];
+    let mut next = 0;
+    for (g, slot) in remap.iter_mut().enumerate() {
+        if raw.contains(&g) {
+            *slot = next;
+            next += 1;
+        }
+    }
+    if next != k {
+        return Err(err());
+    }
+    let island_of: Vec<usize> = raw.into_iter().map(|g| remap[g]).collect();
+    Ok(ViAssignment::new(spec, k, island_of))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+    use crate::core::CoreKind;
+
+    #[test]
+    fn d26_supports_paper_sweep() {
+        let soc = benchmarks::d26_mobile();
+        for k in [1usize, 2, 3, 4, 5, 6, 7] {
+            let vi = logical_partition(&soc, k).unwrap_or_else(|e| panic!("k={k}: {e}"));
+            assert_eq!(vi.island_count(), k);
+        }
+        let all = logical_partition(&soc, 26).unwrap();
+        assert_eq!(all.island_count(), 26);
+    }
+
+    #[test]
+    fn memory_island_is_always_on() {
+        let soc = benchmarks::d26_mobile();
+        for k in 2..=7 {
+            let vi = logical_partition(&soc, k).unwrap();
+            // Island 0 is the memory island by construction.
+            let mem_core = soc.cores_of_kind(CoreKind::Memory)[0];
+            let mem_island = vi.island_of(mem_core);
+            assert!(
+                !vi.can_shutdown(mem_island),
+                "k={k}: shared-memory island must be always-on"
+            );
+        }
+    }
+
+    #[test]
+    fn memories_stay_together_until_discrete() {
+        let soc = benchmarks::d26_mobile();
+        let vi = logical_partition(&soc, 6).unwrap();
+        let mems = soc.cores_of_kind(CoreKind::Memory);
+        let first = vi.island_of(mems[0]);
+        for &m in &mems {
+            assert_eq!(vi.island_of(m), first);
+        }
+    }
+
+    #[test]
+    fn cpus_and_caches_share_an_island() {
+        let soc = benchmarks::d26_mobile();
+        let vi = logical_partition(&soc, 7).unwrap();
+        let cpu = soc.cores_of_kind(CoreKind::Cpu)[0];
+        let cache = soc.cores_of_kind(CoreKind::Cache)[0];
+        assert_eq!(vi.island_of(cpu), vi.island_of(cache));
+    }
+
+    #[test]
+    fn rejects_unrealizable_counts() {
+        let soc = benchmarks::d26_mobile();
+        assert!(logical_partition(&soc, 0).is_err());
+        assert!(logical_partition(&soc, 8).is_err());
+        assert!(logical_partition(&soc, 25).is_err());
+        assert!(logical_partition(&soc, 27).is_err());
+    }
+
+    #[test]
+    fn single_island_is_reference_point() {
+        let soc = benchmarks::d26_mobile();
+        let vi = logical_partition(&soc, 1).unwrap();
+        assert!(vi.assignment().iter().all(|&i| i == 0));
+    }
+}

@@ -1,0 +1,192 @@
+//! Core → voltage-island assignment strategies.
+//!
+//! The assignment of cores to voltage islands is an *input* to the paper's
+//! synthesis algorithm (§3.1: "The cores of the design are assigned to
+//! different VIs, which is given as an input to our method"). The paper's
+//! evaluation compares two ways of producing that input (§5):
+//!
+//! * [`logical_partition`] — group by functionality: shared memories in one
+//!   (never shut down) island, processors with their caches, the media
+//!   pipeline together, peripherals together. This mirrors how a designer
+//!   would draw islands, and is the "logical partitioning" curve of
+//!   Figures 2–3.
+//! * [`communication_partition`] — min-cut clustering of the core traffic
+//!   graph, putting heavily-communicating cores in the same island. This is
+//!   the "communication based partitioning" curve.
+
+mod communication;
+mod logical;
+
+pub use communication::communication_partition;
+pub use logical::logical_partition;
+
+use crate::core::CoreId;
+use crate::spec::SocSpec;
+use std::fmt;
+
+/// Error produced by partitioning strategies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The requested island count cannot be realized for this spec.
+    UnsupportedIslandCount {
+        /// Requested island count.
+        requested: usize,
+        /// Number of cores in the spec.
+        cores: usize,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::UnsupportedIslandCount { requested, cores } => write!(
+                f,
+                "cannot split {cores} cores into {requested} voltage islands"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// An assignment of every core of a spec to a voltage island.
+///
+/// Islands are dense indices `0..island_count`. An island is *always-on* if
+/// it contains at least one core marked [`crate::CoreSpec::always_on`]
+/// (e.g. shared memories): it can never be power-gated, and in exchange the
+/// synthesis flow may treat it as a safe transit island.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViAssignment {
+    island_of: Vec<usize>,
+    island_count: usize,
+    always_on: Vec<bool>,
+}
+
+impl ViAssignment {
+    /// Creates an assignment from an explicit island index per core.
+    ///
+    /// `always_on` is derived from the spec's core flags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `island_of.len() != spec.core_count()`, if any island index
+    /// is `>= island_count`, or if some island in `0..island_count` is empty.
+    pub fn new(spec: &SocSpec, island_count: usize, island_of: Vec<usize>) -> Self {
+        assert_eq!(
+            island_of.len(),
+            spec.core_count(),
+            "assignment length must match core count"
+        );
+        assert!(island_count > 0, "need at least one island");
+        let mut seen = vec![false; island_count];
+        for &isl in &island_of {
+            assert!(isl < island_count, "island index out of range");
+            seen[isl] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "every island in 0..island_count must hold at least one core"
+        );
+        let mut always_on = vec![false; island_count];
+        for id in spec.core_ids() {
+            if spec.core(id).always_on {
+                always_on[island_of[id.index()]] = true;
+            }
+        }
+        ViAssignment {
+            island_of,
+            island_count,
+            always_on,
+        }
+    }
+
+    /// Number of islands.
+    pub fn island_count(&self) -> usize {
+        self.island_count
+    }
+
+    /// Island of core `id`.
+    pub fn island_of(&self, id: CoreId) -> usize {
+        self.island_of[id.index()]
+    }
+
+    /// Raw island index per core.
+    pub fn assignment(&self) -> &[usize] {
+        &self.island_of
+    }
+
+    /// Which islands can never be shut down.
+    pub fn always_on_islands(&self) -> &[bool] {
+        &self.always_on
+    }
+
+    /// Returns `true` if `island` may be power-gated.
+    pub fn can_shutdown(&self, island: usize) -> bool {
+        !self.always_on[island]
+    }
+
+    /// Core ids grouped per island.
+    pub fn cores_per_island(&self) -> Vec<Vec<CoreId>> {
+        let mut groups = vec![Vec::new(); self.island_count];
+        for (idx, &isl) in self.island_of.iter().enumerate() {
+            groups[isl].push(CoreId::from_index(idx));
+        }
+        groups
+    }
+
+    /// Number of cores in `island`.
+    pub fn island_size(&self, island: usize) -> usize {
+        self.island_of.iter().filter(|&&i| i == island).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::{CoreKind, CoreSpec};
+    use crate::flow::TrafficFlow;
+
+    fn spec() -> SocSpec {
+        let mut s = SocSpec::new("t");
+        let a = s.add_core(CoreSpec::new("cpu", CoreKind::Cpu, 1.0, 10.0, 100.0));
+        let b = s.add_core(CoreSpec::new("mem", CoreKind::Memory, 1.0, 10.0, 100.0).always_on());
+        let c = s.add_core(CoreSpec::new("per", CoreKind::Peripheral, 1.0, 1.0, 50.0));
+        s.add_flow(TrafficFlow::new(a, b, 100.0, 10));
+        s.add_flow(TrafficFlow::new(c, b, 10.0, 30));
+        s
+    }
+
+    #[test]
+    fn always_on_propagates_from_cores() {
+        let s = spec();
+        let vi = ViAssignment::new(&s, 2, vec![0, 1, 0]);
+        assert!(!vi.always_on_islands()[0]);
+        assert!(vi.always_on_islands()[1]);
+        assert!(vi.can_shutdown(0));
+        assert!(!vi.can_shutdown(1));
+    }
+
+    #[test]
+    fn groups_cores_per_island() {
+        let s = spec();
+        let vi = ViAssignment::new(&s, 2, vec![0, 1, 0]);
+        let groups = vi.cores_per_island();
+        assert_eq!(groups[0].len(), 2);
+        assert_eq!(groups[1], vec![CoreId::from_index(1)]);
+        assert_eq!(vi.island_size(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must hold at least one core")]
+    fn rejects_empty_islands() {
+        let s = spec();
+        ViAssignment::new(&s, 3, vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn rejects_wrong_length() {
+        let s = spec();
+        ViAssignment::new(&s, 1, vec![0, 0]);
+    }
+}

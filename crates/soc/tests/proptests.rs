@@ -1,0 +1,93 @@
+//! Property-based tests for SoC specs and VI partitioning.
+
+use proptest::prelude::*;
+use vi_noc_soc::{
+    generate_synthetic, partition, CoreId, SyntheticConfig,
+};
+
+fn arb_config() -> impl Strategy<Value = SyntheticConfig> {
+    (4usize..48, 0u64..1000, 100.0f64..1200.0).prop_map(|(n_cores, seed, hot)| SyntheticConfig {
+        n_cores,
+        seed,
+        hot_bandwidth_mbps: hot,
+        ..SyntheticConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated spec validates and is internally consistent.
+    #[test]
+    fn generated_specs_are_valid(cfg in arb_config()) {
+        let spec = generate_synthetic(&cfg);
+        prop_assert_eq!(spec.core_count(), cfg.n_cores);
+        prop_assert!(spec.validate().is_ok());
+        prop_assert!(spec.flow_count() > 0);
+        prop_assert!(spec.max_bandwidth().mbps() > 0.0);
+        prop_assert!(spec.min_latency_cycles() > 0);
+        // io bandwidth sums agree with the flow list.
+        let mut in_sum = 0.0;
+        let mut out_sum = 0.0;
+        for c in spec.core_ids() {
+            let (i, o) = spec.core_io_bandwidth(c);
+            in_sum += i.mbps();
+            out_sum += o.mbps();
+        }
+        let flow_sum: f64 = spec.flows().iter().map(|f| f.bandwidth.mbps()).sum();
+        prop_assert!((in_sum - flow_sum).abs() < 1e-6);
+        prop_assert!((out_sum - flow_sum).abs() < 1e-6);
+    }
+
+    /// Communication partitioning covers all cores with exactly k non-empty
+    /// islands and always marks the always-on island.
+    #[test]
+    fn communication_partition_invariants(cfg in arb_config(), k in 1usize..6, seed in 0u64..100) {
+        let spec = generate_synthetic(&cfg);
+        let k = k.min(spec.core_count());
+        let vi = partition::communication_partition(&spec, k, seed).unwrap();
+        prop_assert_eq!(vi.island_count(), k);
+        prop_assert_eq!(vi.assignment().len(), spec.core_count());
+        // Every island holds at least one core.
+        for isl in 0..k {
+            prop_assert!(vi.island_size(isl) > 0, "island {isl} empty");
+        }
+        // Islands holding always-on cores are always-on.
+        for c in spec.core_ids() {
+            if spec.core(c).always_on {
+                prop_assert!(!vi.can_shutdown(vi.island_of(c)));
+            }
+        }
+        // cores_per_island is the inverse of island_of.
+        for (isl, cores) in vi.cores_per_island().iter().enumerate() {
+            for &c in cores {
+                prop_assert_eq!(vi.island_of(c), isl);
+            }
+        }
+    }
+
+    /// The traffic graph is an exact symmetrization of the flow list.
+    #[test]
+    fn traffic_graph_matches_flows(cfg in arb_config()) {
+        let spec = generate_synthetic(&cfg);
+        let g = spec.traffic_graph();
+        prop_assert_eq!(g.len(), spec.core_count());
+        let graph_total = g.total_edge_weight();
+        let flow_total: f64 = spec.flows().iter().map(|f| f.bandwidth.mbps()).sum();
+        prop_assert!((graph_total - flow_total).abs() < 1e-6,
+            "graph {graph_total} vs flows {flow_total}");
+    }
+
+    /// Logical partitioning at k=1 and k=n always works for generated SoCs.
+    #[test]
+    fn logical_extremes_always_supported(cfg in arb_config()) {
+        let spec = generate_synthetic(&cfg);
+        let one = partition::logical_partition(&spec, 1).unwrap();
+        prop_assert!(one.assignment().iter().all(|&i| i == 0));
+        let n = spec.core_count();
+        let all = partition::logical_partition(&spec, n).unwrap();
+        for c in 0..n {
+            prop_assert_eq!(all.island_of(CoreId::from_index(c)), c);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Bring your own SoC: describe cores and flows, partition, synthesize,
+//! floorplan — the full flow on a design that is not bundled.
+//!
+//! ```sh
+//! cargo run --release --example custom_soc
+//! ```
+
+use vi_noc::floorplan::FloorplanConfig;
+use vi_noc::soc::{partition, CoreKind, CoreSpec, SocSpec, TrafficFlow};
+use vi_noc::synth::{realize_on_floorplan, synthesize, SynthesisConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An 8-core IoT camera SoC, built from scratch with the public API.
+    let mut soc = SocSpec::new("iot_camera");
+    let cpu = soc.add_core(CoreSpec::new("cpu", CoreKind::Cpu, 1.6, 55.0, 350.0));
+    let cache = soc.add_core(CoreSpec::new("cache", CoreKind::Cache, 0.7, 11.0, 350.0));
+    let isp = soc.add_core(CoreSpec::new("isp", CoreKind::Imaging, 1.8, 42.0, 220.0));
+    let enc = soc.add_core(CoreSpec::new(
+        "enc",
+        CoreKind::VideoEncoder,
+        2.0,
+        48.0,
+        220.0,
+    ));
+    let sram = soc.add_core(CoreSpec::new("sram", CoreKind::Memory, 1.5, 16.0, 300.0).always_on());
+    let wifi = soc.add_core(CoreSpec::new("wifi", CoreKind::Modem, 1.4, 35.0, 200.0));
+    let usb = soc.add_core(CoreSpec::new("usb", CoreKind::Peripheral, 0.5, 7.0, 60.0));
+    let gpio = soc.add_core(CoreSpec::new("gpio", CoreKind::Peripheral, 0.2, 2.0, 50.0));
+
+    soc.add_flow(TrafficFlow::new(cpu, cache, 500.0, 12));
+    soc.add_flow(TrafficFlow::new(cache, cpu, 750.0, 12));
+    soc.add_flow(TrafficFlow::new(cache, sram, 180.0, 16));
+    soc.add_flow(TrafficFlow::new(sram, cache, 220.0, 16));
+    soc.add_flow(TrafficFlow::new(isp, enc, 260.0, 20));
+    soc.add_flow(TrafficFlow::new(isp, sram, 240.0, 20));
+    soc.add_flow(TrafficFlow::new(enc, sram, 150.0, 20));
+    soc.add_flow(TrafficFlow::new(sram, enc, 100.0, 20));
+    soc.add_flow(TrafficFlow::new(sram, wifi, 140.0, 22));
+    soc.add_flow(TrafficFlow::new(wifi, sram, 90.0, 22));
+    soc.add_flow(TrafficFlow::new(usb, sram, 40.0, 32));
+    soc.add_flow(TrafficFlow::new(sram, usb, 55.0, 32));
+    soc.add_flow(TrafficFlow::new(gpio, cpu, 2.0, 40));
+    soc.validate()?;
+
+    // Islands by traffic clustering; 3 islands.
+    let vi = partition::communication_partition(&soc, 3, 1)?;
+    for (i, cores) in vi.cores_per_island().iter().enumerate() {
+        let names: Vec<&str> = cores.iter().map(|&c| soc.core(c).name.as_str()).collect();
+        println!(
+            "island {i}{}: {}",
+            if vi.can_shutdown(i) {
+                ""
+            } else {
+                " (always-on)"
+            },
+            names.join(", ")
+        );
+    }
+
+    // Synthesize and realize on a floorplan.
+    let cfg = SynthesisConfig::default();
+    let space = synthesize(&soc, &vi, &cfg)?;
+    let best = space.min_power_point().expect("non-empty");
+    let realized = realize_on_floorplan(&soc, &vi, best, &FloorplanConfig::default(), &cfg);
+
+    let (dw, dh) = realized.placement.die();
+    println!(
+        "\nsynthesized: {} switches, {} links; die {:.1} x {:.1} mm",
+        best.metrics.switch_count, best.metrics.link_count, dw, dh
+    );
+    println!(
+        "NoC power: {:.1} mW estimated -> {:.1} mW wire-accurate; area {:.2} mm^2",
+        best.metrics.noc_dynamic_power().mw(),
+        realized.metrics.noc_dynamic_power().mw(),
+        realized.metrics.area.mm2()
+    );
+    println!(
+        "worst flow latency: {} cycles; {} links miss timing",
+        realized.metrics.max_latency_cycles,
+        realized.infeasible_links.len()
+    );
+    Ok(())
+}

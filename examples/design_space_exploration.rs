@@ -1,0 +1,62 @@
+//! Design-space exploration: the power/latency trade-off curve a designer
+//! would pick from (paper §3.2), plus the effect of the intermediate island.
+//!
+//! ```sh
+//! cargo run --release --example design_space_exploration
+//! ```
+
+use vi_noc::soc::{benchmarks, partition};
+use vi_noc::synth::{synthesize, SynthesisConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let soc = benchmarks::d26_mobile();
+    let vi = partition::logical_partition(&soc, 6)?;
+
+    let space = synthesize(&soc, &vi, &SynthesisConfig::default())?;
+    println!(
+        "explored design points for {} at 6 islands: {}",
+        soc.name(),
+        space.points.len()
+    );
+    println!(
+        "\n{:>6} {:>5} {:>12} {:>12} {:>10} {:>9}",
+        "sweep", "mid", "power (mW)", "latency (cy)", "switches", "crossings"
+    );
+    for p in &space.points {
+        println!(
+            "{:>6} {:>5} {:>12.1} {:>12.2} {:>10} {:>9}",
+            p.sweep_index,
+            p.topology.intermediate_switch_count(),
+            p.metrics.noc_dynamic_power().mw(),
+            p.metrics.avg_latency_cycles,
+            p.metrics.switch_count,
+            p.metrics.crossing_count
+        );
+    }
+
+    println!("\nPareto front (power vs latency):");
+    for p in space.pareto_front() {
+        println!(
+            "  {:.1} mW  @  {:.2} cycles  ({} switches)",
+            p.metrics.noc_dynamic_power().mw(),
+            p.metrics.avg_latency_cycles,
+            p.metrics.switch_count
+        );
+    }
+
+    // Ablation: forbid the intermediate NoC island (paper §3.2 makes it
+    // optional — "only if the resources are available").
+    let cfg_no_mid = SynthesisConfig {
+        allow_intermediate_vi: false,
+        ..SynthesisConfig::default()
+    };
+    match synthesize(&soc, &vi, &cfg_no_mid) {
+        Ok(no_mid) => println!(
+            "\nwithout the intermediate island: {} points (vs {} with)",
+            no_mid.points.len(),
+            space.points.len()
+        ),
+        Err(e) => println!("\nwithout the intermediate island: infeasible ({e})"),
+    }
+    Ok(())
+}

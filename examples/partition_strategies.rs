@@ -1,0 +1,68 @@
+//! Logical vs communication-based islanding, side by side — the comparison
+//! behind the paper's Figures 2 and 3, on any benchmark.
+//!
+//! ```sh
+//! cargo run --release --example partition_strategies
+//! ```
+
+use vi_noc::soc::{benchmarks, partition};
+use vi_noc::synth::{synthesize, SynthesisConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let soc = benchmarks::d36_tablet();
+    let g = soc.traffic_graph();
+    println!(
+        "{}: {} cores, {} flows\n",
+        soc.name(),
+        soc.core_count(),
+        soc.flow_count()
+    );
+
+    println!(
+        "{:>8} {:>14} {:>12} {:>12} {:>12} {:>12}",
+        "islands", "strategy", "cut (MB/s)", "power (mW)", "lat (cyc)", "crossings"
+    );
+    for k in [2usize, 4, 7] {
+        for (label, vi) in [
+            ("logical", partition::logical_partition(&soc, k).ok()),
+            (
+                "communication",
+                partition::communication_partition(&soc, k, 11).ok(),
+            ),
+        ] {
+            let Some(vi) = vi else {
+                println!("{k:>8} {label:>14} {:>12}", "unsupported");
+                continue;
+            };
+            // Bandwidth crossing island boundaries under this assignment.
+            let mut cut = 0.0;
+            for u in 0..g.len() {
+                for &(v, w) in g.neighbors(u) {
+                    if u < v && vi.assignment()[u] != vi.assignment()[v] {
+                        cut += w;
+                    }
+                }
+            }
+            match synthesize(&soc, &vi, &SynthesisConfig::default()) {
+                Ok(space) => {
+                    let m = &space.min_power_point().expect("points").metrics;
+                    println!(
+                        "{:>8} {:>14} {:>12.0} {:>12.1} {:>12.2} {:>12}",
+                        k,
+                        label,
+                        cut,
+                        m.noc_dynamic_power().mw(),
+                        m.avg_latency_cycles,
+                        m.crossing_count
+                    );
+                }
+                Err(e) => println!("{k:>8} {label:>14} {cut:>12.0} infeasible: {e}"),
+            }
+        }
+    }
+    println!(
+        "\ncommunication-based islanding cuts less bandwidth, so fewer converter\n\
+         crossings and lower latency — the effect behind Figures 2-3."
+    );
+    Ok(())
+}

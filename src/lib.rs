@@ -1,0 +1,24 @@
+//! # vi-noc — NoC topology synthesis supporting shutdown of voltage islands
+//!
+//! Facade crate re-exporting the whole `vi-noc` workspace, a from-scratch
+//! reproduction of *Seiculescu, Murali, Benini, De Micheli — "NoC Topology
+//! Synthesis for Supporting Shutdown of Voltage Islands in SoCs", DAC 2009*.
+//!
+//! See the workspace `README.md` for an architecture overview and
+//! `EXPERIMENTS.md` for the paper-vs-measured reproduction record.
+//!
+//! The sub-crates are re-exported under short module names:
+//!
+//! * [`graph`] — graph algorithms (min-cut partitioning, shortest paths).
+//! * [`models`] — 65 nm power/area/timing models of NoC components.
+//! * [`soc`] — SoC benchmark specs, traffic flows, VI partitioning.
+//! * [`floorplan`] — slicing floorplanner with switch insertion.
+//! * [`synth`] — the paper's VI-aware topology-synthesis algorithm.
+//! * [`sim`] — cycle-level NoC simulator with shutdown scenarios.
+
+pub use vi_noc_core as synth;
+pub use vi_noc_floorplan as floorplan;
+pub use vi_noc_graph as graph;
+pub use vi_noc_models as models;
+pub use vi_noc_sim as sim;
+pub use vi_noc_soc as soc;

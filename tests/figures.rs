@@ -1,0 +1,106 @@
+//! Regression locks on the paper-figure shapes, at the integration level.
+//! If a model or algorithm change breaks a qualitative claim of the
+//! reproduction, these tests fail loudly.
+
+use vi_noc::soc::{benchmarks, partition};
+use vi_noc::synth::{synthesize, synthesize_oblivious, DesignPoint, SynthesisConfig};
+
+fn best(soc: &vi_noc::soc::SocSpec, vi: &vi_noc::soc::ViAssignment) -> DesignPoint {
+    synthesize(soc, vi, &SynthesisConfig::default())
+        .expect("feasible")
+        .min_power_point()
+        .expect("points")
+        .clone()
+}
+
+#[test]
+fn fig2_communication_partitioning_dips_below_reference() {
+    let soc = benchmarks::d26_mobile();
+    let reference = {
+        let vi = partition::logical_partition(&soc, 1).unwrap();
+        best(&soc, &vi).metrics.power.fig2_power().mw()
+    };
+    let mut dipped = false;
+    for k in 2..=5 {
+        let vi = partition::communication_partition(&soc, k, 17).unwrap();
+        let p = best(&soc, &vi).metrics.power.fig2_power().mw();
+        dipped |= p < reference;
+    }
+    assert!(
+        dipped,
+        "communication partitioning never dipped below the 1-island reference"
+    );
+}
+
+#[test]
+fn fig2_logical_partitioning_pays_overhead() {
+    let soc = benchmarks::d26_mobile();
+    let reference = {
+        let vi = partition::logical_partition(&soc, 1).unwrap();
+        best(&soc, &vi).metrics.power.fig2_power().mw()
+    };
+    for k in [2usize, 4, 6] {
+        let vi = partition::logical_partition(&soc, k).unwrap();
+        let p = best(&soc, &vi).metrics.power.fig2_power().mw();
+        assert!(p > reference, "k={k}: logical {p} <= reference {reference}");
+    }
+}
+
+#[test]
+fn fig3_latency_monotone_endpoints() {
+    let soc = benchmarks::d26_mobile();
+    let lat = |k: usize| {
+        let vi = partition::logical_partition(&soc, k).unwrap();
+        best(&soc, &vi).metrics.avg_latency_cycles
+    };
+    let one = lat(1);
+    let six = lat(6);
+    let max = lat(26);
+    assert!(one < six && six <= max + 1e-9, "{one} {six} {max}");
+    // The paper's curve starts near 3.5 cycles.
+    assert!((2.5..4.5).contains(&one), "1-island latency {one}");
+}
+
+#[test]
+fn t1_overhead_is_small_across_suite() {
+    let cfg = SynthesisConfig::default();
+    let mut power_sum = 0.0;
+    let mut area_sum = 0.0;
+    let mut n = 0.0;
+    for (soc, k) in benchmarks::suite() {
+        let oblivious = synthesize_oblivious(&soc, &cfg).unwrap();
+        let r = oblivious.space.min_power_point().unwrap();
+        let vi = partition::logical_partition(&soc, k).unwrap();
+        let v = best(&soc, &vi);
+        let system = soc.total_core_dyn_power().mw() + r.metrics.noc_dynamic_power().mw();
+        power_sum +=
+            (v.metrics.noc_dynamic_power().mw() - r.metrics.noc_dynamic_power().mw()) / system;
+        let soc_area = soc.total_core_area().mm2() + r.metrics.area.mm2();
+        area_sum += (v.metrics.area.mm2() - r.metrics.area.mm2()) / soc_area;
+        n += 1.0;
+    }
+    let avg_power = power_sum / n * 100.0;
+    let avg_area = area_sum / n * 100.0;
+    // Paper: ~3% power, <0.5% area. Lock at generous-but-meaningful bounds.
+    assert!(
+        avg_power > 0.0 && avg_power < 8.0,
+        "avg power overhead {avg_power:.2}%"
+    );
+    assert!(avg_area < 1.0, "avg area overhead {avg_area:.2}%");
+}
+
+#[test]
+fn t2_standby_recovers_big_leakage_share() {
+    use vi_noc::synth::{scenario_power, standard_scenarios};
+    let soc = benchmarks::d26_mobile();
+    let vi = partition::logical_partition(&soc, 6).unwrap();
+    let point = best(&soc, &vi);
+    let cfg = SynthesisConfig::default();
+    let standby = &standard_scenarios(&soc)[0];
+    let r = scenario_power(&soc, &vi, &point.topology, &cfg, standby);
+    assert!(
+        r.savings_fraction() > 0.20,
+        "standby saves only {:.1}%",
+        r.savings_fraction() * 100.0
+    );
+}

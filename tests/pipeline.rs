@@ -1,0 +1,99 @@
+//! End-to-end pipeline integration tests: partition → synthesize → verify →
+//! floorplan-realize → simulate, across the whole benchmark suite.
+
+use vi_noc::floorplan::FloorplanConfig;
+use vi_noc::sim::{SimConfig, Simulator};
+use vi_noc::soc::{benchmarks, partition};
+use vi_noc::synth::{realize_on_floorplan, synthesize, verify_design, SynthesisConfig};
+
+#[test]
+fn full_pipeline_on_every_benchmark() {
+    for (soc, k) in benchmarks::suite() {
+        let vi =
+            partition::logical_partition(&soc, k).unwrap_or_else(|e| panic!("{}: {e}", soc.name()));
+        let cfg = SynthesisConfig::default();
+        let space = synthesize(&soc, &vi, &cfg).unwrap_or_else(|e| panic!("{}: {e}", soc.name()));
+        let best = space.min_power_point().expect("points");
+
+        // Structural verification must be clean.
+        let violations = verify_design(&soc, &vi, &best.topology, &cfg);
+        assert!(violations.is_empty(), "{}: {violations:?}", soc.name());
+
+        // Floorplan realization places everything and keeps power sane.
+        let fp = FloorplanConfig {
+            iterations: 4_000,
+            ..FloorplanConfig::default()
+        };
+        let realized = realize_on_floorplan(&soc, &vi, best, &fp, &cfg);
+        assert!(realized.placement.is_overlap_free(), "{}", soc.name());
+        assert!(
+            realized.metrics.noc_dynamic_power().mw() > 0.0,
+            "{}",
+            soc.name()
+        );
+
+        // A short simulation delivers traffic on the synthesized topology.
+        let mut sim = Simulator::new(&soc, &best.topology, &SimConfig::default());
+        let stats = sim.run_for_ns(20_000);
+        assert!(
+            stats.total_delivered_packets() > 0,
+            "{}: nothing delivered",
+            soc.name()
+        );
+    }
+}
+
+#[test]
+fn communication_partitioning_pipeline() {
+    for (soc, k) in benchmarks::suite() {
+        let vi = partition::communication_partition(&soc, k, 3)
+            .unwrap_or_else(|e| panic!("{}: {e}", soc.name()));
+        let cfg = SynthesisConfig::default();
+        let space = synthesize(&soc, &vi, &cfg).unwrap_or_else(|e| panic!("{}: {e}", soc.name()));
+        let best = space.min_power_point().expect("points");
+        let violations = verify_design(&soc, &vi, &best.topology, &cfg);
+        assert!(violations.is_empty(), "{}: {violations:?}", soc.name());
+    }
+}
+
+#[test]
+fn every_design_point_is_verified_not_just_the_best() {
+    let soc = benchmarks::d16_settop();
+    let vi = partition::logical_partition(&soc, 5).unwrap();
+    let cfg = SynthesisConfig::default();
+    let space = synthesize(&soc, &vi, &cfg).unwrap();
+    assert!(space.points.len() >= 2);
+    for p in &space.points {
+        let violations = verify_design(&soc, &vi, &p.topology, &cfg);
+        assert!(
+            violations.is_empty(),
+            "sweep {} mid {}: {violations:?}",
+            p.sweep_index,
+            p.requested_intermediate
+        );
+    }
+}
+
+#[test]
+fn oblivious_baseline_is_cheaper_but_unshieldable() {
+    use vi_noc::synth::synthesize_oblivious;
+    let soc = benchmarks::d26_mobile();
+    let cfg = SynthesisConfig::default();
+    let oblivious = synthesize_oblivious(&soc, &cfg).unwrap();
+    let ref_power = oblivious
+        .space
+        .min_power_point()
+        .unwrap()
+        .metrics
+        .noc_dynamic_power();
+
+    let vi = partition::logical_partition(&soc, 6).unwrap();
+    let space = synthesize(&soc, &vi, &cfg).unwrap();
+    let vi_power = space.min_power_point().unwrap().metrics.noc_dynamic_power();
+
+    // VI support costs power (that's the overhead T1 measures)...
+    assert!(vi_power.mw() > ref_power.mw());
+    // ...but the overhead is a small fraction of system power.
+    let system = soc.total_core_dyn_power().mw() + ref_power.mw();
+    assert!((vi_power.mw() - ref_power.mw()) / system < 0.08);
+}

@@ -1,0 +1,91 @@
+//! Property-style integration tests of the headline invariant: synthesized
+//! topologies always survive the shutdown of any gateable island — on random
+//! synthetic SoCs, not just the curated benchmarks.
+
+use vi_noc::sim::{run_shutdown_scenario, ShutdownScenario, SimConfig};
+use vi_noc::soc::{generate_synthetic, partition, SyntheticConfig};
+use vi_noc::synth::{synthesize, verify_shutdown_safety, SynthesisConfig};
+
+#[test]
+fn shutdown_safety_on_random_socs() {
+    for seed in 0..8u64 {
+        let soc = generate_synthetic(&SyntheticConfig {
+            n_cores: 16 + (seed as usize % 3) * 8,
+            seed,
+            ..SyntheticConfig::default()
+        });
+        let k = 3 + (seed as usize % 3);
+        let Ok(vi) = partition::communication_partition(&soc, k, seed) else {
+            continue;
+        };
+        let Ok(space) = synthesize(&soc, &vi, &SynthesisConfig::default()) else {
+            // Some random instances are legitimately infeasible (latency
+            // constraints vs island structure); that is not a safety bug.
+            continue;
+        };
+        for p in &space.points {
+            let violations = verify_shutdown_safety(&soc, &vi, &p.topology);
+            assert!(
+                violations.is_empty(),
+                "seed {seed} k {k} sweep {}: {violations:?}",
+                p.sweep_index
+            );
+        }
+    }
+}
+
+#[test]
+fn simulated_gating_matches_static_verification() {
+    // Where the static checker says "safe", the simulator must agree: gate
+    // the island and watch survivors continue.
+    let soc = generate_synthetic(&SyntheticConfig {
+        n_cores: 20,
+        seed: 5,
+        ..SyntheticConfig::default()
+    });
+    let vi = partition::communication_partition(&soc, 4, 5).unwrap();
+    let space = synthesize(&soc, &vi, &SynthesisConfig::default()).unwrap();
+    let topo = &space.min_power_point().unwrap().topology;
+    assert!(verify_shutdown_safety(&soc, &vi, topo).is_empty());
+
+    for island in 0..vi.island_count() {
+        if !vi.can_shutdown(island) {
+            continue;
+        }
+        let outcome = run_shutdown_scenario(
+            &soc,
+            &vi,
+            topo,
+            &SimConfig::default(),
+            &ShutdownScenario {
+                island,
+                stop_at_ns: 15_000,
+                drain_ns: 8_000,
+                post_gate_ns: 20_000,
+            },
+        );
+        assert!(outcome.drained_cleanly, "island {island}");
+    }
+}
+
+#[test]
+fn intermediate_island_is_never_gateable() {
+    // Topologies that use intermediate switches must keep routing through
+    // them — the intermediate island is by definition always-on, so the
+    // verifier never flags it.
+    let soc = generate_synthetic(&SyntheticConfig {
+        n_cores: 24,
+        seed: 11,
+        ..SyntheticConfig::default()
+    });
+    let vi = partition::communication_partition(&soc, 5, 2).unwrap();
+    if let Ok(space) = synthesize(&soc, &vi, &SynthesisConfig::default()) {
+        if let Some(p) = space
+            .points
+            .iter()
+            .find(|p| p.topology.intermediate_switch_count() > 0)
+        {
+            assert!(verify_shutdown_safety(&soc, &vi, &p.topology).is_empty());
+        }
+    }
+}
