@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use vi_noc_core::{synthesize, SynthesisConfig};
+use vi_noc_core::{synthesize, SweepPlan, SynthesisConfig};
 use vi_noc_soc::{benchmarks, partition};
 
 fn bench_synthesis_suite(c: &mut Criterion) {
@@ -38,5 +38,44 @@ fn bench_sweep_point(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_synthesis_suite, bench_sweep_point);
+fn bench_parallel_speedup(c: &mut Criterion) {
+    // The acceptance benchmark for the staged pipeline: the same D26 sweep
+    // with the candidate fan-out sequential vs rayon-parallel. Both modes
+    // produce identical design spaces; only wall-clock differs.
+    let soc = benchmarks::d26_mobile();
+    let vi = partition::logical_partition(&soc, 6).expect("islands");
+    let mut group = c.benchmark_group("synthesize_d26_modes");
+    group.sample_size(10);
+    for (label, parallel) in [("sequential", false), ("parallel", true)] {
+        let cfg = SynthesisConfig {
+            parallel,
+            ..SynthesisConfig::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| synthesize(black_box(&soc), black_box(&vi), &cfg).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep_plan(c: &mut Criterion) {
+    // Stage 1 alone (frequency plan + VCGs + candidate enumeration): the
+    // serial prologue of the pipeline. Its share of the full `synthesize`
+    // time bounds the parallel speedup via Amdahl's law.
+    let soc = benchmarks::d26_mobile();
+    let vi = partition::logical_partition(&soc, 6).expect("islands");
+    let mut group = c.benchmark_group("sweep_plan");
+    group.bench_function("d26_6vi_build", |b| {
+        b.iter(|| SweepPlan::build(black_box(&soc), black_box(&vi), &SynthesisConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_synthesis_suite,
+    bench_sweep_point,
+    bench_parallel_speedup,
+    bench_sweep_plan
+);
 criterion_main!(benches);

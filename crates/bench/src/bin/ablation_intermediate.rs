@@ -42,7 +42,11 @@ fn main() {
         let fmt_power = |r: &Result<vi_noc_core::DesignSpace, _>| match r {
             Ok(s) => format!(
                 "{:.1}",
-                s.min_power_point().unwrap().metrics.noc_dynamic_power().mw()
+                s.min_power_point()
+                    .unwrap()
+                    .metrics
+                    .noc_dynamic_power()
+                    .mw()
             ),
             Err(_) => "infeasible".to_string(),
         };
@@ -98,7 +102,11 @@ fn main() {
         match &with {
             Ok(s) => format!(
                 "{:.1} (mid={})",
-                s.min_power_point().unwrap().metrics.noc_dynamic_power().mw(),
+                s.min_power_point()
+                    .unwrap()
+                    .metrics
+                    .noc_dynamic_power()
+                    .mw(),
                 s.min_power_point()
                     .unwrap()
                     .topology

@@ -48,6 +48,11 @@ pub struct SynthesisConfig {
     pub technology: Technology,
     /// Seed for all randomized sub-steps (partitioning).
     pub seed: u64,
+    /// Evaluate sweep candidates concurrently. Both modes produce
+    /// identical design spaces ([`crate::evaluate_candidate`] is pure and
+    /// the parallel fan-out preserves candidate order); sequential mode
+    /// exists for determinism checks and single-threaded profiling.
+    pub parallel: bool,
 }
 
 impl Default for SynthesisConfig {
@@ -68,6 +73,7 @@ impl Default for SynthesisConfig {
             min_frequency: Frequency::from_mhz(50.0),
             technology: Technology::cmos_65nm(),
             seed: 0xD0C5,
+            parallel: true,
         }
     }
 }

@@ -26,6 +26,13 @@
 //! allocation (steps 14–17), and floorplan-based wire power/delay
 //! realization ([`realize_on_floorplan`]).
 //!
+//! The driver is staged: [`SweepPlan`] enumerates every candidate design
+//! (switch-count vector × intermediate-switch count) up front,
+//! [`evaluate_candidate`] evaluates one candidate as a pure function, and
+//! [`synthesize`] fans the candidates out over rayon when
+//! [`SynthesisConfig::parallel`] is set. Parallel and sequential execution
+//! return identical design spaces.
+//!
 //! # Example
 //!
 //! ```
@@ -66,7 +73,7 @@ pub use flows::{inter_switch_flows, InterSwitchFlow};
 pub use metrics::{compute_metrics, DesignMetrics, PowerBreakdown};
 pub use power_gating::{scenario_power, standard_scenarios, ScenarioReport, UsageScenario};
 pub use realize::{realize_on_floorplan, RealizedDesign};
-pub use synthesis::synthesize;
+pub use synthesis::{evaluate_candidate, synthesize, CandidateOutcome, SweepCandidate, SweepPlan};
 pub use topology::{LinkId, LinkKind, Route, Switch, SwitchId, TopoLink, Topology};
 pub use vcg::{build_vcg, Vcg};
 pub use verify::{verify_design, verify_shutdown_safety, Violation};

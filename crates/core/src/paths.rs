@@ -366,8 +366,7 @@ fn find_path(
             let rem_out = state.max_size[u].saturating_sub(state.out_ports[u]).max(1);
             let rem_in = state.max_size[v].saturating_sub(state.in_ports[v]).max(1);
             scarcity = cfg.cost_port_scarcity
-                * (f64::powi(2.0, -(rem_out as i32 - 1))
-                    + f64::powi(2.0, -(rem_in as i32 - 1)));
+                * (f64::powi(2.0, -(rem_out as i32 - 1)) + f64::powi(2.0, -(rem_in as i32 - 1)));
         }
         p.mw() + scarcity
     };

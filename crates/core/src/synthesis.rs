@@ -1,13 +1,219 @@
-//! The synthesis driver — Algorithm 1 of the paper.
+//! The synthesis driver — Algorithm 1 of the paper, staged as an explicit
+//! design-space pipeline.
+//!
+//! The paper's nested sweep is embarrassingly parallel: every
+//! (switch-count vector, intermediate-switch count) pair is an independent
+//! candidate design. The driver therefore splits into three stages:
+//!
+//! 1. [`SweepPlan::build`] — frequency planning, VCG construction, and
+//!    up-front enumeration of every [`SweepCandidate`];
+//! 2. [`evaluate_candidate`] — a *pure* per-candidate stage: VCG min-cut
+//!    partitioning into switches, bandwidth-ordered path allocation, and
+//!    metric evaluation;
+//! 3. [`synthesize`] — a fan-out over the candidates (rayon `par_iter`
+//!    when [`SynthesisConfig::parallel`] is set, a plain iterator
+//!    otherwise) folded into the [`DesignSpace`].
+//!
+//! Both execution modes visit candidates in the same order (the parallel
+//! map is order-preserving), so they produce byte-identical design spaces —
+//! the sequential mode exists for determinism checks and debugging.
 
-use crate::assign::{island_switch_assignment, switch_counts_for_sweep};
+use crate::assign::{island_switch_assignment, switch_counts_for_sweep, SwitchAssignment};
 use crate::config::{FrequencyPlan, SynthesisConfig};
 use crate::design_space::{DesignPoint, DesignSpace};
 use crate::error::SynthesisError;
 use crate::metrics::compute_metrics;
 use crate::paths::allocate_paths;
 use crate::vcg::{build_vcg, Vcg};
+use rayon::prelude::*;
 use vi_noc_soc::{SocSpec, ViAssignment};
+
+/// The pipeline's single fan-out primitive: an order-preserving map over
+/// `items`, parallel or sequential by `parallel`. Both branches visit
+/// items in order, which is what makes the two execution modes
+/// interchangeable.
+fn maybe_parallel_map<'a, T, U, F>(parallel: bool, items: &'a [T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    if parallel {
+        items.par_iter().map(f).collect()
+    } else {
+        items.iter().map(f).collect()
+    }
+}
+
+/// One candidate design of the sweep: a per-island switch-count vector plus
+/// a requested intermediate-island switch count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepCandidate {
+    /// Sweep index `i` of Algorithm 1 (1 = minimum switch counts).
+    pub sweep_index: usize,
+    /// Per-island switch counts at this sweep index.
+    pub switch_counts: Vec<usize>,
+    /// Intermediate-island switch count `k` requested for this candidate.
+    pub requested_intermediate: usize,
+}
+
+/// Stage 1 of the pipeline: everything the per-candidate stage needs,
+/// computed once — the frequency plan (Algorithm 1 step 1), the per-island
+/// VCGs, the min-cut switch assignment of every sweep index (steps 4–11;
+/// shared by all intermediate-count candidates of that index), and the
+/// full list of candidates (steps 12–14 unrolled).
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    plan: FrequencyPlan,
+    /// One [`SwitchAssignment`] per sweep index, at position
+    /// `sweep_index - 1` (sweep indices are consecutive from 1).
+    assignments: Vec<SwitchAssignment>,
+    candidates: Vec<SweepCandidate>,
+}
+
+impl SweepPlan {
+    /// Enumerates the design-space sweep for `spec` under `vi`.
+    ///
+    /// The switch-count sweep stops as soon as every island has saturated
+    /// at one switch per core (higher sweep indices would repeat the same
+    /// configuration); the intermediate sweep covers `0..=max` when the
+    /// intermediate island is allowed and just `0` otherwise.
+    pub fn build(spec: &SocSpec, vi: &ViAssignment, cfg: &SynthesisConfig) -> Self {
+        let plan = FrequencyPlan::compute(spec, vi, cfg);
+        let vcgs: Vec<Vcg> = (0..vi.island_count())
+            .map(|j| build_vcg(spec, vi, j, cfg))
+            .collect();
+
+        let max_sweep = vcgs.iter().map(Vcg::len).max().unwrap_or(1);
+        let mid_range: Vec<usize> = if cfg.allow_intermediate_vi {
+            (0..=cfg.max_intermediate_switches).collect()
+        } else {
+            vec![0]
+        };
+
+        let mut count_vectors = Vec::new();
+        let mut candidates = Vec::new();
+        let mut prev_counts: Option<Vec<usize>> = None;
+        for i in 1..=max_sweep {
+            let counts = switch_counts_for_sweep(&vcgs, &plan, i);
+            if prev_counts.as_ref() == Some(&counts) {
+                break;
+            }
+            prev_counts = Some(counts.clone());
+            for &k_mid in &mid_range {
+                candidates.push(SweepCandidate {
+                    sweep_index: i,
+                    switch_counts: counts.clone(),
+                    requested_intermediate: k_mid,
+                });
+            }
+            count_vectors.push(counts);
+        }
+
+        // The min-cut partition of each sweep index is shared by all of
+        // its intermediate-count candidates, so it is computed here once
+        // per index (in parallel when configured — each assignment is a
+        // pure function of its count vector).
+        let assignments = maybe_parallel_map(cfg.parallel, &count_vectors, |counts| {
+            island_switch_assignment(&vcgs, &plan, counts, cfg)
+        });
+
+        SweepPlan {
+            plan,
+            assignments,
+            candidates,
+        }
+    }
+
+    /// The core→switch grouping of sweep index `sweep_index`.
+    ///
+    /// # Panics
+    ///
+    /// If `sweep_index` is not one of the plan's (1-based, consecutive)
+    /// sweep indices.
+    pub fn assignment(&self, sweep_index: usize) -> &SwitchAssignment {
+        sweep_index
+            .checked_sub(1)
+            .and_then(|i| self.assignments.get(i))
+            .expect("sweep_index must be 1-based and within the plan")
+    }
+
+    /// The enumerated candidates, in exploration order.
+    pub fn candidates(&self) -> &[SweepCandidate] {
+        &self.candidates
+    }
+
+    /// Number of candidates the sweep will explore.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the sweep is empty (degenerate specs only).
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// The per-island frequency plan (step 1 of Algorithm 1).
+    pub fn frequency_plan(&self) -> &FrequencyPlan {
+        &self.plan
+    }
+}
+
+/// Outcome of evaluating one [`SweepCandidate`].
+#[derive(Debug, Clone)]
+pub enum CandidateOutcome {
+    /// The candidate produced a feasible design point.
+    Feasible(Box<DesignPoint>),
+    /// The allocator used fewer intermediate switches than requested; the
+    /// identical topology is produced by the run that requested that
+    /// smaller count, so this one is dropped.
+    Duplicate,
+    /// Path allocation could not satisfy every constraint; the reason is
+    /// surfaced in [`SynthesisError::NoFeasibleDesign`] if no candidate
+    /// succeeds.
+    Infeasible(String),
+}
+
+/// Stage 2 of the pipeline: evaluates one candidate, independently of all
+/// others — takes the candidate's min-cut switch assignment from the plan
+/// (step 11), allocates min-cost shutdown-legal paths for every flow in
+/// decreasing bandwidth order (steps 14–17), and computes the design
+/// metrics.
+///
+/// The function is pure: it touches no shared mutable state, so candidates
+/// can be evaluated in any order or concurrently with identical results.
+pub fn evaluate_candidate(
+    spec: &SocSpec,
+    vi: &ViAssignment,
+    sweep: &SweepPlan,
+    candidate: &SweepCandidate,
+    cfg: &SynthesisConfig,
+) -> CandidateOutcome {
+    let assignment = sweep.assignment(candidate.sweep_index);
+    match allocate_paths(
+        spec,
+        vi,
+        &sweep.plan,
+        assignment,
+        candidate.requested_intermediate,
+        cfg,
+    ) {
+        Ok(topology) => {
+            if topology.intermediate_switch_count() != candidate.requested_intermediate {
+                return CandidateOutcome::Duplicate;
+            }
+            let metrics = compute_metrics(spec, &topology, cfg, None);
+            CandidateOutcome::Feasible(Box::new(DesignPoint {
+                sweep_index: candidate.sweep_index,
+                requested_intermediate: candidate.requested_intermediate,
+                switch_counts: candidate.switch_counts.clone(),
+                topology,
+                metrics,
+            }))
+        }
+        Err(reason) => CandidateOutcome::Infeasible(reason),
+    }
+}
 
 /// Synthesizes the space of VI-aware NoC topologies for `spec` under the
 /// island assignment `vi`.
@@ -24,6 +230,9 @@ use vi_noc_soc::{SocSpec, ViAssignment};
 /// 5. save every design point whose flows all meet their latency
 ///    constraints.
 ///
+/// Candidates are evaluated concurrently when [`SynthesisConfig::parallel`]
+/// is set; both modes return identical design spaces.
+///
 /// # Errors
 ///
 /// * [`SynthesisError::InvalidSpec`] if `spec` fails validation;
@@ -37,55 +246,19 @@ pub fn synthesize(
     spec.validate()
         .map_err(|e| SynthesisError::InvalidSpec(e.to_string()))?;
 
-    let n_islands = vi.island_count();
-    let plan = FrequencyPlan::compute(spec, vi, cfg);
-    let vcgs: Vec<Vcg> = (0..n_islands)
-        .map(|j| build_vcg(spec, vi, j, cfg))
-        .collect();
+    let sweep = SweepPlan::build(spec, vi, cfg);
+    let outcomes = maybe_parallel_map(cfg.parallel, sweep.candidates(), |c| {
+        evaluate_candidate(spec, vi, &sweep, c, cfg)
+    });
 
-    let max_sweep = vcgs.iter().map(Vcg::len).max().unwrap_or(1);
-    let mid_range: Vec<usize> = if cfg.allow_intermediate_vi {
-        (0..=cfg.max_intermediate_switches).collect()
-    } else {
-        vec![0]
-    };
-
+    let explored = outcomes.len();
     let mut points = Vec::new();
-    let mut explored = 0usize;
     let mut last_failure = String::from("no design points explored");
-    let mut prev_counts: Option<Vec<usize>> = None;
-
-    for i in 1..=max_sweep {
-        let counts = switch_counts_for_sweep(&vcgs, &plan, i);
-        // Once every island is saturated at one switch per core, higher
-        // sweep indices repeat the same configuration.
-        if prev_counts.as_ref() == Some(&counts) {
-            break;
-        }
-        prev_counts = Some(counts.clone());
-        let assignment = island_switch_assignment(&vcgs, &plan, &counts, cfg);
-
-        for &k_mid in &mid_range {
-            explored += 1;
-            match allocate_paths(spec, vi, &plan, &assignment, k_mid, cfg) {
-                Ok(topology) => {
-                    // Avoid duplicates: if the allocator used fewer mid
-                    // switches than requested, the identical topology was
-                    // (or will be) produced by the smaller k_mid run.
-                    if topology.intermediate_switch_count() != k_mid {
-                        continue;
-                    }
-                    let metrics = compute_metrics(spec, &topology, cfg, None);
-                    points.push(DesignPoint {
-                        sweep_index: i,
-                        requested_intermediate: k_mid,
-                        switch_counts: counts.clone(),
-                        topology,
-                        metrics,
-                    });
-                }
-                Err(reason) => last_failure = reason,
-            }
+    for outcome in outcomes {
+        match outcome {
+            CandidateOutcome::Feasible(point) => points.push(*point),
+            CandidateOutcome::Duplicate => {}
+            CandidateOutcome::Infeasible(reason) => last_failure = reason,
         }
     }
 
@@ -97,7 +270,7 @@ pub fn synthesize(
     }
     Ok(DesignSpace {
         spec_name: spec.name().to_string(),
-        island_count: n_islands,
+        island_count: vi.island_count(),
         points,
     })
 }
@@ -181,6 +354,83 @@ mod tests {
             let space = synthesize(&soc, &vi, &SynthesisConfig::default())
                 .unwrap_or_else(|e| panic!("{}: {e}", soc.name()));
             assert!(!space.points.is_empty(), "{}", soc.name());
+        }
+    }
+
+    #[test]
+    fn sweep_plan_enumerates_the_cross_product() {
+        let soc = benchmarks::d26_mobile();
+        let vi = partition::logical_partition(&soc, 4).unwrap();
+        let cfg = SynthesisConfig::default();
+        let sweep = SweepPlan::build(&soc, &vi, &cfg);
+        assert!(!sweep.is_empty());
+        assert_eq!(sweep.len() % (cfg.max_intermediate_switches + 1), 0);
+        // Candidates are ordered by sweep index, then intermediate count.
+        for pair in sweep.candidates().windows(2) {
+            assert!(
+                pair[0].sweep_index < pair[1].sweep_index
+                    || (pair[0].sweep_index == pair[1].sweep_index
+                        && pair[0].requested_intermediate < pair[1].requested_intermediate)
+            );
+        }
+        // Switch-count vectors never repeat across sweep indices.
+        let per_index: Vec<&SweepCandidate> = sweep
+            .candidates()
+            .iter()
+            .filter(|c| c.requested_intermediate == 0)
+            .collect();
+        for pair in per_index.windows(2) {
+            assert_ne!(pair[0].switch_counts, pair[1].switch_counts);
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_modes_agree_exactly() {
+        let soc = benchmarks::d26_mobile();
+        for k in [2usize, 6, 26] {
+            let vi = partition::logical_partition(&soc, k).unwrap();
+            let seq_cfg = SynthesisConfig {
+                parallel: false,
+                ..SynthesisConfig::default()
+            };
+            let par_cfg = SynthesisConfig {
+                parallel: true,
+                ..SynthesisConfig::default()
+            };
+            let seq = synthesize(&soc, &vi, &seq_cfg).unwrap();
+            let par = synthesize(&soc, &vi, &par_cfg).unwrap();
+            assert_eq!(seq.points.len(), par.points.len(), "k={k}");
+            for (a, b) in seq.points.iter().zip(&par.points) {
+                assert_eq!(a.sweep_index, b.sweep_index);
+                assert_eq!(a.switch_counts, b.switch_counts);
+                assert_eq!(a.topology, b.topology);
+                assert_eq!(
+                    a.metrics.noc_dynamic_power().mw(),
+                    b.metrics.noc_dynamic_power().mw()
+                );
+                assert_eq!(a.metrics.avg_latency_cycles, b.metrics.avg_latency_cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_candidate_matches_synthesize_points() {
+        let soc = benchmarks::d12_auto();
+        let vi = partition::logical_partition(&soc, 3).unwrap();
+        let cfg = SynthesisConfig::default();
+        let sweep = SweepPlan::build(&soc, &vi, &cfg);
+        let space = synthesize(&soc, &vi, &cfg).unwrap();
+        let mut rebuilt = Vec::new();
+        for candidate in sweep.candidates() {
+            if let CandidateOutcome::Feasible(p) =
+                evaluate_candidate(&soc, &vi, &sweep, candidate, &cfg)
+            {
+                rebuilt.push(*p);
+            }
+        }
+        assert_eq!(rebuilt.len(), space.points.len());
+        for (a, b) in rebuilt.iter().zip(&space.points) {
+            assert_eq!(a.topology, b.topology);
         }
     }
 }

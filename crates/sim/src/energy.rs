@@ -125,7 +125,11 @@ mod tests {
         let vi = partition::logical_partition(&soc, 4).unwrap();
         let cfg = SynthesisConfig::default();
         let space = synthesize(&soc, &vi, &cfg).unwrap();
-        (soc.clone(), space.min_power_point().unwrap().topology.clone(), cfg)
+        (
+            soc.clone(),
+            space.min_power_point().unwrap().topology.clone(),
+            cfg,
+        )
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Property-based tests for SoC specs and VI partitioning.
 
 use proptest::prelude::*;
-use vi_noc_soc::{
-    generate_synthetic, partition, CoreId, SyntheticConfig,
-};
+use vi_noc_soc::{generate_synthetic, partition, CoreId, SyntheticConfig};
 
 fn arb_config() -> impl Strategy<Value = SyntheticConfig> {
     (4usize..48, 0u64..1000, 100.0f64..1200.0).prop_map(|(n_cores, seed, hot)| SyntheticConfig {

@@ -1,0 +1,278 @@
+//! Minimal, dependency-free stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! small but *real* data-parallel iterator: work is distributed over
+//! `std::thread::scope` workers that pull items from a shared queue
+//! (dynamic load balancing — synthesis candidates vary wildly in cost), and
+//! results are re-ordered by input index so every adaptor is
+//! order-preserving. Parallel and sequential execution therefore produce
+//! identical outputs for pure per-item functions.
+//!
+//! Unlike upstream rayon, adaptors evaluate eagerly: each `map` /
+//! `filter_map` is one parallel pass. Chains of adaptors insert a barrier
+//! per stage, which is fine for the coarse-grained fan-outs this workspace
+//! runs.
+
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel pass will use.
+///
+/// Honors `RAYON_NUM_THREADS` when set (like upstream), otherwise the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a pool of scoped workers, preserving input
+/// order in the output. Items are claimed one at a time from a shared
+/// queue, so uneven per-item cost still keeps all workers busy.
+fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let workers = current_num_threads().min(items.len());
+    parallel_map_with_workers(items, f, workers)
+}
+
+fn parallel_map_with_workers<T, U, F>(items: Vec<T>, f: F, workers: usize) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let len = items.len();
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let results: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(len));
+    let mut panic_payload = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let next = queue.lock().unwrap().next();
+                    let Some((index, item)) = next else { break };
+                    let out = f(item);
+                    results.lock().unwrap().push((index, out));
+                })
+            })
+            .collect();
+        // Join explicitly so a worker's panic payload survives (the scope
+        // itself would rethrow a generic "a scoped thread panicked").
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                panic_payload.get_or_insert(payload);
+            }
+        }
+    });
+    if let Some(payload) = panic_payload {
+        std::panic::resume_unwind(payload);
+    }
+    let mut indexed = match results.into_inner() {
+        Ok(v) => v,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    indexed.sort_unstable_by_key(|&(index, _)| index);
+    indexed.into_iter().map(|(_, out)| out).collect()
+}
+
+/// An order-preserving parallel iterator over an owned buffer of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel `map`; output order matches input order.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: parallel_map(self.items, f),
+        }
+    }
+
+    /// Parallel `filter_map`; surviving items keep their relative order.
+    pub fn filter_map<U: Send, F: Fn(T) -> Option<U> + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: parallel_map(self.items, f).into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel `flat_map`; per-item outputs are concatenated in input
+    /// order.
+    pub fn flat_map<U: Send, I, F>(self, f: F) -> ParIter<U>
+    where
+        I: IntoIterator<Item = U>,
+        I::IntoIter: Send,
+        F: Fn(T) -> I + Sync,
+    {
+        ParIter {
+            items: parallel_map(self.items, |item| f(item).into_iter().collect::<Vec<_>>())
+                .into_iter()
+                .flatten()
+                .collect(),
+        }
+    }
+
+    /// Parallel `filter`.
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+        self.filter_map(|item| if f(&item) { Some(item) } else { None })
+    }
+
+    /// Gathers the items into any `FromIterator` collection, in order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Applies `f` to every item in parallel, for side effects.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map(self.items, f);
+    }
+
+    /// Number of items remaining in the pipeline.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the pipeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Conversion of owned collections into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type of the parallel iterator.
+    type Item: Send;
+
+    /// Consumes `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+/// Borrowing counterpart of [`IntoParallelIterator`].
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a shared reference).
+    type Item: Send;
+
+    /// Parallel iterator over `&self`'s items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x * 2)
+            .collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_preserves_relative_order() {
+        let out: Vec<usize> = (0..100)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .filter_map(|x| (x % 3 == 0).then_some(x))
+            .collect();
+        assert_eq!(out, (0..100).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_work_still_completes() {
+        let out: Vec<u64> = (0u64..64)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| (0..(x % 7) * 1000).fold(x, |a, b| a.wrapping_add(b)))
+            .collect();
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn worker_panic_payload_is_propagated() {
+        // Pin the worker count so the threaded path runs even on
+        // single-CPU machines (without touching the process environment).
+        let result = std::panic::catch_unwind(|| {
+            crate::parallel_map_with_workers(
+                (0..32).collect::<Vec<u32>>(),
+                |x| {
+                    assert!(x != 17, "original message");
+                    x
+                },
+                4,
+            )
+        });
+        let payload = result.expect_err("map must panic");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or_default();
+        assert!(
+            message.contains("original message"),
+            "payload lost: {message:?}"
+        );
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1, 2, 3];
+        let s: i32 = v.par_iter().map(|&x| x).collect::<Vec<_>>().iter().sum();
+        assert_eq!(s, 6);
+    }
+}
