@@ -3,12 +3,27 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use vi_noc_core::{synthesize, SweepPlan, SynthesisConfig};
+use std::time::{Duration, Instant};
+use vi_noc_core::{evaluate_candidate, synthesize, CandidateOutcome, SweepPlan, SynthesisConfig};
 use vi_noc_soc::{benchmarks, partition};
+
+/// `BENCH_FAST=1` trims every group's sample count so the CI smoke job
+/// (which only needs the `sweep_cold_vs_warm` JSON artifact) stays cheap.
+fn fast_mode() -> bool {
+    std::env::var("BENCH_FAST").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn samples(full: usize) -> usize {
+    if fast_mode() {
+        2
+    } else {
+        full
+    }
+}
 
 fn bench_synthesis_suite(c: &mut Criterion) {
     let mut group = c.benchmark_group("synthesize");
-    group.sample_size(10);
+    group.sample_size(samples(10));
     for (soc, k) in benchmarks::suite() {
         let vi = partition::logical_partition(&soc, k).expect("islands");
         group.bench_with_input(
@@ -31,7 +46,7 @@ fn bench_sweep_point(c: &mut Criterion) {
     let soc = benchmarks::d26_mobile();
     let vi = partition::logical_partition(&soc, 26).expect("islands");
     let mut group = c.benchmark_group("synthesize_extremes");
-    group.sample_size(10);
+    group.sample_size(samples(10));
     group.bench_function("d26_26_islands", |b| {
         b.iter(|| synthesize(black_box(&soc), black_box(&vi), &SynthesisConfig::default()))
     });
@@ -45,7 +60,7 @@ fn bench_parallel_speedup(c: &mut Criterion) {
     let soc = benchmarks::d26_mobile();
     let vi = partition::logical_partition(&soc, 6).expect("islands");
     let mut group = c.benchmark_group("synthesize_d26_modes");
-    group.sample_size(10);
+    group.sample_size(samples(10));
     for (label, parallel) in [("sequential", false), ("parallel", true)] {
         let cfg = SynthesisConfig {
             parallel,
@@ -65,10 +80,95 @@ fn bench_sweep_plan(c: &mut Criterion) {
     let soc = benchmarks::d26_mobile();
     let vi = partition::logical_partition(&soc, 6).expect("islands");
     let mut group = c.benchmark_group("sweep_plan");
+    group.sample_size(samples(20));
     group.bench_function("d26_6vi_build", |b| {
         b.iter(|| SweepPlan::build(black_box(&soc), black_box(&vi), &SynthesisConfig::default()))
     });
     group.finish();
+}
+
+/// Median wall time of `samples` single-threaded runs of `f`.
+fn median_secs<O>(samples: usize, mut f: impl FnMut() -> O) -> f64 {
+    black_box(f()); // warm-up, untimed
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2].as_secs_f64()
+}
+
+fn bench_cold_vs_warm(_c: &mut Criterion) {
+    // The acceptance benchmark for warm-start incremental allocation: the
+    // same single-threaded D26 sweep evaluated cold (one fresh allocation
+    // context per candidate, the pre-warm-start behavior) vs warm (shared
+    // per-sweep-index context + warm-started candidate chains, what
+    // `synthesize` does). Both produce the identical design space; only
+    // wall-clock differs.
+    //
+    // Besides the criterion report, the measurement is emitted as
+    // `BENCH_sweep.json` (path overridable via `BENCH_SWEEP_JSON`; CI
+    // uploads it) so the sweep's perf trajectory is recorded across PRs.
+    // `BENCH_FAST=1` trims the sample count for smoke runs.
+    let soc = benchmarks::d26_mobile();
+    let vi = partition::logical_partition(&soc, 6).expect("islands");
+    let cfg = SynthesisConfig {
+        parallel: false,
+        ..SynthesisConfig::default()
+    };
+    let sweep = SweepPlan::build(&soc, &vi, &cfg);
+
+    let cold = || {
+        let mut feasible = 0usize;
+        for cand in sweep.candidates() {
+            if let CandidateOutcome::Feasible(_) = evaluate_candidate(&soc, &vi, &sweep, cand, &cfg)
+            {
+                feasible += 1;
+            }
+        }
+        feasible
+    };
+    let warm = || synthesize(&soc, &vi, &cfg).expect("feasible").points.len();
+
+    // Measured once with `median_secs` (not additionally through a
+    // criterion group, which would re-run both sweeps for a second report
+    // of the same numbers).
+    let n = if fast_mode() { 3 } else { 15 };
+    let cold_s = median_secs(n, cold);
+    let warm_s = median_secs(n, warm);
+    println!(
+        "sweep_cold_vs_warm/cold_per_candidate    median {:>12.3?}   ({n} samples)",
+        std::time::Duration::from_secs_f64(cold_s)
+    );
+    println!(
+        "sweep_cold_vs_warm/warm_chain            median {:>12.3?}   ({n} samples)",
+        std::time::Duration::from_secs_f64(warm_s)
+    );
+    // Same schema as the committed repo-root BENCH_sweep.json: a `history`
+    // array of measurements. A fresh run emits one entry with `"pr": null`;
+    // appending it (with the PR number filled in) to the committed file
+    // extends the trajectory without any shape translation.
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_cold_vs_warm\",\n  \"soc\": \"{}\",\n  \"islands\": 6,\n  \
+         \"mode\": \"single-threaded\",\n  \"history\": [\n    {{\n      \"pr\": null,\n      \
+         \"samples\": {n},\n      \"cold_per_candidate_ms\": {:.3},\n      \
+         \"warm_chain_ms\": {:.3},\n      \"speedup\": {:.2},\n      \"note\": \"fresh \
+         measurement of the working tree; cold = one fresh allocation context per candidate \
+         (pre-warm-start behavior), warm = shared per-sweep-index context with warm-started \
+         candidate chains, as synthesize runs it; identical design spaces\"\n    }}\n  ]\n}}\n",
+        soc.name(),
+        cold_s * 1e3,
+        warm_s * 1e3,
+        cold_s / warm_s.max(1e-12),
+    );
+    let path = std::env::var("BENCH_SWEEP_JSON").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("sweep_cold_vs_warm: wrote {path}"),
+        Err(e) => eprintln!("sweep_cold_vs_warm: could not write {path}: {e}"),
+    }
 }
 
 criterion_group!(
@@ -76,6 +176,7 @@ criterion_group!(
     bench_synthesis_suite,
     bench_sweep_point,
     bench_parallel_speedup,
-    bench_sweep_plan
+    bench_sweep_plan,
+    bench_cold_vs_warm
 );
 criterion_main!(benches);

@@ -8,13 +8,31 @@
 //! monotonically `a → (mid →)* b` — and the edge cost implements the paper's
 //! "linear combination of the power consumption increase in opening a new
 //! link or reusing an existing link and the latency constraint of the flow".
+//!
+//! # Incremental evaluation
+//!
+//! One sweep index `i` spawns `max_intermediate_switches + 1` candidates
+//! `(i, k)` that share everything except the number of active intermediate
+//! switches. The expensive shared prefix — the O(S²) candidate edge set, the
+//! power models, the bandwidth-ordered flow list, the per-island idle-power
+//! deltas — is computed once per sweep index in an [`AllocContext`] (built
+//! with the *maximum* intermediate count; smaller candidates simply never
+//! admit edges touching the extra switches, which provably cannot change any
+//! search result). On top of that, [`allocate_paths_warm`] warm-starts
+//! candidate `(i, k+1)` from `(i, k)`'s recorded allocation: while the two
+//! runs' committed states are identical, flows whose legal edge set cannot
+//! contain the new intermediate switches (intra-island flows) replay their
+//! recorded path without searching, and every other flow re-runs exactly the
+//! search a cold start would run — so the produced topology is bit-identical
+//! to a cold start by construction. The reserve-retry fallback (see
+//! [`AllocState::reserve`]) always runs cold.
 
 use crate::assign::SwitchAssignment;
 use crate::config::{FrequencyPlan, SynthesisConfig};
 use crate::flows::{inter_switch_flows, InterSwitchFlow};
 use crate::topology::{LinkKind, Route, Switch, SwitchId, TopoLink, Topology};
-use vi_noc_graph::{dijkstra_filtered, DiGraph, EdgeId, NodeId};
-use vi_noc_models::{Bandwidth, BisyncFifoModel, Frequency, LinkModel, SwitchModel};
+use vi_noc_graph::{dijkstra_filtered_scratch, DiGraph, EdgeId, NodeId, SearchScratch};
+use vi_noc_models::{Bandwidth, BisyncFifoModel, Frequency, LinkModel, Power, SwitchModel};
 use vi_noc_soc::{SocSpec, ViAssignment};
 
 /// Candidate (potential) link between two switches.
@@ -27,6 +45,185 @@ struct Cand {
     crossing: bool,
     length_mm: f64,
     capacity: Bandwidth,
+}
+
+/// Everything shared by every candidate `(i, k)` of one sweep index `i`:
+/// the candidate switch graph (built once with `k_mid_max` intermediate
+/// switches), the instantiated power models, the bandwidth-ordered flow
+/// list, and the precomputed per-island port-growth idle-power deltas that
+/// the hot search loop previously recomputed per edge relaxation.
+pub(crate) struct AllocContext {
+    cand_graph: DiGraph<SwitchId, Cand>,
+    /// Topology skeleton holding the real-island switches (no intermediate
+    /// switches, links or routes); cloned per candidate.
+    base_topo: Topology,
+    flows: Vec<InterSwitchFlow>,
+    island_freq: Vec<Frequency>,
+    link_model: LinkModel,
+    fifo_model: BisyncFifoModel,
+    nominal_switch: SwitchModel,
+    /// Idle-power delta of growing the nominal 4×4 switch by one port, per
+    /// extended island (i.e. at that island's frequency). Indexed by
+    /// `island_ext`; the last entry is the intermediate island.
+    port_growth: Vec<Power>,
+    /// Number of real-island switches (intermediate switch `k` is graph
+    /// node / switch id `n_real + k`).
+    n_real: usize,
+    /// Intermediate switches the candidate graph was built with.
+    k_mid_max: usize,
+    /// Extended island index of the intermediate island.
+    mid: usize,
+    min_lat_global: f64,
+    /// Per-switch size budget, including all `k_mid_max` mid switches.
+    max_size: Vec<usize>,
+    /// Initial per-switch port usage (attached cores; both directions).
+    core_ports: Vec<usize>,
+}
+
+impl AllocContext {
+    /// Builds the shared context for one sweep index.
+    ///
+    /// Fails with the same human-readable reason a cold allocation would if
+    /// a switch's attached cores alone exceed its size budget.
+    pub(crate) fn build(
+        spec: &SocSpec,
+        vi: &ViAssignment,
+        plan: &FrequencyPlan,
+        assignment: &SwitchAssignment,
+        k_mid_max: usize,
+        cfg: &SynthesisConfig,
+    ) -> Result<Self, String> {
+        let n_islands = vi.island_count();
+        let mid = n_islands;
+
+        let mut island_freq: Vec<Frequency> = (0..n_islands).map(|j| plan.frequency(j)).collect();
+        island_freq.push(plan.intermediate_frequency());
+
+        let mut base_topo = Topology::new(spec, n_islands, island_freq.clone());
+        for (j, groups) in assignment.groups.iter().enumerate() {
+            for (g, cores) in groups.iter().enumerate() {
+                base_topo.add_switch(Switch {
+                    name: format!("sw{j}.{g}"),
+                    island_ext: j,
+                    cores: cores.clone(),
+                });
+            }
+        }
+        let n_real = base_topo.switches().len();
+        let n_switches = n_real + k_mid_max;
+
+        // Extended island of each graph node (mid switches come last).
+        let island_of = |s: usize| -> usize {
+            if s < n_real {
+                base_topo.switch(SwitchId(s)).island_ext
+            } else {
+                mid
+            }
+        };
+
+        // Pre-check: core counts alone must fit the switch size budgets
+        // (intermediate switches carry no cores and can never fail this).
+        for s in 0..n_real {
+            let cores = base_topo.switch(SwitchId(s)).cores.len();
+            let max = plan.max_switch_size_ext(island_of(s));
+            if cores > max {
+                return Err(format!(
+                    "switch {} holds {cores} cores but max size is {max}",
+                    base_topo.switch(SwitchId(s)).name,
+                ));
+            }
+        }
+
+        // --- Candidate graph over switches. ------------------------------
+        // Node i of the candidate graph is switch i; edges are all potential
+        // links permitted by the architecture (per-flow legality is filtered
+        // during the search). Built once per sweep index with the largest
+        // intermediate count; candidates with fewer active mid switches
+        // filter the extra nodes out in the admissibility check.
+        let link_model = LinkModel::new(&cfg.technology, cfg.link_width_bits);
+        let fifo_model = BisyncFifoModel::new(&cfg.technology, cfg.link_width_bits);
+        let nominal_switch = SwitchModel::new(&cfg.technology, 4, 4, cfg.link_width_bits);
+
+        let mut cand_graph: DiGraph<SwitchId, Cand> =
+            DiGraph::with_capacity(n_switches, n_switches * n_switches.saturating_sub(1));
+        for s in 0..n_switches {
+            cand_graph.add_node(SwitchId(s));
+        }
+        for u in 0..n_switches {
+            for v in 0..n_switches {
+                if u == v {
+                    continue;
+                }
+                let iu = island_of(u);
+                let iv = island_of(v);
+                let crossing = iu != iv;
+                let length_mm = if !crossing {
+                    cfg.est_intra_link_mm
+                } else if iu == mid || iv == mid {
+                    cfg.est_mid_link_mm
+                } else {
+                    cfg.est_inter_link_mm
+                };
+                let f = Frequency::from_hz(island_freq[iu].hz().min(island_freq[iv].hz()));
+                let capacity = link_model.capacity(f);
+                cand_graph.add_edge(
+                    NodeId::from_index(u),
+                    NodeId::from_index(v),
+                    Cand {
+                        from: SwitchId(u),
+                        to: SwitchId(v),
+                        from_isl: iu,
+                        to_isl: iv,
+                        crossing,
+                        length_mm,
+                        capacity,
+                    },
+                );
+            }
+        }
+
+        // The per-port idle-power delta the link-opening cost charges used
+        // to instantiate two `SwitchModel`s per edge relaxation; precompute
+        // it per island as nominal-grown-by-one-port minus nominal.
+        let grown = SwitchModel::new(&cfg.technology, 4, 5, cfg.link_width_bits);
+        let port_growth: Vec<Power> = island_freq
+            .iter()
+            .map(|&f| grown.idle_power(f) - nominal_switch.idle_power(f))
+            .collect();
+
+        let max_size: Vec<usize> = (0..n_switches)
+            .map(|s| plan.max_switch_size_ext(island_of(s)))
+            .collect();
+        let core_ports: Vec<usize> = (0..n_switches)
+            .map(|s| {
+                if s < n_real {
+                    base_topo.switch(SwitchId(s)).cores.len()
+                } else {
+                    0
+                }
+            })
+            .collect();
+
+        let min_lat_global = spec.min_latency_cycles().max(1) as f64;
+        let flows = inter_switch_flows(spec, &base_topo);
+
+        Ok(AllocContext {
+            cand_graph,
+            base_topo,
+            flows,
+            island_freq,
+            link_model,
+            fifo_model,
+            nominal_switch,
+            port_growth,
+            n_real,
+            k_mid_max,
+            mid,
+            min_lat_global,
+            max_size,
+            core_ports,
+        })
+    }
 }
 
 /// Mutable allocation state shared by the cost/filter closures.
@@ -70,6 +267,55 @@ impl AllocState {
     }
 }
 
+/// One flow's committed path, recorded for warm-starting the next
+/// intermediate-count candidate of the same sweep index.
+#[derive(Debug, Clone, PartialEq)]
+enum FlowPath {
+    /// Source and destination share a switch; no search ever runs.
+    OwnSwitch,
+    /// Path as candidate-graph edge ids (stable across the sweep index
+    /// because the graph is shared).
+    Edges(Vec<EdgeId>),
+}
+
+/// Committed paths of one reserve-0 allocation attempt, aligned with
+/// [`AllocContext::flows`]. Holds the successful prefix even when the
+/// attempt failed partway — the prefix is still a valid warm-start seed.
+#[derive(Debug, Default)]
+pub(crate) struct AllocRecord {
+    paths: Vec<FlowPath>,
+}
+
+/// A successful allocation plus how it was obtained.
+pub(crate) struct Allocation {
+    pub(crate) topology: Topology,
+    /// `true` when the reserve-0 attempt failed and the port-reserve retry
+    /// produced the topology. The sweep driver's Duplicate short-circuit
+    /// (see [`Allocation::has_spare_intermediate`]) must not fire then,
+    /// because the retry's admissibility depends on the requested
+    /// intermediate count.
+    pub(crate) via_retry: bool,
+}
+
+impl Allocation {
+    /// `true` when the reserve-0 allocation left at least one requested
+    /// intermediate switch unused.
+    ///
+    /// An unused intermediate switch is an *interchangeable twin* of the
+    /// extra switch the next candidate `(i, k+1)` would add: identical
+    /// island, frequency, ports, loads and edge costs, with a lower node
+    /// id. A Dijkstra relaxation through the new switch can therefore
+    /// never strictly improve a distance the twin does not already
+    /// provide, and the tie-breaking (smaller node id settles first,
+    /// strict-`<` relaxation) always keeps the twin's paths — so every
+    /// higher-count candidate of the sweep index reproduces this exact
+    /// topology and is a [`crate::CandidateOutcome::Duplicate`] without
+    /// running.
+    pub(crate) fn has_spare_intermediate(&self, requested: usize) -> bool {
+        !self.via_retry && self.topology.intermediate_switch_count() < requested
+    }
+}
+
 /// Zero-load latency of a route given its switch count and crossings.
 pub(crate) fn route_latency(switches: usize, crossings: u32, cfg: &SynthesisConfig) -> u32 {
     let links = switches as u32 + 1; // NI->s1, inter-switch links, sm->NI
@@ -82,6 +328,10 @@ pub(crate) fn route_latency(switches: usize, crossings: u32, cfg: &SynthesisConf
 ///
 /// Returns the finished topology (unused intermediate switches pruned), or a
 /// human-readable reason why the design point is infeasible.
+///
+/// Cold-start convenience wrapper over [`AllocContext::build`] +
+/// [`allocate_paths_warm`]; the sweep driver builds the context once per
+/// sweep index and warm-starts consecutive candidates instead.
 pub(crate) fn allocate_paths(
     spec: &SocSpec,
     vi: &ViAssignment,
@@ -90,134 +340,93 @@ pub(crate) fn allocate_paths(
     k_mid: usize,
     cfg: &SynthesisConfig,
 ) -> Result<Topology, String> {
-    match allocate_paths_with_reserve(spec, vi, plan, assignment, k_mid, 0, cfg) {
-        Ok(topo) => Ok(topo),
+    let ctx = AllocContext::build(spec, vi, plan, assignment, k_mid, cfg)?;
+    let mut scratch = SearchScratch::new();
+    allocate_paths_warm(&ctx, k_mid, cfg, &mut scratch, None, None).map(|a| a.topology)
+}
+
+/// Allocates paths for the candidate with `k_mid` active intermediate
+/// switches, optionally warm-started from the previous candidate's
+/// [`AllocRecord`] and recording this candidate's reserve-0 attempt into
+/// `record`.
+///
+/// The result is bit-identical to a cold start: warm-starting only skips
+/// searches whose outcome is provably unchanged (see the module docs). On
+/// reserve-0 infeasibility the port-reserve retry runs cold, exactly like
+/// the cold path.
+pub(crate) fn allocate_paths_warm(
+    ctx: &AllocContext,
+    k_mid: usize,
+    cfg: &SynthesisConfig,
+    scratch: &mut SearchScratch,
+    prev: Option<&AllocRecord>,
+    record: Option<&mut AllocRecord>,
+) -> Result<Allocation, String> {
+    assert!(
+        k_mid <= ctx.k_mid_max,
+        "candidate requests {k_mid} intermediate switches but the context \
+         was built with {}",
+        ctx.k_mid_max
+    );
+    match try_allocate(ctx, k_mid, 0, cfg, scratch, prev, record) {
+        Ok(topology) => Ok(Allocation {
+            topology,
+            via_retry: false,
+        }),
         // Greedy direct-link opening may have stranded later flows on a
         // port-exhausted hub switch; retry holding ports back for
-        // intermediate-island links (see `AllocState::reserve`).
-        Err(first) if k_mid > 0 => {
-            allocate_paths_with_reserve(spec, vi, plan, assignment, k_mid, k_mid, cfg)
-                .map_err(|_| first)
-        }
+        // intermediate-island links (see `AllocState::reserve`). The retry
+        // is rare and its admissibility differs per `k_mid`, so it is not
+        // warm-started.
+        Err(first) if k_mid > 0 => try_allocate(ctx, k_mid, k_mid, cfg, scratch, None, None)
+            .map(|topology| Allocation {
+                topology,
+                via_retry: true,
+            })
+            .map_err(|_| first),
         Err(e) => Err(e),
     }
 }
 
-fn allocate_paths_with_reserve(
-    spec: &SocSpec,
-    vi: &ViAssignment,
-    plan: &FrequencyPlan,
-    assignment: &SwitchAssignment,
+/// One allocation attempt at a fixed port reserve.
+fn try_allocate(
+    ctx: &AllocContext,
     k_mid: usize,
     reserve: usize,
     cfg: &SynthesisConfig,
+    scratch: &mut SearchScratch,
+    prev: Option<&AllocRecord>,
+    mut record: Option<&mut AllocRecord>,
 ) -> Result<Topology, String> {
-    let n_islands = vi.island_count();
-    let mid = n_islands; // extended island index of the intermediate island
-
-    // --- Instantiate switches. -------------------------------------------
-    let mut island_freq: Vec<Frequency> = (0..n_islands).map(|j| plan.frequency(j)).collect();
-    island_freq.push(plan.intermediate_frequency());
-    let mut topo = Topology::new(spec, n_islands, island_freq.clone());
-    for (j, groups) in assignment.groups.iter().enumerate() {
-        for (g, cores) in groups.iter().enumerate() {
-            topo.add_switch(Switch {
-                name: format!("sw{j}.{g}"),
-                island_ext: j,
-                cores: cores.clone(),
-            });
-        }
-    }
+    let mut topo = ctx.base_topo.clone();
     for k in 0..k_mid {
         topo.add_switch(Switch {
             name: format!("mid.{k}"),
-            island_ext: mid,
+            island_ext: ctx.mid,
             cores: Vec::new(),
         });
     }
-    let n_switches = topo.switches().len();
-
-    // --- Candidate graph over switches. ----------------------------------
-    // Node i of the candidate graph is switch i; edges are all potential
-    // links permitted by the architecture (per-flow legality is filtered
-    // during the search).
-    let link_model = LinkModel::new(&cfg.technology, cfg.link_width_bits);
-    let fifo_model = BisyncFifoModel::new(&cfg.technology, cfg.link_width_bits);
-    let nominal_switch = SwitchModel::new(&cfg.technology, 4, 4, cfg.link_width_bits);
-
-    let mut cand_graph: DiGraph<SwitchId, Cand> = DiGraph::new();
-    for s in topo.switch_ids() {
-        cand_graph.add_node(s);
-    }
-    for u in topo.switch_ids() {
-        for v in topo.switch_ids() {
-            if u == v {
-                continue;
-            }
-            let iu = topo.switch(u).island_ext;
-            let iv = topo.switch(v).island_ext;
-            // Every ordered switch pair is an architectural candidate
-            // (intra-island, direct island-to-island, or via the
-            // intermediate island); per-flow shutdown legality is enforced
-            // by the search filter in `find_path`.
-            let crossing = iu != iv;
-            let length_mm = if !crossing {
-                cfg.est_intra_link_mm
-            } else if iu == mid || iv == mid {
-                cfg.est_mid_link_mm
-            } else {
-                cfg.est_inter_link_mm
-            };
-            let f = Frequency::from_hz(island_freq[iu].hz().min(island_freq[iv].hz()));
-            let capacity = link_model.capacity(f);
-            cand_graph.add_edge(
-                NodeId::from_index(u.index()),
-                NodeId::from_index(v.index()),
-                Cand {
-                    from: u,
-                    to: v,
-                    from_isl: iu,
-                    to_isl: iv,
-                    crossing,
-                    length_mm,
-                    capacity,
-                },
-            );
-        }
-    }
 
     let mut state = AllocState {
-        open: vec![None; cand_graph.edge_count()],
-        load: vec![Bandwidth::ZERO; cand_graph.edge_count()],
-        in_ports: (0..n_switches)
-            .map(|s| topo.switch(SwitchId(s)).cores.len())
-            .collect(),
-        out_ports: (0..n_switches)
-            .map(|s| topo.switch(SwitchId(s)).cores.len())
-            .collect(),
-        max_size: (0..n_switches)
-            .map(|s| plan.max_switch_size_ext(topo.switch(SwitchId(s)).island_ext))
-            .collect(),
+        open: vec![None; ctx.cand_graph.edge_count()],
+        load: vec![Bandwidth::ZERO; ctx.cand_graph.edge_count()],
+        in_ports: ctx.core_ports.clone(),
+        out_ports: ctx.core_ports.clone(),
+        max_size: ctx.max_size.clone(),
         reserve,
     };
-
-    // Pre-check: core counts alone must fit the switch size budgets.
-    for s in topo.switch_ids() {
-        let cores = topo.switch(s).cores.len();
-        if cores > state.max_size[s.index()] {
-            return Err(format!(
-                "switch {} holds {cores} cores but max size is {}",
-                topo.switch(s).name,
-                state.max_size[s.index()]
-            ));
-        }
+    if let Some(r) = record.as_deref_mut() {
+        r.paths.clear();
     }
 
-    let min_lat_global = spec.min_latency_cycles().max(1) as f64;
-    let flows = inter_switch_flows(spec, &topo);
+    // Warm-start bookkeeping: while `diverged` is false, every flow
+    // committed so far committed exactly the path the recorded run did, so
+    // the two runs' states are identical and recorded intra-island paths
+    // can be replayed without searching.
+    let mut diverged = prev.is_none();
+    let mut path_buf: Vec<EdgeId> = Vec::new();
 
-    // --- Route each flow in bandwidth order. ------------------------------
-    for isf in &flows {
+    for (t, isf) in ctx.flows.iter().enumerate() {
         if isf.src_switch == isf.dst_switch {
             let latency = route_latency(1, 0, cfg);
             if latency > isf.max_latency_cycles {
@@ -232,27 +441,55 @@ fn allocate_paths_with_reserve(
                 latency_cycles: latency,
                 crossings: 0,
             });
+            if let Some(r) = record.as_deref_mut() {
+                r.paths.push(FlowPath::OwnSwitch);
+            }
             continue;
         }
 
-        let path = find_path(
-            &cand_graph,
-            &state,
-            isf,
-            mid,
-            cfg,
-            &link_model,
-            &fifo_model,
-            &nominal_switch,
-            &island_freq,
-            min_lat_global,
-        )?;
+        let prev_path = if diverged {
+            None
+        } else {
+            let p = prev.and_then(|r| r.paths.get(t));
+            if p.is_none() {
+                // The recorded run ended here (it failed at this flow);
+                // beyond this point its state is unknown.
+                diverged = true;
+            }
+            p
+        };
+
+        let replayable =
+            matches!(prev_path, Some(FlowPath::Edges(_))) && isf.src_island == isf.dst_island;
+        if replayable {
+            // Intra-island searches admit only edges inside the source
+            // island, which the intermediate-count change cannot touch;
+            // with identical state the search would return the recorded
+            // path verbatim, so skip it.
+            let Some(FlowPath::Edges(edges)) = prev_path else {
+                unreachable!()
+            };
+            path_buf.clear();
+            path_buf.extend_from_slice(edges);
+        } else {
+            find_path(ctx, &state, isf, k_mid, cfg, scratch, &mut path_buf)?;
+            if let Some(FlowPath::Edges(edges)) = prev_path {
+                if path_buf != *edges {
+                    diverged = true;
+                }
+            } else {
+                debug_assert!(
+                    prev_path.is_none(),
+                    "same-switch classification is state-independent"
+                );
+            }
+        }
 
         // Commit the path.
         let mut switches = vec![isf.src_switch];
         let mut crossings = 0u32;
-        for &e in &path {
-            let cand = cand_graph.edge(e);
+        for &e in &path_buf {
+            let cand = ctx.cand_graph.edge(e);
             if cand.crossing {
                 crossings += 1;
             }
@@ -260,7 +497,7 @@ fn allocate_paths_with_reserve(
             if state.open[ei].is_none() {
                 let kind = if !cand.crossing {
                     LinkKind::Intra
-                } else if cand.from_isl == mid || cand.to_isl == mid {
+                } else if cand.from_isl == ctx.mid || cand.to_isl == ctx.mid {
                     LinkKind::Intermediate
                 } else {
                     LinkKind::InterDirect
@@ -295,6 +532,9 @@ fn allocate_paths_with_reserve(
             latency_cycles: latency,
             crossings,
         });
+        if let Some(r) = record.as_deref_mut() {
+            r.paths.push(FlowPath::Edges(path_buf.clone()));
+        }
     }
 
     topo.prune_unused_intermediate();
@@ -302,26 +542,32 @@ fn allocate_paths_with_reserve(
 }
 
 /// Finds the path for one flow: first min-cost, then (if the latency
-/// constraint is violated) min-latency as a fallback.
-#[allow(clippy::too_many_arguments)]
+/// constraint is violated) min-latency as a fallback. Writes the edge
+/// sequence into `out`.
 fn find_path(
-    cand_graph: &DiGraph<SwitchId, Cand>,
+    ctx: &AllocContext,
     state: &AllocState,
     isf: &InterSwitchFlow,
-    mid: usize,
+    k_mid: usize,
     cfg: &SynthesisConfig,
-    link_model: &LinkModel,
-    fifo_model: &BisyncFifoModel,
-    nominal_switch: &SwitchModel,
-    island_freq: &[Frequency],
-    min_lat_global: f64,
-) -> Result<Vec<EdgeId>, String> {
+    scratch: &mut SearchScratch,
+    out: &mut Vec<EdgeId>,
+) -> Result<(), String> {
     let src = NodeId::from_index(isf.src_switch.index());
     let dst = NodeId::from_index(isf.dst_switch.index());
     let bw = isf.bandwidth;
     let (src_isl, dst_isl) = (isf.src_island, isf.dst_island);
+    let mid = ctx.mid;
+    let n_active = ctx.n_real + k_mid;
 
     let admit = |e: EdgeId, cand: &Cand| -> bool {
+        // Intermediate switches beyond this candidate's count exist in the
+        // shared graph but are inactive. The search only ever relaxes edges
+        // out of reachable (hence active) nodes, so screening the target is
+        // enough to keep it inside the active subgraph.
+        if cand.to.index() >= n_active {
+            return false;
+        }
         let legal = if src_isl == dst_isl {
             // Intra-island flows never leave their island.
             cand.from_isl == src_isl && cand.to_isl == src_isl
@@ -336,28 +582,28 @@ fn find_path(
         legal && state.admits(e.index(), cand, bw, mid)
     };
 
-    let urgency = min_lat_global / isf.max_latency_cycles.max(1) as f64;
+    let urgency = ctx.min_lat_global / isf.max_latency_cycles.max(1) as f64;
     let power_cost = |e: EdgeId, cand: &Cand| -> f64 {
         // Marginal traffic power on this hop: wire + downstream switch
         // datapath + converter, all for this flow's bandwidth.
-        let mut p = link_model.traffic_power(cand.length_mm, bw) + nominal_switch.traffic_power(bw);
+        let mut p =
+            ctx.link_model.traffic_power(cand.length_mm, bw) + ctx.nominal_switch.traffic_power(bw);
         if cand.crossing {
-            p += fifo_model.power(Frequency::ZERO, Frequency::ZERO, bw);
+            p += ctx.fifo_model.power(Frequency::ZERO, Frequency::ZERO, bw);
         }
         // Opening a new link pays its standing (idle/clock) power too.
         let mut scarcity = 0.0;
         if state.open[e.index()].is_none() {
-            let fu = island_freq[cand.from_isl];
-            let fv = island_freq[cand.to_isl];
+            let fu = ctx.island_freq[cand.from_isl];
+            let fv = ctx.island_freq[cand.to_isl];
             if cand.crossing {
-                p += fifo_model.power(fu, fv, Bandwidth::ZERO);
+                p += ctx.fifo_model.power(fu, fv, Bandwidth::ZERO);
             }
             // One extra output port at `from`, one extra input at `to`:
-            // approximate with the nominal switch's per-port idle delta.
-            let base = SwitchModel::new(&cfg.technology, 4, 4, cfg.link_width_bits);
-            let grown = SwitchModel::new(&cfg.technology, 4, 5, cfg.link_width_bits);
-            p += grown.idle_power(fu) - base.idle_power(fu);
-            p += grown.idle_power(fv) - base.idle_power(fv);
+            // approximate with the nominal switch's per-port idle delta,
+            // precomputed per island in the context.
+            p += ctx.port_growth[cand.from_isl];
+            p += ctx.port_growth[cand.to_isl];
             // Port scarcity: consuming one of the endpoints' last free
             // ports is exponentially discouraged so hub switches keep
             // ports for later flows (which may have no alternative).
@@ -380,8 +626,8 @@ fn find_path(
     };
 
     // Pass 1: paper cost = linear combination of power increase and latency.
-    let tree = dijkstra_filtered(
-        cand_graph,
+    dijkstra_filtered_scratch(
+        &ctx.cand_graph,
         src,
         Some(dst),
         |e, cand| {
@@ -389,46 +635,47 @@ fn find_path(
                 + cfg.cost_latency_weight * hop_latency(cand) * urgency
         },
         admit,
+        scratch,
     );
-    if let Some(edges) = tree.path_edges(dst) {
-        let crossings = edges
+    if scratch.path_edges_into(dst, out) {
+        let crossings = out
             .iter()
-            .filter(|&&e| cand_graph.edge(e).crossing)
+            .filter(|&&e| ctx.cand_graph.edge(e).crossing)
             .count() as u32;
-        let latency = route_latency(edges.len() + 1, crossings, cfg);
+        let latency = route_latency(out.len() + 1, crossings, cfg);
         if latency <= isf.max_latency_cycles {
-            return Ok(edges);
+            return Ok(());
         }
     }
 
     // Pass 2: pure latency (the cost-optimal path was too slow or absent).
-    let tree = dijkstra_filtered(
-        cand_graph,
+    dijkstra_filtered_scratch(
+        &ctx.cand_graph,
         src,
         Some(dst),
         |_, cand| hop_latency(cand),
         admit,
+        scratch,
     );
-    match tree.path_edges(dst) {
-        Some(edges) => {
-            let crossings = edges
-                .iter()
-                .filter(|&&e| cand_graph.edge(e).crossing)
-                .count() as u32;
-            let latency = route_latency(edges.len() + 1, crossings, cfg);
-            if latency <= isf.max_latency_cycles {
-                Ok(edges)
-            } else {
-                Err(format!(
-                    "flow {} min latency {latency} exceeds constraint {}",
-                    isf.flow, isf.max_latency_cycles
-                ))
-            }
+    if scratch.path_edges_into(dst, out) {
+        let crossings = out
+            .iter()
+            .filter(|&&e| ctx.cand_graph.edge(e).crossing)
+            .count() as u32;
+        let latency = route_latency(out.len() + 1, crossings, cfg);
+        if latency <= isf.max_latency_cycles {
+            Ok(())
+        } else {
+            Err(format!(
+                "flow {} min latency {latency} exceeds constraint {}",
+                isf.flow, isf.max_latency_cycles
+            ))
         }
-        None => Err(format!(
+    } else {
+        Err(format!(
             "flow {}: no shutdown-legal path with available capacity/ports",
             isf.flow
-        )),
+        ))
     }
 }
 
@@ -593,6 +840,84 @@ mod tests {
                 assert!(t.intermediate_switch_count() <= 4);
             } else {
                 assert!(t.intermediate_switch_count() > 0);
+            }
+        }
+    }
+
+    /// A context built with spare (inactive) intermediate switches must
+    /// produce exactly the topology of a context built with the candidate's
+    /// own count — the inactive nodes are invisible to the searches.
+    #[test]
+    fn oversized_context_is_invisible() {
+        let soc = benchmarks::d26_mobile();
+        let vi = partition::logical_partition(&soc, 6).unwrap();
+        let cfg = SynthesisConfig::default();
+        let plan = FrequencyPlan::compute(&soc, &vi, &cfg);
+        let vcgs: Vec<_> = (0..6).map(|j| build_vcg(&soc, &vi, j, &cfg)).collect();
+        let counts = switch_counts_for_sweep(&vcgs, &plan, 1);
+        let asg = island_switch_assignment(&vcgs, &plan, &counts, &cfg);
+
+        let mut scratch = SearchScratch::new();
+        for k_mid in 0..=3usize {
+            let exact = AllocContext::build(&soc, &vi, &plan, &asg, k_mid, &cfg).unwrap();
+            let oversized = AllocContext::build(&soc, &vi, &plan, &asg, 4, &cfg).unwrap();
+            let a = allocate_paths_warm(&exact, k_mid, &cfg, &mut scratch, None, None)
+                .map(|a| a.topology);
+            let b = allocate_paths_warm(&oversized, k_mid, &cfg, &mut scratch, None, None)
+                .map(|a| a.topology);
+            match (a, b) {
+                (Ok(ta), Ok(tb)) => assert_eq!(ta, tb, "k_mid={k_mid}"),
+                (Err(ea), Err(eb)) => assert_eq!(ea, eb, "k_mid={k_mid}"),
+                (a, b) => panic!("k_mid={k_mid}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    /// Warm-starting from the previous candidate's record must be
+    /// bit-identical to a cold start, both when the warm path replays
+    /// recorded flows and when it diverges.
+    #[test]
+    fn warm_start_matches_cold_start_across_the_mid_sweep() {
+        let soc = benchmarks::d26_mobile();
+        for k_islands in [2usize, 6, 26] {
+            let vi = partition::logical_partition(&soc, k_islands).unwrap();
+            let cfg = SynthesisConfig::default();
+            let plan = FrequencyPlan::compute(&soc, &vi, &cfg);
+            let vcgs: Vec<_> = (0..k_islands)
+                .map(|j| build_vcg(&soc, &vi, j, &cfg))
+                .collect();
+            for sweep in 1..=3usize {
+                let counts = switch_counts_for_sweep(&vcgs, &plan, sweep);
+                let asg = island_switch_assignment(&vcgs, &plan, &counts, &cfg);
+                let ctx = AllocContext::build(&soc, &vi, &plan, &asg, 4, &cfg).unwrap();
+                let mut scratch = SearchScratch::new();
+                let mut prev: Option<AllocRecord> = None;
+                for k_mid in 0..=4usize {
+                    let mut rec = AllocRecord::default();
+                    let warm = allocate_paths_warm(
+                        &ctx,
+                        k_mid,
+                        &cfg,
+                        &mut scratch,
+                        prev.as_ref(),
+                        Some(&mut rec),
+                    )
+                    .map(|a| a.topology);
+                    let cold = allocate_paths_warm(&ctx, k_mid, &cfg, &mut scratch, None, None)
+                        .map(|a| a.topology);
+                    match (&warm, &cold) {
+                        (Ok(tw), Ok(tc)) => {
+                            assert_eq!(tw, tc, "islands={k_islands} sweep={sweep} k={k_mid}")
+                        }
+                        (Err(ew), Err(ec)) => {
+                            assert_eq!(ew, ec, "islands={k_islands} sweep={sweep} k={k_mid}")
+                        }
+                        _ => panic!(
+                            "islands={k_islands} sweep={sweep} k={k_mid}: {warm:?} vs {cold:?}"
+                        ),
+                    }
+                    prev = Some(rec);
+                }
             }
         }
     }

@@ -10,22 +10,33 @@
 //! 2. [`evaluate_candidate`] — a *pure* per-candidate stage: VCG min-cut
 //!    partitioning into switches, bandwidth-ordered path allocation, and
 //!    metric evaluation;
-//! 3. [`synthesize`] — a fan-out over the candidates (rayon `par_iter`
-//!    when [`SynthesisConfig::parallel`] is set, a plain iterator
-//!    otherwise) folded into the [`DesignSpace`].
+//! 3. [`synthesize`] — a fan-out over per-sweep-index candidate *chains*
+//!    (rayon `par_iter` when [`SynthesisConfig::parallel`] is set, a plain
+//!    iterator otherwise) folded into the [`DesignSpace`].
 //!
-//! Both execution modes visit candidates in the same order (the parallel
-//! map is order-preserving), so they produce byte-identical design spaces —
-//! the sequential mode exists for determinism checks and debugging.
+//! The fan-out unit is a chain, not a single candidate, because all
+//! intermediate-count candidates of one sweep index share their expensive
+//! prefix: the chain evaluator builds one [`crate::paths`] allocation
+//! context (candidate switch graph, power models, ordered flow list) per
+//! sweep index and warm-starts candidate `(i, k+1)` from `(i, k)`'s
+//! recorded allocation. Warm-starting is an exact optimization — it only
+//! skips work whose result is provably unchanged — so every candidate's
+//! outcome is bit-identical to the pure cold evaluation of
+//! [`evaluate_candidate`], and both execution modes visit candidates in
+//! the same order (the parallel map is order-preserving), producing
+//! byte-identical design spaces. The sequential mode exists for
+//! determinism checks and single-threaded profiling.
 
 use crate::assign::{island_switch_assignment, switch_counts_for_sweep, SwitchAssignment};
 use crate::config::{FrequencyPlan, SynthesisConfig};
 use crate::design_space::{DesignPoint, DesignSpace};
 use crate::error::SynthesisError;
 use crate::metrics::compute_metrics;
-use crate::paths::allocate_paths;
+use crate::paths::{allocate_paths, allocate_paths_warm, AllocContext, AllocRecord};
+use crate::topology::Topology;
 use crate::vcg::{build_vcg, Vcg};
 use rayon::prelude::*;
+use vi_noc_graph::SearchScratch;
 use vi_noc_soc::{SocSpec, ViAssignment};
 
 /// The pipeline's single fan-out primitive: an order-preserving map over
@@ -190,14 +201,25 @@ pub fn evaluate_candidate(
     cfg: &SynthesisConfig,
 ) -> CandidateOutcome {
     let assignment = sweep.assignment(candidate.sweep_index);
-    match allocate_paths(
+    let result = allocate_paths(
         spec,
         vi,
         &sweep.plan,
         assignment,
         candidate.requested_intermediate,
         cfg,
-    ) {
+    );
+    candidate_outcome(result, candidate, spec, cfg)
+}
+
+/// Folds an allocation result into a [`CandidateOutcome`].
+fn candidate_outcome(
+    result: Result<Topology, String>,
+    candidate: &SweepCandidate,
+    spec: &SocSpec,
+    cfg: &SynthesisConfig,
+) -> CandidateOutcome {
+    match result {
         Ok(topology) => {
             if topology.intermediate_switch_count() != candidate.requested_intermediate {
                 return CandidateOutcome::Duplicate;
@@ -213,6 +235,77 @@ pub fn evaluate_candidate(
         }
         Err(reason) => CandidateOutcome::Infeasible(reason),
     }
+}
+
+/// Evaluates one sweep index's chain of intermediate-count candidates,
+/// sharing the allocation context and warm-starting each candidate from
+/// its predecessor's recorded allocation.
+///
+/// Outcome-equivalent to mapping [`evaluate_candidate`] over the chain
+/// (asserted by the warm-start equivalence tests); the sharing only
+/// removes redundant work, never changes a result.
+fn evaluate_chain(
+    spec: &SocSpec,
+    vi: &ViAssignment,
+    sweep: &SweepPlan,
+    chain: &[SweepCandidate],
+    cfg: &SynthesisConfig,
+) -> Vec<CandidateOutcome> {
+    let Some(first) = chain.first() else {
+        return Vec::new();
+    };
+    let assignment = sweep.assignment(first.sweep_index);
+    let k_max = chain
+        .iter()
+        .map(|c| c.requested_intermediate)
+        .max()
+        .unwrap_or(0);
+    let ctx = match AllocContext::build(spec, vi, &sweep.plan, assignment, k_max, cfg) {
+        Ok(ctx) => ctx,
+        // The context pre-check (core counts vs switch size budgets) fails
+        // identically for every candidate of the index.
+        Err(reason) => {
+            return chain
+                .iter()
+                .map(|_| CandidateOutcome::Infeasible(reason.clone()))
+                .collect();
+        }
+    };
+    let mut scratch = SearchScratch::new();
+    let mut prev: Option<AllocRecord> = None;
+    let mut outcomes = Vec::with_capacity(chain.len());
+    let mut saturated = false;
+    for candidate in chain {
+        // Duplicate short-circuit: once a reserve-0 allocation left an
+        // intermediate switch unused, every higher-count candidate of this
+        // sweep index provably reproduces the same topology (see
+        // `Allocation::has_spare_intermediate`), so it is a Duplicate
+        // without running.
+        if saturated {
+            outcomes.push(CandidateOutcome::Duplicate);
+            continue;
+        }
+        let mut record = AllocRecord::default();
+        let result = allocate_paths_warm(
+            &ctx,
+            candidate.requested_intermediate,
+            cfg,
+            &mut scratch,
+            prev.as_ref(),
+            Some(&mut record),
+        );
+        if let Ok(alloc) = &result {
+            saturated = alloc.has_spare_intermediate(candidate.requested_intermediate);
+        }
+        outcomes.push(candidate_outcome(
+            result.map(|a| a.topology),
+            candidate,
+            spec,
+            cfg,
+        ));
+        prev = Some(record);
+    }
+    outcomes
 }
 
 /// Synthesizes the space of VI-aware NoC topologies for `spec` under the
@@ -247,9 +340,25 @@ pub fn synthesize(
         .map_err(|e| SynthesisError::InvalidSpec(e.to_string()))?;
 
     let sweep = SweepPlan::build(spec, vi, cfg);
-    let outcomes = maybe_parallel_map(cfg.parallel, sweep.candidates(), |c| {
-        evaluate_candidate(spec, vi, &sweep, c, cfg)
-    });
+    // Fan out over per-sweep-index chains: candidates within a chain share
+    // their allocation context and warm-start one another (see
+    // `evaluate_chain`), so they must run on the same worker; distinct
+    // sweep indices are independent.
+    let candidates = sweep.candidates();
+    let mut chains: Vec<&[SweepCandidate]> = Vec::new();
+    let mut start = 0;
+    for i in 1..=candidates.len() {
+        if i == candidates.len() || candidates[i].sweep_index != candidates[start].sweep_index {
+            chains.push(&candidates[start..i]);
+            start = i;
+        }
+    }
+    let outcomes: Vec<CandidateOutcome> = maybe_parallel_map(cfg.parallel, &chains, |chain| {
+        evaluate_chain(spec, vi, &sweep, chain, cfg)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     let explored = outcomes.len();
     let mut points = Vec::new();

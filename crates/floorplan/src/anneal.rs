@@ -1,16 +1,18 @@
-//! Simulated-annealing floorplan optimization (Wong–Liu moves).
+//! Simulated-annealing floorplan optimization (Wong–Liu moves), with
+//! independently seeded restarts fanned out across threads.
 
 use crate::placement::{evaluate, Placement};
 use crate::slicing::{Module, Net, PolishElem, PolishExpr};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
 
 /// Parameters for [`floorplan`].
 #[derive(Debug, Clone)]
 pub struct FloorplanConfig {
     /// RNG seed; equal seeds give identical floorplans.
     pub seed: u64,
-    /// Number of proposed moves.
+    /// Number of proposed moves per restart.
     pub iterations: usize,
     /// Initial acceptance temperature (relative to typical cost deltas).
     pub initial_temp: f64,
@@ -23,6 +25,14 @@ pub struct FloorplanConfig {
     pub lambda_island: f64,
     /// Weight of the aspect-ratio penalty (`|ln(W/H)|`).
     pub lambda_aspect: f64,
+    /// Number of independent annealing chains; the best result wins.
+    /// Restart `r` is seeded with `seed + r`, so restart 0 reproduces the
+    /// single-chain result and adding restarts can only improve the cost.
+    pub restarts: usize,
+    /// Run the restarts across threads (the same order-preserving rayon
+    /// fan-out the synthesis sweep uses). Parallel and sequential execution
+    /// select the identical placement.
+    pub parallel: bool,
 }
 
 impl Default for FloorplanConfig {
@@ -35,6 +45,8 @@ impl Default for FloorplanConfig {
             lambda_wire: 0.02,
             lambda_island: 0.3,
             lambda_aspect: 2.0,
+            restarts: 2,
+            parallel: true,
         }
     }
 }
@@ -163,24 +175,16 @@ fn propose(expr: &mut PolishExpr, n: usize, rng: &mut StdRng) -> bool {
     }
 }
 
-/// Floorplans `modules` by simulated annealing, minimizing die area,
-/// traffic-weighted wirelength, island spread and aspect-ratio penalty.
-///
-/// Deterministic for a fixed [`FloorplanConfig::seed`]. Returns the best
-/// placement encountered.
-///
-/// # Panics
-///
-/// Panics if `modules` is empty or a net references a missing module.
-pub fn floorplan(modules: &[Module], nets: &[Net], cfg: &FloorplanConfig) -> Placement {
-    assert!(!modules.is_empty(), "cannot floorplan zero modules");
-    for net in nets {
-        for &p in &net.pins {
-            assert!(p < modules.len(), "net references missing module {p}");
-        }
-    }
+/// One annealing chain from `seed`; returns the best cost seen and the
+/// expression achieving it.
+fn anneal_chain(
+    modules: &[Module],
+    nets: &[Net],
+    cfg: &FloorplanConfig,
+    seed: u64,
+) -> (f64, PolishExpr) {
     let n = modules.len();
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut expr = PolishExpr::initial(n);
     let mut current_cost = cost(&evaluate(&expr, modules), modules, nets, cfg);
     let mut best_expr = expr.clone();
@@ -211,7 +215,45 @@ pub fn floorplan(modules: &[Module], nets: &[Net], cfg: &FloorplanConfig) -> Pla
         }
     }
 
-    evaluate(&best_expr, modules)
+    (best_cost, best_expr)
+}
+
+/// Floorplans `modules` by simulated annealing, minimizing die area,
+/// traffic-weighted wirelength, island spread and aspect-ratio penalty.
+///
+/// Runs [`FloorplanConfig::restarts`] independent chains (seeded
+/// `seed + r`, fanned out across threads when
+/// [`FloorplanConfig::parallel`] is set) and returns the best placement
+/// encountered; cost ties go to the lowest restart index, so the result is
+/// deterministic for a fixed [`FloorplanConfig`] in both execution modes.
+///
+/// # Panics
+///
+/// Panics if `modules` is empty or a net references a missing module.
+pub fn floorplan(modules: &[Module], nets: &[Net], cfg: &FloorplanConfig) -> Placement {
+    assert!(!modules.is_empty(), "cannot floorplan zero modules");
+    for net in nets {
+        for &p in &net.pins {
+            assert!(p < modules.len(), "net references missing module {p}");
+        }
+    }
+    let restarts: Vec<u64> = (0..cfg.restarts.max(1) as u64).collect();
+    let chains: Vec<(f64, PolishExpr)> = if cfg.parallel && restarts.len() > 1 {
+        restarts
+            .par_iter()
+            .map(|&r| anneal_chain(modules, nets, cfg, cfg.seed.wrapping_add(r)))
+            .collect()
+    } else {
+        restarts
+            .iter()
+            .map(|&r| anneal_chain(modules, nets, cfg, cfg.seed.wrapping_add(r)))
+            .collect()
+    };
+    let best = chains
+        .into_iter()
+        .reduce(|best, next| if next.0 < best.0 { next } else { best })
+        .expect("at least one restart");
+    evaluate(&best.1, modules)
 }
 
 #[cfg(test)]
@@ -322,6 +364,74 @@ mod tests {
             bbox(0),
             bbox(1),
             die_hp
+        );
+    }
+
+    #[test]
+    fn restart_modes_select_the_same_placement() {
+        let modules = modules_two_islands();
+        let nets = vec![Net::two_pin(0, 7, 10.0)];
+        let base = FloorplanConfig {
+            restarts: 4,
+            ..quick_cfg()
+        };
+        let seq = floorplan(
+            &modules,
+            &nets,
+            &FloorplanConfig {
+                parallel: false,
+                ..base.clone()
+            },
+        );
+        let par = floorplan(
+            &modules,
+            &nets,
+            &FloorplanConfig {
+                parallel: true,
+                ..base
+            },
+        );
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn extra_restarts_never_worsen_the_cost() {
+        let modules = modules_two_islands();
+        let nets = vec![Net::two_pin(1, 6, 25.0)];
+        let single = FloorplanConfig {
+            restarts: 1,
+            ..quick_cfg()
+        };
+        let multi = FloorplanConfig {
+            restarts: 4,
+            ..quick_cfg()
+        };
+        let p1 = floorplan(&modules, &nets, &single);
+        let p4 = floorplan(&modules, &nets, &multi);
+        // Restart 0 of the multi run *is* the single run, so best-of-4 can
+        // only match or beat it.
+        assert!(
+            cost(&p4, &modules, &nets, &multi) <= cost(&p1, &modules, &nets, &single) + 1e-12,
+            "best-of-4 cost {} worse than single-chain {}",
+            cost(&p4, &modules, &nets, &multi),
+            cost(&p1, &modules, &nets, &single)
+        );
+    }
+
+    #[test]
+    fn zero_restarts_clamps_to_one_chain() {
+        let modules = modules_two_islands();
+        let zero = FloorplanConfig {
+            restarts: 0,
+            ..quick_cfg()
+        };
+        let one = FloorplanConfig {
+            restarts: 1,
+            ..quick_cfg()
+        };
+        assert_eq!(
+            floorplan(&modules, &[], &zero),
+            floorplan(&modules, &[], &one)
         );
     }
 

@@ -36,6 +36,102 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+/// Reusable arenas for [`dijkstra_filtered_scratch`].
+///
+/// A single Dijkstra run needs distance/predecessor/settled arrays plus a
+/// binary heap. Callers that run many searches over graphs of similar size
+/// (the path allocator runs one per flow per candidate) can keep one
+/// `SearchScratch` alive and [`reset`](SearchScratch::reset) it between
+/// searches, so the hot loop performs no heap allocation once the arenas
+/// have grown to the working size.
+#[derive(Debug)]
+pub struct SearchScratch {
+    source: NodeId,
+    dist: Vec<f64>,
+    prev: Vec<Option<(NodeId, EdgeId)>>,
+    settled: Vec<bool>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl Default for SearchScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SearchScratch {
+    /// Creates empty arenas; they grow on first use.
+    pub fn new() -> Self {
+        SearchScratch {
+            source: NodeId::from_index(0),
+            dist: Vec::new(),
+            prev: Vec::new(),
+            settled: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Clears the arenas and sizes them for an `n`-node graph.
+    ///
+    /// Called by [`dijkstra_filtered_scratch`]; only needed directly when
+    /// inspecting a scratch before any search has run.
+    pub fn reset(&mut self, n: usize) {
+        self.dist.clear();
+        self.dist.resize(n, f64::INFINITY);
+        self.prev.clear();
+        self.prev.resize(n, None);
+        self.settled.clear();
+        self.settled.resize(n, false);
+        self.heap.clear();
+    }
+
+    /// The source node of the last search.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Shortest distance to `node` found by the last search, or `None` if
+    /// unreachable — including when no search has run yet or `node` lies
+    /// outside the last-searched graph (the arenas are sized per search,
+    /// and one scratch may be reused across graphs of different sizes).
+    pub fn distance(&self, node: NodeId) -> Option<f64> {
+        let d = *self.dist.get(node.index())?;
+        if d.is_finite() {
+            Some(d)
+        } else {
+            None
+        }
+    }
+
+    /// Writes the edge sequence of the last search's path `source -> node`
+    /// into `out` (cleared first). Returns `false` (leaving `out` empty) if
+    /// `node` is unreachable.
+    pub fn path_edges_into(&self, node: NodeId, out: &mut Vec<EdgeId>) -> bool {
+        out.clear();
+        if self.distance(node).is_none() {
+            return false;
+        }
+        let mut cur = node;
+        while let Some((p, e)) = self.prev[cur.index()] {
+            out.push(e);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.source);
+        out.reverse();
+        true
+    }
+
+    /// Converts the scratch into an owned [`ShortestPathTree`], leaving the
+    /// arenas empty.
+    fn into_tree(self) -> ShortestPathTree {
+        ShortestPathTree {
+            source: self.source,
+            dist: self.dist,
+            prev: self.prev,
+        }
+    }
+}
+
 /// Result of a single-source shortest-path computation.
 ///
 /// Produced by [`dijkstra`] / [`dijkstra_filtered`].
@@ -134,23 +230,39 @@ pub fn dijkstra_filtered<N, E>(
     cost: impl Fn(EdgeId, &E) -> f64,
     admit: impl Fn(EdgeId, &E) -> bool,
 ) -> ShortestPathTree {
-    let n = g.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
-    let mut settled = vec![false; n];
-    let mut heap = BinaryHeap::new();
+    let mut scratch = SearchScratch::new();
+    dijkstra_filtered_scratch(g, source, goal, cost, admit, &mut scratch);
+    scratch.into_tree()
+}
 
-    dist[source.index()] = 0.0;
-    heap.push(HeapEntry {
+/// Like [`dijkstra_filtered`], but runs inside caller-owned
+/// [`SearchScratch`] arenas instead of allocating per call.
+///
+/// The scratch is [`reset`](SearchScratch::reset) at entry and holds the
+/// search result afterwards (query it via [`SearchScratch::distance`] /
+/// [`SearchScratch::path_edges_into`]). Repeated searches reuse the same
+/// memory, which is what the per-flow path allocation hot loop needs.
+pub fn dijkstra_filtered_scratch<N, E>(
+    g: &DiGraph<N, E>,
+    source: NodeId,
+    goal: Option<NodeId>,
+    cost: impl Fn(EdgeId, &E) -> f64,
+    admit: impl Fn(EdgeId, &E) -> bool,
+    scratch: &mut SearchScratch,
+) {
+    scratch.reset(g.node_count());
+    scratch.source = source;
+    scratch.dist[source.index()] = 0.0;
+    scratch.heap.push(HeapEntry {
         cost: 0.0,
         node: source,
     });
 
-    while let Some(HeapEntry { cost: d, node: u }) = heap.pop() {
-        if settled[u.index()] {
+    while let Some(HeapEntry { cost: d, node: u }) = scratch.heap.pop() {
+        if scratch.settled[u.index()] {
             continue;
         }
-        settled[u.index()] = true;
+        scratch.settled[u.index()] = true;
         if goal == Some(u) {
             break;
         }
@@ -163,15 +275,13 @@ pub fn dijkstra_filtered<N, E>(
             debug_assert!(w >= 0.0, "dijkstra requires non-negative edge costs");
             let v = g.target(e);
             let nd = d + w;
-            if nd < dist[v.index()] {
-                dist[v.index()] = nd;
-                prev[v.index()] = Some((u, e));
-                heap.push(HeapEntry { cost: nd, node: v });
+            if nd < scratch.dist[v.index()] {
+                scratch.dist[v.index()] = nd;
+                scratch.prev[v.index()] = Some((u, e));
+                scratch.heap.push(HeapEntry { cost: nd, node: v });
             }
         }
     }
-
-    ShortestPathTree { source, dist, prev }
 }
 
 #[cfg(test)]
@@ -244,6 +354,64 @@ mod tests {
         // Invert preference: make the nominally cheap edges expensive.
         let t = dijkstra(&g, a, None, |_, w| if *w < 2.0 { 10.0 } else { *w });
         assert_eq!(t.distance(d), Some(6.0));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let (g, [a, b, c, d]) = diamond();
+        let mut scratch = SearchScratch::new();
+        let mut edges = Vec::new();
+        for goal in [b, c, d] {
+            dijkstra_filtered_scratch(&g, a, Some(goal), |_, w| *w, |_, _| true, &mut scratch);
+            let fresh = dijkstra(&g, a, Some(goal), |_, w| *w);
+            assert_eq!(scratch.distance(goal), fresh.distance(goal));
+            assert!(scratch.path_edges_into(goal, &mut edges));
+            assert_eq!(edges, fresh.path_edges(goal).unwrap());
+        }
+        assert_eq!(scratch.source(), a);
+    }
+
+    #[test]
+    fn scratch_reports_unreachable() {
+        let (g, [a, ..]) = diamond();
+        let d = NodeId::from_index(3);
+        let mut scratch = SearchScratch::new();
+        // First a search where everything is reachable, then one where
+        // nothing is: stale state must not leak through the reset.
+        dijkstra_filtered_scratch(&g, a, None, |_, w| *w, |_, _| true, &mut scratch);
+        dijkstra_filtered_scratch(&g, d, None, |_, w| *w, |_, _| true, &mut scratch);
+        assert_eq!(scratch.distance(a), None);
+        let mut edges = vec![EdgeId::from_index(0)];
+        assert!(!scratch.path_edges_into(a, &mut edges));
+        assert!(edges.is_empty(), "failed extraction must clear the buffer");
+        assert_eq!(scratch.distance(d), Some(0.0));
+    }
+
+    #[test]
+    fn scratch_accessors_are_total() {
+        // A fresh scratch and out-of-range node ids answer "unreachable"
+        // instead of panicking.
+        let scratch = SearchScratch::new();
+        assert_eq!(scratch.distance(NodeId::from_index(0)), None);
+        let mut edges = Vec::new();
+        assert!(!scratch.path_edges_into(NodeId::from_index(5), &mut edges));
+        let (g, [a, ..]) = diamond();
+        let mut scratch = SearchScratch::new();
+        dijkstra_filtered_scratch(&g, a, None, |_, w| *w, |_, _| true, &mut scratch);
+        assert_eq!(scratch.distance(NodeId::from_index(99)), None);
+        assert!(!scratch.path_edges_into(NodeId::from_index(99), &mut edges));
+    }
+
+    #[test]
+    fn wrapper_and_scratch_agree_with_filters() {
+        let (g, [a, _, _, d]) = diamond();
+        let mut scratch = SearchScratch::new();
+        dijkstra_filtered_scratch(&g, a, Some(d), |_, w| *w, |_, w| *w >= 3.0, &mut scratch);
+        let tree = dijkstra_filtered(&g, a, Some(d), |_, w| *w, |_, w| *w >= 3.0);
+        assert_eq!(scratch.distance(d), tree.distance(d));
+        let mut edges = Vec::new();
+        scratch.path_edges_into(d, &mut edges);
+        assert_eq!(edges, tree.path_edges(d).unwrap());
     }
 
     #[test]

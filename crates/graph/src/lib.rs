@@ -52,7 +52,9 @@ pub use bellman_ford::bellman_ford;
 pub use bisect::{bisect, BisectConfig};
 pub use coarsen::{coarsen, CoarseGraph};
 pub use digraph::DiGraph;
-pub use dijkstra::{dijkstra, dijkstra_filtered, ShortestPathTree};
+pub use dijkstra::{
+    dijkstra, dijkstra_filtered, dijkstra_filtered_scratch, SearchScratch, ShortestPathTree,
+};
 pub use ids::{EdgeId, NodeId};
 pub use kway::{greedy_agglomerative, partition_kway, PartitionConfig};
 pub use mincut::stoer_wagner;

@@ -64,16 +64,42 @@ pub struct ProptestConfig {
     pub cases: u32,
 }
 
+/// Parses a `PROPTEST_CASES`-style override value; `None` for unset,
+/// non-numeric or non-positive input. Separated from the environment read
+/// so it is testable without mutating process-global state.
+fn parse_cases(value: Option<&str>) -> Option<u32> {
+    value?.trim().parse().ok().filter(|&c| c > 0)
+}
+
+/// The `PROPTEST_CASES` environment override: when set to a positive
+/// integer it replaces the default case count (as upstream does) and —
+/// *unlike* upstream, where explicit configs win — also acts as a ceiling
+/// on [`ProptestConfig::with_cases`] requests, so one variable trims every
+/// property suite at once (CI smoke runs, quick local iterations). A swap
+/// to the registry crate would lose the ceiling behavior; suites relying
+/// on it would run at their full explicit case counts again.
+fn env_cases() -> Option<u32> {
+    parse_cases(std::env::var("PROPTEST_CASES").ok().as_deref())
+}
+
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(256),
+        }
     }
 }
 
 impl ProptestConfig {
-    /// A config running `cases` cases per test.
+    /// A config running `cases` cases per test (capped by the
+    /// `PROPTEST_CASES` environment variable when set).
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: match env_cases() {
+                Some(ceiling) => cases.min(ceiling),
+                None => cases,
+            },
+        }
     }
 }
 
@@ -377,6 +403,26 @@ macro_rules! prop_assert_ne {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn proptest_cases_override_parses_and_caps() {
+        // The parse logic is tested through its pure entry point; mutating
+        // the real environment here would race sibling tests that read
+        // `PROPTEST_CASES` at runtime.
+        assert_eq!(crate::parse_cases(None), None);
+        assert_eq!(crate::parse_cases(Some("7")), Some(7));
+        assert_eq!(crate::parse_cases(Some(" 12 ")), Some(12));
+        assert_eq!(crate::parse_cases(Some("0")), None);
+        assert_eq!(crate::parse_cases(Some("not a number")), None);
+        // The ceiling semantics on top of a parsed override.
+        let apply = |ceiling: Option<u32>, cases: u32| match ceiling {
+            Some(c) => cases.min(c),
+            None => cases,
+        };
+        assert_eq!(apply(crate::parse_cases(Some("7")), 64), 7);
+        assert_eq!(apply(crate::parse_cases(Some("7")), 3), 3);
+        assert_eq!(apply(crate::parse_cases(None), 64), 64);
+    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
