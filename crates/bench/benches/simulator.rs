@@ -1,40 +1,202 @@
-//! Criterion benchmarks: cycle-level simulation throughput.
+//! Criterion benchmarks: flit-level simulation throughput, including the
+//! acceptance benchmark for the event-batched engine (batched vs
+//! cycle-stepped wall clock on long-horizon workloads).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use vi_noc_core::{synthesize, SynthesisConfig};
+use std::time::{Duration, Instant};
+use vi_noc_core::{synthesize, SynthesisConfig, Topology};
 use vi_noc_sim::{SimConfig, Simulator, TrafficKind};
-use vi_noc_soc::{benchmarks, partition};
+use vi_noc_soc::{benchmarks, partition, SocSpec};
+
+/// `BENCH_FAST=1` trims sample counts and horizons so the CI smoke job
+/// stays cheap.
+fn fast_mode() -> bool {
+    std::env::var("BENCH_FAST").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn samples(full: usize) -> usize {
+    if fast_mode() {
+        2
+    } else {
+        full
+    }
+}
+
+fn design(soc: &SocSpec, k: usize) -> Topology {
+    let vi = partition::logical_partition(soc, k).expect("islands");
+    let space = synthesize(soc, &vi, &SynthesisConfig::default()).expect("feasible");
+    space.min_power_point().unwrap().topology.clone()
+}
 
 fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_20us");
-    group.sample_size(10);
+    group.sample_size(samples(10));
     for k in [1usize, 6] {
         let soc = benchmarks::d26_mobile();
-        let vi = partition::logical_partition(&soc, k).expect("islands");
-        let space = synthesize(&soc, &vi, &SynthesisConfig::default()).expect("feasible");
-        let topo = space.min_power_point().unwrap().topology.clone();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("d26_{k}vi")),
-            &(soc, topo),
-            |b, (soc, topo)| {
-                b.iter(|| {
-                    let mut sim = Simulator::new(
-                        black_box(soc),
-                        black_box(topo),
-                        &SimConfig {
-                            traffic: TrafficKind::Cbr,
-                            load_factor: 0.8,
-                            ..SimConfig::default()
-                        },
-                    );
-                    sim.run_for_ns(20_000)
-                })
-            },
-        );
+        let topo = design(&soc, k);
+        for (label, batching) in [("stepped", false), ("batched", true)] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("d26_{k}vi_{label}")),
+                &(&soc, &topo),
+                |b, (soc, topo)| {
+                    b.iter(|| {
+                        let mut sim = Simulator::new(
+                            black_box(soc),
+                            black_box(topo),
+                            &SimConfig {
+                                traffic: TrafficKind::Cbr,
+                                load_factor: 0.8,
+                                batching,
+                                ..SimConfig::default()
+                            },
+                        );
+                        sim.run_for_ns(20_000)
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_simulation);
+/// Median wall time of `samples` runs of `f`.
+fn median_secs<O>(samples: usize, mut f: impl FnMut() -> O) -> f64 {
+    black_box(f()); // warm-up, untimed
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2].as_secs_f64()
+}
+
+/// The acceptance benchmark for sim-engine event batching: long-horizon
+/// D26 simulations in the regimes the simulator is actually used for —
+///
+/// * `light_load` — a 2 ms soak at 5 % load, the latency-vs-load regime
+///   where per-cycle stepping wastes almost every tick;
+/// * `zero_load_probe` — one flow active, everything else silent, the
+///   Figure-3 zero-load-latency measurement pattern;
+/// * `loaded` — 80 % load, where events are dense and batching must at
+///   least break even.
+///
+/// Both modes produce bit-identical `SimStats` (asserted here besides the
+/// equivalence suite); only wall clock differs. The measurement is emitted
+/// as `BENCH_sim.json` (path override: `BENCH_SIM_JSON`) in the same
+/// history-entry schema as the committed repo-root `BENCH_sweep.json`, so
+/// fresh datapoints can be appended to the trajectory verbatim.
+fn bench_long_horizon(_c: &mut Criterion) {
+    // Self-timed (median-of-N), not a criterion group, so honor cargo
+    // bench's positional filter by hand: `-- simulate_20us` must not drag
+    // the multi-second long-horizon suite along with it.
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    if !filters.is_empty()
+        && !filters
+            .iter()
+            .any(|f| "sim_long_horizon".contains(f.as_str()))
+    {
+        return;
+    }
+    let soc = benchmarks::d26_mobile();
+    let topo = design(&soc, 6);
+    let horizon_ns: u64 = if fast_mode() { 100_000 } else { 2_000_000 };
+    // Odd counts keep the middle sample a true median (2 would report the
+    // slower run).
+    let samples = if fast_mode() { 3 } else { 5 };
+
+    let run = |cfg: &SimConfig, probe: bool| {
+        let mut sim = Simulator::new(&soc, &topo, cfg);
+        if probe {
+            let probe_flow = soc.flow_ids().next().unwrap();
+            for fid in soc.flow_ids() {
+                if fid != probe_flow {
+                    sim.deactivate_flow(fid);
+                }
+            }
+        }
+        sim.run_for_ns(horizon_ns)
+    };
+
+    let scenarios: [(&str, SimConfig, bool); 3] = [
+        (
+            "light_load",
+            SimConfig {
+                load_factor: 0.05,
+                ..SimConfig::default()
+            },
+            false,
+        ),
+        (
+            "zero_load_probe",
+            SimConfig {
+                packet_bytes: 4,
+                ..SimConfig::default()
+            },
+            true,
+        ),
+        (
+            "loaded",
+            SimConfig {
+                load_factor: 0.8,
+                ..SimConfig::default()
+            },
+            false,
+        ),
+    ];
+
+    let mut json_entries = Vec::new();
+    for (name, cfg, probe) in &scenarios {
+        let stepped_cfg = SimConfig {
+            batching: false,
+            ..cfg.clone()
+        };
+        let batched_cfg = SimConfig {
+            batching: true,
+            ..cfg.clone()
+        };
+        assert_eq!(
+            run(&batched_cfg, *probe),
+            run(&stepped_cfg, *probe),
+            "{name}: batched and stepped stats must be bit-identical"
+        );
+        let stepped_s = median_secs(samples, || run(&stepped_cfg, *probe));
+        let batched_s = median_secs(samples, || run(&batched_cfg, *probe));
+        let speedup = stepped_s / batched_s.max(1e-12);
+        println!(
+            "sim_long_horizon/{name:<16} stepped {:>9.1?}  batched {:>9.1?}  speedup {speedup:.2}x",
+            Duration::from_secs_f64(stepped_s),
+            Duration::from_secs_f64(batched_s),
+        );
+        json_entries.push(format!(
+            "      \"{name}\": {{ \"stepped_ms\": {:.2}, \"batched_ms\": {:.2}, \"speedup\": {:.2} }}",
+            stepped_s * 1e3,
+            batched_s * 1e3,
+            speedup
+        ));
+    }
+
+    // The history entry is self-describing (bench/soc/islands/horizon_ns
+    // inside it, matching the committed BENCH_sweep.json schema) so it can
+    // be appended to the trajectory verbatim.
+    let json = format!(
+        "{{\n  \"bench\": \"sim_long_horizon\",\n  \"history\": [\n    {{\n      \"pr\": null,\n      \
+         \"bench\": \"sim_long_horizon\",\n      \"soc\": \"d26_mobile\",\n      \"islands\": 6,\n      \
+         \"horizon_ns\": {horizon_ns},\n      \"samples\": {samples},\n{}\n    }}\n  ]\n}}\n",
+        json_entries.join(",\n")
+    );
+    let path = std::env::var("BENCH_SIM_JSON").unwrap_or_else(|_| "BENCH_sim.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("sim_long_horizon: wrote {path}"),
+        Err(e) => eprintln!("sim_long_horizon: could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_simulation, bench_long_horizon);
 criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! T2 reproduction (§5 text): the shutdown support pays for itself —
 //! gating idle islands recovers leakage worth a large share of total power
-//! ("even 25% or more reduction in overall system power" [6]).
+//! ("even 25% or more reduction in overall system power" \[6\]).
 
 use vi_noc_bench::{best_point, Strategy};
 use vi_noc_core::{scenario_power, standard_scenarios};

@@ -17,7 +17,7 @@ pub struct ObliviousDesign {
 
 /// Conventional application-specific NoC synthesis **without** voltage-island
 /// support: all cores are treated as one synchronous domain, exactly like the
-/// prior work [12]–[15] the paper positions against (and like the paper's own
+/// prior work \[12\]–\[15\] the paper positions against (and like the paper's own
 /// 1-island reference point of Figures 2–3).
 ///
 /// The resulting design cannot support gating any island — switches land

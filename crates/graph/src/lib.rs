@@ -34,6 +34,8 @@
 //! assert_eq!(part.cut_weight(&g), 1.0);
 //! ```
 
+#![warn(missing_docs)]
+
 mod bellman_ford;
 mod bisect;
 mod coarsen;

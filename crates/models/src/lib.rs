@@ -45,6 +45,6 @@ pub use bisync::BisyncFifoModel;
 pub use leakage::{gated_island_leakage, island_leakage, LeakageReport};
 pub use link::LinkModel;
 pub use ni::NiModel;
-pub use switch::SwitchModel;
+pub use switch::{SwitchModel, MAX_RADIX};
 pub use technology::Technology;
 pub use units::{Area, Bandwidth, Frequency, Power};

@@ -1,4 +1,27 @@
 //! The multi-clock-domain simulation engine.
+//!
+//! Two interchangeable advancement strategies drive the same tick semantics:
+//!
+//! * **Cycle-stepped** (`SimConfig::batching = false`): every extended
+//!   island ticks at every edge of its own clock, and every tick scans every
+//!   switch port and every source NI of the island — the reference
+//!   implementation.
+//! * **Event-batched** (`SimConfig::batching = true`, the default): an
+//!   [`EventHorizon`] tracks, per extended island, the earliest tick at
+//!   which the island could possibly act — the earliest `ready_ps` among
+//!   queued flits, the next scheduled packet injection, or an NI backlog of
+//!   staged flits — and the island clock jumps straight to it. Within a
+//!   processed tick, switches with no ready head and cores with nothing to
+//!   inject are skipped in O(1).
+//!
+//! Batching is an *exact* optimization. A skipped tick is provably
+//! action-free: its only effect in the stepped engine is advancing the
+//! round-robin arbitration pointers, and because those pointers advance
+//! unconditionally once per local cycle they are pure functions of the tick
+//! index (`(t/period − 1) mod n`), which the batched engine evaluates in
+//! closed form instead. Both strategies therefore produce **bit-identical**
+//! [`SimStats`] — pinned by golden and property tests in
+//! `crates/sim/tests/batching.rs`.
 
 use crate::network::{PortTarget, SimNetwork};
 use crate::stats::{FlowStats, SimStats};
@@ -24,6 +47,14 @@ pub struct SimConfig {
     pub seed: u64,
     /// Scale all flow bandwidths by this factor (1.0 = the spec's load).
     pub load_factor: f64,
+    /// Advance island clocks event-to-event instead of cycle-by-cycle.
+    ///
+    /// Batching skips only ticks (and, within ticks, switches and NIs) at
+    /// which no flit can move and no packet can arrive, so the resulting
+    /// [`SimStats`] are bit-identical to a cycle-stepped run. Disable it to
+    /// run the reference stepper — the equivalence tests and the
+    /// `simulator` benchmarks do.
+    pub batching: bool,
 }
 
 impl Default for SimConfig {
@@ -35,6 +66,7 @@ impl Default for SimConfig {
             traffic: TrafficKind::Cbr,
             seed: 0x51A1,
             load_factor: 1.0,
+            batching: true,
         }
     }
 }
@@ -53,7 +85,66 @@ struct Flit {
     ready_ps: u64,
 }
 
-/// The cycle-level simulator.
+/// Per-domain scheduler state of the event-batched engine.
+///
+/// For each extended island it caches the earliest tick (an absolute time
+/// on the island's clock grid) at which the island could act. A cache entry
+/// stays valid until the island's own state changes — which can only happen
+/// during one of its own ticks, or when another domain pushes a flit into
+/// one of its queues — at which point the entry is marked dirty and
+/// recomputed before the next scheduling decision.
+#[derive(Debug)]
+struct EventHorizon {
+    /// Cached next interaction tick per domain, ps (`u64::MAX` = idle
+    /// forever under current state).
+    next_event: Vec<u64>,
+    /// Entries that must be recomputed before being trusted again.
+    dirty: Vec<bool>,
+}
+
+impl EventHorizon {
+    fn new(n_domains: usize) -> Self {
+        EventHorizon {
+            next_event: vec![0; n_domains],
+            dirty: vec![true; n_domains],
+        }
+    }
+
+    fn mark(&mut self, d: usize) {
+        self.dirty[d] = true;
+    }
+
+    fn mark_all(&mut self) {
+        self.dirty.iter_mut().for_each(|x| *x = true);
+    }
+}
+
+/// First tick of the grid `{t0, t0+p, t0+2p, …}` at or after `ready_ps`.
+fn tick_at_or_after(t0: u64, p: u64, ready_ps: u64) -> u64 {
+    if ready_ps <= t0 {
+        t0
+    } else {
+        t0 + (ready_ps - t0).div_ceil(p) * p
+    }
+}
+
+/// Integer time at/after the float instant `ps`, saturating distant values
+/// (idle flows, `+inf` for deactivated ones) to `u64::MAX`.
+///
+/// [`Simulator::generate_arrivals`] fires a generator at tick `T` iff
+/// `next_ps <= T as f64`; for the tick magnitudes a run can reach (far
+/// below 2^53, where every `u64 → f64` cast is exact) that is equivalent to
+/// `ceil(next_ps) <= T`, so the scheduler can compare pre-ceiled integers
+/// instead of re-deriving float grid crossings on every lookup.
+fn ceil_ps(ps: f64) -> u64 {
+    if ps >= (u64::MAX / 4) as f64 {
+        u64::MAX
+    } else {
+        ps.max(0.0).ceil() as u64
+    }
+}
+
+/// The flit-level simulator.
 ///
 /// Every island ticks at its own clock period; each switch output port
 /// forwards at most one flit per local cycle; enqueueing into a full
@@ -69,16 +160,37 @@ pub struct Simulator {
     /// Per-flow staged flits not yet accepted by the source switch.
     staging: Vec<VecDeque<Flit>>,
     generators: Vec<FlowGenerator>,
-    /// Round-robin pointer per switch.
+    /// Round-robin pointer per switch (stepped mode only; the batched mode
+    /// derives the pointer from the tick index in closed form).
     rr: Vec<usize>,
-    /// Round-robin pointer over flows per source core.
+    /// Round-robin pointer over flows per source core (stepped mode only).
     inj_rr: Vec<usize>,
     /// Flows grouped by source core (each core's NI injects one flit per
     /// island cycle across its flows).
     flows_by_core: Vec<Vec<u32>>,
+    /// Source core of each flow.
+    core_of_flow: Vec<u32>,
+    /// Switch indices grouped by extended island, ascending.
+    switches_by_domain: Vec<Vec<u32>>,
+    /// Core indices grouped by extended island, ascending.
+    cores_by_domain: Vec<Vec<u32>>,
+    /// Lower bound on the earliest `ready_ps` among a switch's queue heads
+    /// (`u64::MAX` = believed empty). Maintained as a stale-low bound:
+    /// pushes fold their flit in immediately; pops leave it untouched (the
+    /// true minimum can only rise); each batched visit recomputes it
+    /// exactly while it scans the ports anyway. The bound never exceeds the
+    /// true minimum, so skipping a switch with `bound > now` is safe.
+    min_head_ready: Vec<u64>,
+    /// Earliest `next_injection_ps` among each core's active generators,
+    /// rounded up to integer picoseconds (`u64::MAX` when all are
+    /// deactivated). Exact at all times.
+    gen_next_ps: Vec<u64>,
+    /// Staged (NI-backlogged) flits per source core. Exact at all times.
+    staged_cnt: Vec<u32>,
     /// Next tick per extended island, ps.
     next_tick: Vec<u64>,
     island_on: Vec<bool>,
+    horizon: EventHorizon,
     now_ps: u64,
     flits_per_packet: u32,
     stats: SimStats,
@@ -102,6 +214,7 @@ impl Simulator {
             .collect();
 
         let mut flows_by_core = vec![Vec::new(); spec.core_count()];
+        let mut core_of_flow = Vec::with_capacity(spec.flow_count());
         let mut generators = Vec::with_capacity(spec.flow_count());
         for fid in spec.flow_ids() {
             let f = spec.flow(fid);
@@ -114,6 +227,7 @@ impl Simulator {
                 cfg.traffic,
             ));
             flows_by_core[f.src.index()].push(fid.index() as u32);
+            core_of_flow.push(f.src.index() as u32);
             // The first hop of every route must sit on the source core's own
             // switch — flits are injected there by the core's NI.
             assert_eq!(
@@ -126,15 +240,30 @@ impl Simulator {
         let n_domains = net.period_ps.len();
         let n_switches = net.switch_count();
         let n_cores = spec.core_count();
-        Simulator {
+        let mut switches_by_domain = vec![Vec::new(); n_domains];
+        for (si, sw) in net.switches.iter().enumerate() {
+            switches_by_domain[sw.island_ext].push(si as u32);
+        }
+        let mut cores_by_domain = vec![Vec::new(); n_domains];
+        for (ci, &d) in net.island_of_core.iter().enumerate() {
+            cores_by_domain[d].push(ci as u32);
+        }
+        let mut sim = Simulator {
             rr: vec![0; n_switches],
             inj_rr: vec![0; n_cores],
             flows_by_core,
+            core_of_flow,
+            switches_by_domain,
+            cores_by_domain,
+            min_head_ready: vec![u64::MAX; n_switches],
+            gen_next_ps: vec![u64::MAX; n_cores],
+            staged_cnt: vec![0; n_cores],
             staging: vec![VecDeque::new(); spec.flow_count()],
             generators,
             queues,
             next_tick: net.period_ps.clone(),
             island_on: vec![true; n_domains],
+            horizon: EventHorizon::new(n_domains),
             now_ps: 0,
             flits_per_packet,
             stats: SimStats {
@@ -146,7 +275,11 @@ impl Simulator {
             net,
             cfg: cfg.clone(),
             rng,
+        };
+        for ci in 0..n_cores {
+            sim.refresh_gen_next(ci);
         }
+        sim
     }
 
     /// Current simulated time, ps.
@@ -154,9 +287,15 @@ impl Simulator {
         self.now_ps
     }
 
+    /// Flits per packet under the configured packet size and link width.
+    pub fn flits_per_packet(&self) -> u32 {
+        self.flits_per_packet
+    }
+
     /// Stops injection of `flow` (used by shutdown scenarios).
     pub fn deactivate_flow(&mut self, flow: FlowId) {
         self.generators[flow.index()].active = false;
+        self.refresh_gen_next(self.core_of_flow[flow.index()] as usize);
     }
 
     /// Power-gates extended island `island_ext`: its switches stop ticking.
@@ -191,22 +330,17 @@ impl Simulator {
     /// Returns `true` if no flits remain queued in the switches of extended
     /// island `island_ext` (the pre-condition for gating it).
     pub fn island_drained(&self, island_ext: usize) -> bool {
-        self.net
-            .switches
+        self.switches_by_domain[island_ext]
             .iter()
-            .enumerate()
-            .filter(|(_, sw)| sw.island_ext == island_ext)
-            .all(|(si, _)| self.queues[si].iter().all(VecDeque::is_empty))
+            .all(|&si| self.queues[si as usize].iter().all(VecDeque::is_empty))
     }
 
     /// Runs until `deadline_ps`, returning a snapshot of the statistics.
     pub fn run_until_ps(&mut self, deadline_ps: u64) -> SimStats {
-        while let Some((t, domains)) = self.earliest_tick(deadline_ps) {
-            self.now_ps = t;
-            for d in domains {
-                self.tick_domain(d);
-                self.next_tick[d] += self.net.period_ps[d];
-            }
+        if self.cfg.batching {
+            self.run_batched(deadline_ps);
+        } else {
+            self.run_stepped(deadline_ps);
         }
         self.now_ps = deadline_ps;
         self.snapshot()
@@ -216,6 +350,105 @@ impl Simulator {
     pub fn run_for_ns(&mut self, ns: u64) -> SimStats {
         let deadline = self.now_ps + ns * 1_000;
         self.run_until_ps(deadline)
+    }
+
+    /// The reference stepper: every live domain ticks at every clock edge.
+    fn run_stepped(&mut self, deadline_ps: u64) {
+        while let Some((t, domains)) = self.earliest_tick(deadline_ps) {
+            self.now_ps = t;
+            for d in domains {
+                self.tick_domain_stepped(d);
+                self.next_tick[d] += self.net.period_ps[d];
+            }
+        }
+    }
+
+    /// The batched stepper: every live domain jumps straight from one
+    /// interaction tick to the next.
+    fn run_batched(&mut self, deadline_ps: u64) {
+        let n_domains = self.next_tick.len();
+        // Public state may have changed between runs (deactivated flows,
+        // gated islands), so trust nothing from the previous call.
+        self.horizon.mark_all();
+        let mut due: Vec<usize> = Vec::with_capacity(n_domains);
+        loop {
+            // One pass refreshes stale entries, finds the earliest event
+            // time and collects the domains due at it — in ascending index
+            // order, exactly as the stepped engine orders same-timestamp
+            // domains. A tick processed below can only affect a later
+            // domain's *future* ticks (pushed flits become ready two
+            // downstream cycles later), never create an action at `t` for
+            // a domain not already due.
+            let mut t = u64::MAX;
+            due.clear();
+            for d in 0..n_domains {
+                if !self.island_on[d] {
+                    continue;
+                }
+                if self.horizon.dirty[d] {
+                    self.horizon.next_event[d] = self.compute_next_event(d);
+                    self.horizon.dirty[d] = false;
+                }
+                let e = self.horizon.next_event[d];
+                if e < t {
+                    t = e;
+                    due.clear();
+                    due.push(d);
+                } else if e == t {
+                    due.push(d);
+                }
+            }
+            if t >= deadline_ps {
+                break;
+            }
+            self.now_ps = t;
+            for &d in &due {
+                let p = self.net.period_ps[d];
+                debug_assert!(t >= self.next_tick[d] && (t - self.next_tick[d]) % p == 0);
+                self.tick_domain_batched(d, t);
+                self.next_tick[d] = t + p;
+                self.horizon.mark(d);
+            }
+        }
+        // The stepped engine keeps ticking (idly) up to the deadline; only
+        // the clock positions survive of that — the arbitration pointers
+        // are functions of the tick index, not state.
+        for d in 0..n_domains {
+            if self.island_on[d] && self.next_tick[d] < deadline_ps {
+                self.next_tick[d] =
+                    tick_at_or_after(self.next_tick[d], self.net.period_ps[d], deadline_ps);
+            }
+        }
+    }
+
+    /// Earliest tick at which domain `d` could act under its current state:
+    /// the next tick outright if an NI has a staged backlog, else the first
+    /// tick at/after the earliest queued flit's `ready_ps` or the earliest
+    /// scheduled packet injection. A ready head blocked by backpressure
+    /// counts as actionable (the unblocking pop happens in another domain's
+    /// tick, which cannot be anticipated here), so blocked domains keep
+    /// ticking cycle-by-cycle — batching never skips a tick that the
+    /// stepped engine would have acted on.
+    fn compute_next_event(&self, d: usize) -> u64 {
+        let t0 = self.next_tick[d];
+        let mut e_ps = u64::MAX;
+        for &ci in &self.cores_by_domain[d] {
+            let ci = ci as usize;
+            if self.staged_cnt[ci] > 0 {
+                return t0;
+            }
+            e_ps = e_ps.min(self.gen_next_ps[ci]);
+        }
+        for &si in &self.switches_by_domain[d] {
+            e_ps = e_ps.min(self.min_head_ready[si as usize]);
+        }
+        // One grid conversion for the whole domain: min and "round up to
+        // the next tick" commute.
+        if e_ps == u64::MAX {
+            u64::MAX
+        } else {
+            tick_at_or_after(t0, self.net.period_ps[d], e_ps)
+        }
     }
 
     fn earliest_tick(&self, deadline_ps: u64) -> Option<(u64, Vec<usize>)> {
@@ -234,17 +467,17 @@ impl Simulator {
         Some((t, domains))
     }
 
-    /// One clock edge of every switch (and source NI) in domain `d`.
-    fn tick_domain(&mut self, d: usize) {
+    /// One clock edge of every switch (and source NI) in domain `d` — the
+    /// reference path: visit everything, maintain the round-robin pointers
+    /// eagerly.
+    fn tick_domain_stepped(&mut self, d: usize) {
         let t = self.now_ps;
         // Switch output stage: each port forwards at most one ready flit.
-        for si in 0..self.net.switch_count() {
-            if self.net.switches[si].island_ext != d {
-                continue;
-            }
+        for i in 0..self.switches_by_domain[d].len() {
+            let si = self.switches_by_domain[d][i] as usize;
             let n_ports = self.queues[si].len();
             let start = self.rr[si];
-            self.rr[si] = (start + 1).max(1) % n_ports.max(1);
+            self.rr[si] = (start + 1) % n_ports.max(1);
             for off in 0..n_ports {
                 let p = (start + off) % n_ports;
                 self.forward_one(si, p, t);
@@ -252,18 +485,55 @@ impl Simulator {
         }
         // Injection stage: one flit per source *core* per cycle (each core
         // has its own NI link), taken round-robin over the core's flows.
-        for ci in 0..self.flows_by_core.len() {
-            if self.net.island_of_core[ci] != d {
-                continue;
-            }
+        for i in 0..self.cores_by_domain[d].len() {
+            let ci = self.cores_by_domain[d][i] as usize;
             self.generate_arrivals(ci, t);
             self.inject_one(ci, t);
+        }
+    }
+
+    /// One clock edge of domain `d` at tick time `t`, skipping every switch
+    /// with no possibly-ready head and every core with nothing to generate
+    /// or inject. The round-robin arbitration starts are derived from the
+    /// tick index `t / period` in closed form, so skipped elements need no
+    /// pointer bookkeeping — their state is untouched by an idle cycle.
+    fn tick_domain_batched(&mut self, d: usize, t: u64) {
+        let idx = t / self.net.period_ps[d];
+        for i in 0..self.switches_by_domain[d].len() {
+            let si = self.switches_by_domain[d][i] as usize;
+            if self.min_head_ready[si] > t {
+                continue;
+            }
+            let n_ports = self.queues[si].len();
+            let start = ((idx - 1) % n_ports.max(1) as u64) as usize;
+            // Recompute the bound exactly while scanning; same-tick pushes
+            // from other switches fold themselves in through `forward_one`.
+            self.min_head_ready[si] = u64::MAX;
+            for off in 0..n_ports {
+                let p = (start + off) % n_ports;
+                self.forward_one(si, p, t);
+                if let Some(head) = self.queues[si][p].front() {
+                    self.min_head_ready[si] = self.min_head_ready[si].min(head.ready_ps);
+                }
+            }
+        }
+        for i in 0..self.cores_by_domain[d].len() {
+            let ci = self.cores_by_domain[d][i] as usize;
+            if self.gen_next_ps[ci] <= t {
+                self.generate_arrivals(ci, t);
+            }
+            if self.staged_cnt[ci] > 0 {
+                let n = self.flows_by_core[ci].len();
+                let start = ((idx - 1) % n as u64) as usize;
+                self.inject_from(ci, start, t);
+            }
         }
     }
 
     /// Moves packets whose injection time has come into the staging queue.
     fn generate_arrivals(&mut self, ci: usize, t: u64) {
         let flows = std::mem::take(&mut self.flows_by_core[ci]);
+        let mut staged = 0u32;
         for &fi in &flows {
             let g = &mut self.generators[fi as usize];
             while g.active && g.next_ps <= t as f64 {
@@ -277,14 +547,31 @@ impl Simulator {
                         ready_ps: 0,
                     });
                 }
+                staged += self.flits_per_packet;
                 self.stats.flows[fi as usize].injected_packets += 1;
                 g.schedule_next(&mut self.rng);
             }
         }
         self.flows_by_core[ci] = flows;
+        if staged > 0 {
+            self.staged_cnt[ci] += staged;
+            self.refresh_gen_next(ci);
+        }
     }
 
-    /// Moves one staged flit of core `ci` into its switch's first-hop queue.
+    /// Recomputes the cached earliest injection instant of core `ci`.
+    fn refresh_gen_next(&mut self, ci: usize) {
+        let mut next = f64::INFINITY;
+        for &fi in &self.flows_by_core[ci] {
+            if let Some(ps) = self.generators[fi as usize].next_injection_ps() {
+                next = next.min(ps);
+            }
+        }
+        self.gen_next_ps[ci] = ceil_ps(next);
+    }
+
+    /// Moves one staged flit of core `ci` into its switch's first-hop queue
+    /// (stepped path: consume and advance the round-robin pointer).
     fn inject_one(&mut self, ci: usize, t: u64) {
         let n = self.flows_by_core[ci].len();
         if n == 0 {
@@ -292,6 +579,13 @@ impl Simulator {
         }
         let start = self.inj_rr[ci];
         self.inj_rr[ci] = (start + 1) % n;
+        self.inject_from(ci, start, t);
+    }
+
+    /// Moves one staged flit of core `ci` into its switch's first-hop
+    /// queue, trying the core's flows round-robin from `start`.
+    fn inject_from(&mut self, ci: usize, start: usize, t: u64) {
+        let n = self.flows_by_core[ci].len();
         for off in 0..n {
             let fi = self.flows_by_core[ci][(start + off) % n] as usize;
             if self.staging[fi].is_empty() {
@@ -305,9 +599,17 @@ impl Simulator {
             let d = self.net.switches[si].island_ext;
             // NI link + switch traversal before the flit may leave.
             flit.ready_ps = t + 2 * self.net.period_ps[d];
-            self.queues[si][port].push_back(flit);
+            self.push_flit(si, port, flit);
+            self.staged_cnt[ci] -= 1;
             return;
         }
+    }
+
+    /// Enqueues `flit` at (si, port), folding it into the switch's
+    /// head-readiness bound.
+    fn push_flit(&mut self, si: usize, port: usize, flit: Flit) {
+        self.min_head_ready[si] = self.min_head_ready[si].min(flit.ready_ps);
+        self.queues[si][port].push_back(flit);
     }
 
     /// Forwards the head flit of queue (si, p), if ready and accepted.
@@ -351,7 +653,10 @@ impl Simulator {
                 // Link + downstream switch traversal + converter dwell.
                 flit.ready_ps = t + 2 * self.net.period_ps[dd] + dwell;
                 flit.hop = next_hop as u32;
-                self.queues[to][next_port].push_back(flit);
+                self.push_flit(to, next_port, flit);
+                // The receiving domain's cached horizon no longer covers
+                // this flit.
+                self.horizon.mark(dd);
             }
         }
     }
@@ -485,5 +790,69 @@ mod tests {
         let stats = sim.run_for_ns(20_000);
         assert_eq!(stats.total_injected_packets(), 0);
         assert!(sim.is_drained());
+    }
+
+    /// The core of the batching contract, at unit scale: one segmented run
+    /// in each mode over the same design must agree on every statistic.
+    #[test]
+    fn batched_matches_stepped() {
+        let soc = benchmarks::d12_auto();
+        let vi = partition::logical_partition(&soc, 4).unwrap();
+        let space = synthesize(&soc, &vi, &SynthesisConfig::default()).unwrap();
+        let topo = &space.min_power_point().unwrap().topology;
+        for load in [0.3, 1.0] {
+            let mut batched = Simulator::new(
+                &soc,
+                topo,
+                &SimConfig {
+                    load_factor: load,
+                    batching: true,
+                    ..SimConfig::default()
+                },
+            );
+            let mut stepped = Simulator::new(
+                &soc,
+                topo,
+                &SimConfig {
+                    load_factor: load,
+                    batching: false,
+                    ..SimConfig::default()
+                },
+            );
+            for ns in [7_000, 1, 13_000, 40_000] {
+                let sb = batched.run_for_ns(ns);
+                let ss = stepped.run_for_ns(ns);
+                assert_eq!(sb, ss, "divergence at load {load} after +{ns} ns");
+            }
+        }
+    }
+
+    /// A long fully-idle span (every flow deactivated, network drained)
+    /// must cost the batched engine nothing and leave it in lock-step with
+    /// the reference when the run continues.
+    #[test]
+    fn batched_matches_stepped_through_idle_resume() {
+        let soc = benchmarks::d12_auto();
+        let vi = partition::logical_partition(&soc, 4).unwrap();
+        let space = synthesize(&soc, &vi, &SynthesisConfig::default()).unwrap();
+        let topo = &space.min_power_point().unwrap().topology;
+        let run = |batching: bool| {
+            let mut sim = Simulator::new(
+                &soc,
+                topo,
+                &SimConfig {
+                    batching,
+                    ..SimConfig::default()
+                },
+            );
+            sim.run_for_ns(10_000);
+            // Silence everything; the network drains and goes fully idle.
+            for fid in soc.flow_ids() {
+                sim.deactivate_flow(fid);
+            }
+            sim.run_for_ns(500_000);
+            sim.run_for_ns(1_000)
+        };
+        assert_eq!(run(true), run(false));
     }
 }

@@ -1,4 +1,11 @@
 //! Static simulation network derived from a synthesized topology.
+//!
+//! Everything here is resolved once, before time starts: switches with
+//! output-buffered ports, per-extended-island clock periods, per-flow
+//! port-level routes and core→switch attachments. The engine
+//! (`crate::engine`) owns all mutable state — queues, generators and the
+//! per-switch/per-core readiness bounds its event scheduler batches ticks
+//! with — so this structure can be shared read-only by every run mode.
 
 use std::collections::HashMap;
 use vi_noc_core::{SwitchId, Topology};

@@ -29,7 +29,10 @@ impl Default for ShutdownScenario {
 }
 
 /// Outcome of a shutdown scenario run.
-#[derive(Debug, Clone)]
+///
+/// Compares exactly (`PartialEq`), so the batching equivalence suite can
+/// assert that event-batched and cycle-stepped scenario runs agree.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShutdownOutcome {
     /// Packets delivered by surviving flows before the gate.
     pub survivors_before: u64,

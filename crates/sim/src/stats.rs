@@ -27,7 +27,12 @@ impl FlowStats {
 }
 
 /// Whole-run statistics.
-#[derive(Debug, Clone, Default)]
+///
+/// Accumulated at flit-movement events (injection, forwarding, ejection),
+/// never per cycle — so a batched run that skips idle cycles produces the
+/// same counters, bit for bit, as a cycle-stepped one. `PartialEq` compares
+/// every counter exactly; the batching equivalence suite relies on it.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Per-flow stats, indexed by flow id.
     pub flows: Vec<FlowStats>,

@@ -43,6 +43,17 @@ impl FlowGenerator {
         }
     }
 
+    /// The next injection instant, ps — `None` once the flow is
+    /// deactivated.
+    ///
+    /// This is what lets the batched engine treat injections as events
+    /// instead of polling every generator every cycle: the scheduler takes
+    /// the earliest value across a domain's flows as one component of the
+    /// domain's next interaction tick.
+    pub fn next_injection_ps(&self) -> Option<f64> {
+        self.active.then_some(self.next_ps)
+    }
+
     /// Advances to the next injection instant after an injection at
     /// `self.next_ps`.
     pub fn schedule_next(&mut self, rng: &mut StdRng) {

@@ -23,12 +23,12 @@ fn design(
 }
 
 proptest! {
-    // Every case synthesizes a full random design before simulating, so
-    // these dominate the workspace suite's wall time; 6 cases keep the
-    // coverage spread (core counts, seeds, loads, both traffic kinds)
-    // while halving the cost. `PROPTEST_CASES` trims further for smoke
-    // runs (the shim honors it as default and ceiling).
-    #![proptest_config(ProptestConfig::with_cases(6))]
+    // Every case synthesizes a full random design before simulating. The
+    // event-batched engine made the simulation phase cheap (the synthesis
+    // setup now dominates), so the case count is back at 10 after the
+    // PR-2 trim to 6. `PROPTEST_CASES` trims for smoke runs (the shim
+    // honors it as default and ceiling).
+    #![proptest_config(ProptestConfig::with_cases(10))]
 
     /// Flits are conserved: never deliver more than injected, and everything
     /// outstanding is accounted for in the queues.
