@@ -41,7 +41,14 @@ pub(crate) fn min_switches(vcg_len: usize, max_sw_size: usize) -> usize {
 /// switch count and each increment adds one switch per island until the
 /// island saturates at one switch per core (steps 4–10; the paper's index
 /// arithmetic is off by one from its prose, we follow the prose).
-pub(crate) fn switch_counts_for_sweep(vcgs: &[Vcg], plan: &FrequencyPlan, i: usize) -> Vec<usize> {
+///
+/// Public so sweep-grid builders (the `vi-noc-sweep` crate) can enumerate
+/// the base count schedule without a full [`crate::SweepPlan`].
+///
+/// # Panics
+///
+/// If `i` is 0 (sweep indices are 1-based).
+pub fn switch_counts_for_sweep(vcgs: &[Vcg], plan: &FrequencyPlan, i: usize) -> Vec<usize> {
     assert!(i >= 1, "sweep index is 1-based");
     vcgs.iter()
         .map(|vcg| {

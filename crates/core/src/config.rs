@@ -133,6 +133,40 @@ impl FrequencyPlan {
         }
     }
 
+    /// An alternative frequency plan with every island clock scaled up by
+    /// `factor` (and the switch size budgets re-derived at the new clocks).
+    ///
+    /// This is the sweep grid's frequency-plan axis: overclocking an island
+    /// raises its link capacities — high-bandwidth flows can share links
+    /// that would saturate at the baseline clock, so fewer links open — at
+    /// the price of higher idle/clock power and smaller feasible switches.
+    /// Factors below 1.0 are rejected because the baseline clock of each
+    /// island is exactly its peak NI bandwidth demand; any slower clock
+    /// silently overloads that NI link.
+    ///
+    /// # Panics
+    ///
+    /// If `factor < 1.0` or is not finite.
+    pub fn scaled(&self, factor: f64, cfg: &SynthesisConfig) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "frequency scale factor must be finite and >= 1.0, got {factor}"
+        );
+        let island_freq: Vec<Frequency> = self.island_freq.iter().map(|&f| f * factor).collect();
+        let max_switch_size = island_freq
+            .iter()
+            .map(|&f| SwitchModel::max_size_at(&cfg.technology, f))
+            .collect();
+        let intermediate_freq = self.intermediate_freq * factor;
+        let intermediate_max_size = SwitchModel::max_size_at(&cfg.technology, intermediate_freq);
+        FrequencyPlan {
+            island_freq,
+            max_switch_size,
+            intermediate_freq,
+            intermediate_max_size,
+        }
+    }
+
     /// Number of (real) islands covered by the plan.
     pub fn island_count(&self) -> usize {
         self.island_freq.len()
@@ -262,6 +296,34 @@ mod tests {
             }
         }
         assert!(plan.max_switch_size(slowest) >= plan.max_switch_size(fastest));
+    }
+
+    #[test]
+    fn scaled_plan_raises_clocks_and_shrinks_switches() {
+        let soc = benchmarks::d26_mobile();
+        let vi = partition::logical_partition(&soc, 6).unwrap();
+        let cfg = SynthesisConfig::default();
+        let plan = FrequencyPlan::compute(&soc, &vi, &cfg);
+        let up = plan.scaled(1.25, &cfg);
+        for i in 0..plan.island_count() {
+            assert!((up.frequency(i).mhz() - plan.frequency(i).mhz() * 1.25).abs() < 1e-9);
+            assert!(up.max_switch_size(i) <= plan.max_switch_size(i));
+        }
+        assert!(
+            (up.intermediate_frequency().mhz() - plan.intermediate_frequency().mhz() * 1.25).abs()
+                < 1e-9
+        );
+        // Identity scale reproduces the plan exactly.
+        assert_eq!(plan.scaled(1.0, &cfg), plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency scale factor")]
+    fn underclocking_is_rejected() {
+        let soc = benchmarks::d12_auto();
+        let vi = partition::logical_partition(&soc, 2).unwrap();
+        let cfg = SynthesisConfig::default();
+        FrequencyPlan::compute(&soc, &vi, &cfg).scaled(0.9, &cfg);
     }
 
     #[test]

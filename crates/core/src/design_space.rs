@@ -1,6 +1,7 @@
 //! Design points and the explored design space.
 
 use crate::metrics::DesignMetrics;
+use crate::pareto::{self, ParetoKey};
 use crate::topology::Topology;
 
 /// One feasible design produced by the synthesis sweep.
@@ -20,6 +21,18 @@ pub struct DesignPoint {
     pub metrics: DesignMetrics,
 }
 
+impl DesignPoint {
+    /// The point's Pareto dominance key: total power and mean latency, with
+    /// `ordinal` as the stable exploration index used for tie-breaking.
+    pub fn pareto_key(&self, ordinal: u64) -> ParetoKey {
+        ParetoKey {
+            power_mw: self.metrics.noc_dynamic_power().mw(),
+            latency_cycles: self.metrics.avg_latency_cycles,
+            ordinal,
+        }
+    }
+}
+
 /// All design points found by [`crate::synthesize`], in exploration order.
 #[derive(Debug, Clone)]
 pub struct DesignSpace {
@@ -32,24 +45,25 @@ pub struct DesignSpace {
 }
 
 impl DesignSpace {
+    /// The dominance key of every point, in exploration order (the key's
+    /// ordinal is the point's index in [`DesignSpace::points`]).
+    pub fn pareto_keys(&self) -> Vec<ParetoKey> {
+        self.points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.pareto_key(i as u64))
+            .collect()
+    }
+
     /// The design point with the lowest total NoC dynamic power.
     pub fn min_power_point(&self) -> Option<&DesignPoint> {
-        self.points.iter().min_by(|a, b| {
-            a.metrics
-                .noc_dynamic_power()
-                .partial_cmp(&b.metrics.noc_dynamic_power())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        pareto::argmin(&self.points, |p| p.metrics.noc_dynamic_power().mw())
+            .map(|i| &self.points[i])
     }
 
     /// The design point with the lowest average zero-load latency.
     pub fn min_latency_point(&self) -> Option<&DesignPoint> {
-        self.points.iter().min_by(|a, b| {
-            a.metrics
-                .avg_latency_cycles
-                .partial_cmp(&b.metrics.avg_latency_cycles)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        pareto::argmin(&self.points, |p| p.metrics.avg_latency_cycles).map(|i| &self.points[i])
     }
 
     /// The power/latency Pareto front (lower is better on both axes),
@@ -57,30 +71,15 @@ impl DesignSpace {
     ///
     /// This is the paper's §3.2 deliverable: "several design points that
     /// meet the application constraints … the designer can then choose the
-    /// best design point from the trade-off curves obtained".
+    /// best design point from the trade-off curves obtained". Dominance is
+    /// the shared [`crate::pareto`] relation, so this front is bit-identical
+    /// to what the streaming sharded sweep (`vi-noc-sweep`) folds from the
+    /// same outcomes.
     pub fn pareto_front(&self) -> Vec<&DesignPoint> {
-        let mut sorted: Vec<&DesignPoint> = self.points.iter().collect();
-        sorted.sort_by(|a, b| {
-            a.metrics
-                .noc_dynamic_power()
-                .partial_cmp(&b.metrics.noc_dynamic_power())
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(
-                    a.metrics
-                        .avg_latency_cycles
-                        .partial_cmp(&b.metrics.avg_latency_cycles)
-                        .unwrap_or(std::cmp::Ordering::Equal),
-                )
-        });
-        let mut front: Vec<&DesignPoint> = Vec::new();
-        let mut best_latency = f64::INFINITY;
-        for p in sorted {
-            if p.metrics.avg_latency_cycles < best_latency - 1e-12 {
-                best_latency = p.metrics.avg_latency_cycles;
-                front.push(p);
-            }
-        }
-        front
+        pareto::front_of(&self.pareto_keys())
+            .into_iter()
+            .map(|i| &self.points[i])
+            .collect()
     }
 }
 

@@ -1,7 +1,11 @@
-//! Human-readable and Graphviz exports of synthesized topologies
-//! (backs the Figure 4 reproduction).
+//! Human-readable, Graphviz and machine-readable JSON exports of
+//! synthesized topologies and design spaces (the DOT export backs the
+//! Figure 4 reproduction; the JSON export backs the sharded-sweep
+//! checkpoint format of the `vi-noc-sweep` crate).
 
-use crate::topology::Topology;
+use crate::design_space::{DesignPoint, DesignSpace};
+use crate::metrics::DesignMetrics;
+use crate::topology::{LinkKind, Topology};
 use std::fmt::Write as _;
 use vi_noc_soc::{SocSpec, ViAssignment};
 
@@ -158,6 +162,174 @@ pub fn routes_table(spec: &SocSpec, topo: &Topology) -> String {
     s
 }
 
+// --- Machine-readable JSON -----------------------------------------------
+//
+// Serde-free by necessity (no registry access) and by design: the writers
+// below are *byte-deterministic* — fixed key order, compact layout, and
+// numbers in Rust's shortest round-trip `Display` form — so two serializations
+// of bit-identical values are bit-identical strings. The sharded sweep's
+// "merge == unsharded run" guarantee rests on that.
+
+/// Formats a finite `f64` as a JSON number.
+///
+/// Uses Rust's shortest round-trip formatting (no exponents, `1` for `1.0`),
+/// so `s.parse::<f64>()` returns the exact input value and re-formatting the
+/// parsed value reproduces the exact string.
+///
+/// # Panics
+///
+/// Debug builds assert that `x` is finite; synthesized metrics never
+/// produce NaNs or infinities.
+pub fn json_number(x: f64) -> String {
+    debug_assert!(x.is_finite(), "JSON cannot represent {x}");
+    format!("{x}")
+}
+
+/// Quotes and escapes `s` as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_usize_array(values: impl IntoIterator<Item = usize>) -> String {
+    let items: Vec<String> = values.into_iter().map(|v| v.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn link_kind_str(kind: LinkKind) -> &'static str {
+    match kind {
+        LinkKind::Intra => "intra",
+        LinkKind::InterDirect => "inter_direct",
+        LinkKind::Intermediate => "intermediate",
+    }
+}
+
+/// Renders a topology as one compact JSON object: extended-island clocks,
+/// switches (with attached core indices), links and routes.
+pub fn topology_json(topo: &Topology) -> String {
+    let mut s = String::new();
+    let n = topo.island_count();
+    let freqs: Vec<String> = (0..=n)
+        .map(|i| json_number(topo.island_frequency(i).hz()))
+        .collect();
+    let _ = write!(
+        s,
+        "{{\"island_count\":{n},\"island_freq_hz\":[{}],\"switches\":[",
+        freqs.join(",")
+    );
+    for (i, sw) in topo.switches().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"name\":{},\"island\":{},\"cores\":{}}}",
+            json_string(&sw.name),
+            sw.island_ext,
+            json_usize_array(sw.cores.iter().map(|c| c.index()))
+        );
+    }
+    s.push_str("],\"links\":[");
+    for (i, l) in topo.links().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"from\":{},\"to\":{},\"kind\":{},\"capacity_bytes_per_s\":{},\
+             \"load_bytes_per_s\":{},\"length_mm\":{}}}",
+            l.from.index(),
+            l.to.index(),
+            json_string(link_kind_str(l.kind)),
+            json_number(l.capacity.bytes_per_s()),
+            json_number(l.load.bytes_per_s()),
+            json_number(l.length_mm)
+        );
+    }
+    s.push_str("],\"routes\":[");
+    for (i, r) in topo.routes().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"flow\":{},\"switches\":{},\"latency_cycles\":{},\"crossings\":{}}}",
+            r.flow.index(),
+            json_usize_array(r.switches.iter().map(|sw| sw.index())),
+            r.latency_cycles,
+            r.crossings
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+fn metrics_json(m: &DesignMetrics) -> String {
+    format!(
+        "{{\"power_mw\":{{\"switches\":{},\"links\":{},\"synchronizers\":{},\"nis\":{},\
+         \"fig2\":{},\"total\":{}}},\"leakage_mw\":{},\"area_mm2\":{},\
+         \"avg_latency_cycles\":{},\"max_latency_cycles\":{},\"switch_count\":{},\
+         \"link_count\":{},\"crossing_count\":{}}}",
+        json_number(m.power.switches.mw()),
+        json_number(m.power.links.mw()),
+        json_number(m.power.synchronizers.mw()),
+        json_number(m.power.nis.mw()),
+        json_number(m.power.fig2_power().mw()),
+        json_number(m.noc_dynamic_power().mw()),
+        json_number(m.leakage.mw()),
+        json_number(m.area.mm2()),
+        json_number(m.avg_latency_cycles),
+        m.max_latency_cycles,
+        m.switch_count,
+        m.link_count,
+        m.crossing_count
+    )
+}
+
+/// Renders one design point as a compact JSON object: sweep provenance,
+/// metrics (powers in mW, area in mm²) and the full topology.
+pub fn design_point_json(p: &DesignPoint) -> String {
+    format!(
+        "{{\"sweep_index\":{},\"requested_intermediate\":{},\"switch_counts\":{},\
+         \"metrics\":{},\"topology\":{}}}",
+        p.sweep_index,
+        p.requested_intermediate,
+        json_usize_array(p.switch_counts.iter().copied()),
+        metrics_json(&p.metrics),
+        topology_json(&p.topology)
+    )
+}
+
+/// Renders a whole design space as JSON, one point per line.
+pub fn design_space_json(space: &DesignSpace) -> String {
+    let mut s = format!(
+        "{{\"spec_name\":{},\"island_count\":{},\"points\":[",
+        json_string(&space.spec_name),
+        space.island_count
+    );
+    for (i, p) in space.points.iter().enumerate() {
+        s.push_str(if i == 0 { "\n" } else { ",\n" });
+        s.push_str(&design_point_json(p));
+    }
+    s.push_str("\n]}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +374,48 @@ mod tests {
         let (soc, _, topo) = design();
         let table = routes_table(&soc, &topo);
         assert_eq!(table.lines().count(), soc.flow_count());
+    }
+
+    #[test]
+    fn json_numbers_round_trip_exactly() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            0.1,
+            1.0 / 3.0,
+            6.02e4,
+            123456789.123456,
+            f64::MIN_POSITIVE,
+        ] {
+            let s = json_number(x);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {s}");
+            assert_eq!(json_number(back), s, "re-serialization of {s}");
+        }
+    }
+
+    #[test]
+    fn json_strings_escape_specials() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn design_space_json_covers_every_point_and_flow() {
+        let soc = benchmarks::d12_auto();
+        let vi = partition::logical_partition(&soc, 4).unwrap();
+        let space = synthesize(&soc, &vi, &SynthesisConfig::default()).unwrap();
+        let json = design_space_json(&space);
+        assert!(json.starts_with("{\"spec_name\":\"d12_auto\""));
+        assert_eq!(json.matches("\"sweep_index\":").count(), space.points.len());
+        // Every point serializes all of its routes.
+        let p = &space.points[0];
+        let pj = design_point_json(p);
+        assert_eq!(pj.matches("\"flow\":").count(), soc.flow_count());
+        assert_eq!(pj.matches("\"name\":").count(), p.topology.switches().len());
+        // Serialization is deterministic.
+        assert_eq!(pj, design_point_json(p));
     }
 }

@@ -57,6 +57,7 @@ mod error;
 mod export;
 mod flows;
 mod metrics;
+pub mod pareto;
 mod paths;
 mod power_gating;
 mod realize;
@@ -65,17 +66,24 @@ mod topology;
 mod vcg;
 mod verify;
 
-pub use assign::{island_switch_assignment, SwitchAssignment};
+pub use assign::{island_switch_assignment, switch_counts_for_sweep, SwitchAssignment};
 pub use baseline::{central_island_baseline, synthesize_oblivious, ObliviousDesign};
 pub use config::SynthesisConfig;
 pub use design_space::{DesignPoint, DesignSpace};
 pub use error::SynthesisError;
-pub use export::{routes_table, to_dot, topology_summary};
+pub use export::{
+    design_point_json, design_space_json, json_number, json_string, routes_table, to_dot,
+    topology_json, topology_summary,
+};
 pub use flows::{inter_switch_flows, InterSwitchFlow};
 pub use metrics::{compute_metrics, DesignMetrics, PowerBreakdown};
+pub use pareto::{ParetoFold, ParetoKey};
 pub use power_gating::{scenario_power, standard_scenarios, ScenarioReport, UsageScenario};
 pub use realize::{realize_on_floorplan, RealizedDesign};
-pub use synthesis::{evaluate_candidate, synthesize, CandidateOutcome, SweepCandidate, SweepPlan};
+pub use synthesis::{
+    evaluate_candidate, evaluate_candidate_chain, synthesize, CandidateOutcome, SweepCandidate,
+    SweepPlan,
+};
 pub use topology::{LinkId, LinkKind, Route, Switch, SwitchId, TopoLink, Topology};
 pub use vcg::{build_vcg, Vcg};
 pub use verify::{verify_design, verify_shutdown_safety, Violation};

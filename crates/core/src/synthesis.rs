@@ -237,30 +237,43 @@ fn candidate_outcome(
     }
 }
 
-/// Evaluates one sweep index's chain of intermediate-count candidates,
-/// sharing the allocation context and warm-starting each candidate from
-/// its predecessor's recorded allocation.
+/// Evaluates one chain of intermediate-count candidates that share a switch
+/// assignment, building the allocation context once and warm-starting each
+/// candidate from its predecessor's recorded allocation.
 ///
-/// Outcome-equivalent to mapping [`evaluate_candidate`] over the chain
-/// (asserted by the warm-start equivalence tests); the sharing only
-/// removes redundant work, never changes a result.
-fn evaluate_chain(
+/// This is the streaming-consumption entry point of the pipeline: callers
+/// that enumerate their own candidate grids (the `vi-noc-sweep` crate's
+/// sharded sweep) feed one chain at a time — with an arbitrary switch-count
+/// vector and possibly a scaled [`FrequencyPlan`] — and fold the returned
+/// outcomes without ever materializing a [`DesignSpace`].
+///
+/// Outcome-equivalent to evaluating every candidate cold and independently
+/// (asserted by the warm-start equivalence tests); the sharing only removes
+/// redundant work, never changes a result.
+///
+/// Chain contract: every candidate must carry the same `sweep_index` and
+/// `switch_counts` (matching `assignment`), with `requested_intermediate`
+/// strictly ascending — the order the warm start and the Duplicate
+/// short-circuit are proven for.
+pub fn evaluate_candidate_chain(
     spec: &SocSpec,
     vi: &ViAssignment,
-    sweep: &SweepPlan,
+    plan: &FrequencyPlan,
+    assignment: &SwitchAssignment,
     chain: &[SweepCandidate],
     cfg: &SynthesisConfig,
 ) -> Vec<CandidateOutcome> {
-    let Some(first) = chain.first() else {
-        return Vec::new();
-    };
-    let assignment = sweep.assignment(first.sweep_index);
+    debug_assert!(chain.windows(2).all(|w| {
+        w[0].sweep_index == w[1].sweep_index
+            && w[0].switch_counts == w[1].switch_counts
+            && w[0].requested_intermediate < w[1].requested_intermediate
+    }));
     let k_max = chain
         .iter()
         .map(|c| c.requested_intermediate)
         .max()
         .unwrap_or(0);
-    let ctx = match AllocContext::build(spec, vi, &sweep.plan, assignment, k_max, cfg) {
+    let ctx = match AllocContext::build(spec, vi, plan, assignment, k_max, cfg) {
         Ok(ctx) => ctx,
         // The context pre-check (core counts vs switch size budgets) fails
         // identically for every candidate of the index.
@@ -354,7 +367,8 @@ pub fn synthesize(
         }
     }
     let outcomes: Vec<CandidateOutcome> = maybe_parallel_map(cfg.parallel, &chains, |chain| {
-        evaluate_chain(spec, vi, &sweep, chain, cfg)
+        let assignment = sweep.assignment(chain[0].sweep_index);
+        evaluate_candidate_chain(spec, vi, &sweep.plan, assignment, chain, cfg)
     })
     .into_iter()
     .flatten()

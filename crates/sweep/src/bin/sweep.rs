@@ -1,0 +1,258 @@
+//! The `sweep` CLI: run one shard of a design-space grid, or merge shard
+//! checkpoints into the final Pareto frontier.
+//!
+//! ```text
+//! sweep run   --spec d26 --islands 6 [--partition logical|comm] [--comm-seed S]
+//!             [--max-boost B] [--scales 1.0,1.15] [--max-mid M]
+//!             [--shard I/N] [--seq] [--frontier] --out FILE
+//! sweep merge SHARD.json... --out FILE
+//! sweep info  --spec d26 --islands 6 [grid flags]
+//! ```
+//!
+//! `run` writes a shard checkpoint (`--frontier` writes the merged-frontier
+//! format directly; only valid for the unsharded `--shard 0/1`). Shards of
+//! the same grid may run as separate processes on separate machines; `merge`
+//! combines a complete shard set into a frontier byte-identical to the
+//! unsharded run.
+
+use std::process::ExitCode;
+use std::time::Instant;
+use vi_noc_core::SynthesisConfig;
+use vi_noc_soc::{benchmarks, partition, SocSpec, ViAssignment};
+use vi_noc_sweep::{
+    frontier_json, merge_checkpoints, run_shard, shard_checkpoint_json, GridConfig, GridDescriptor,
+    Shard, SweepGrid,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  sweep run   --spec <d12|d16|d20|d26|d36> --islands K [--partition logical|comm]
+              [--comm-seed S] [--max-boost B] [--scales 1.0,1.15] [--max-mid M]
+              [--shard I/N] [--seq] [--frontier] --out FILE
+  sweep merge SHARD.json... --out FILE
+  sweep info  --spec ... --islands K [grid flags]";
+
+fn cli(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("missing command".to_string()),
+    }
+}
+
+/// Options shared by `run` and `info`.
+struct SweepOpts {
+    spec: SocSpec,
+    vi: ViAssignment,
+    partition_tag: String,
+    grid_cfg: GridConfig,
+    cfg: SynthesisConfig,
+    shard: Shard,
+    frontier: bool,
+    out: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<SweepOpts, String> {
+    let mut spec_name: Option<String> = None;
+    let mut islands: Option<usize> = None;
+    let mut partition_kind = "logical".to_string();
+    let mut comm_seed = 1u64;
+    let mut grid_cfg = GridConfig::default();
+    let mut cfg = SynthesisConfig::default();
+    let mut shard = Shard::full();
+    let mut frontier = false;
+    let mut out: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--spec" => spec_name = Some(value("--spec")?.clone()),
+            "--islands" => {
+                islands = Some(
+                    value("--islands")?
+                        .parse()
+                        .map_err(|_| "bad --islands value")?,
+                )
+            }
+            "--partition" => partition_kind = value("--partition")?.clone(),
+            "--comm-seed" => {
+                comm_seed = value("--comm-seed")?
+                    .parse()
+                    .map_err(|_| "bad --comm-seed value")?
+            }
+            "--max-boost" => {
+                grid_cfg.max_boost = value("--max-boost")?
+                    .parse()
+                    .map_err(|_| "bad --max-boost value")?
+            }
+            "--scales" => {
+                grid_cfg.freq_scales = value("--scales")?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<f64>()
+                            .map_err(|_| format!("bad scale '{s}'"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--max-mid" => {
+                grid_cfg.max_intermediate = value("--max-mid")?
+                    .parse()
+                    .map_err(|_| "bad --max-mid value")?
+            }
+            "--shard" => shard = Shard::parse(value("--shard")?)?,
+            "--seq" => cfg.parallel = false,
+            "--frontier" => frontier = true,
+            "--out" => out = Some(value("--out")?.clone()),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+
+    let spec_name = spec_name.ok_or("--spec is required")?;
+    let spec = match spec_name.as_str() {
+        "d12" => benchmarks::d12_auto(),
+        "d16" => benchmarks::d16_settop(),
+        "d20" => benchmarks::d20_baseband(),
+        "d26" => benchmarks::d26_mobile(),
+        "d36" => benchmarks::d36_tablet(),
+        other => return Err(format!("unknown spec '{other}'")),
+    };
+    let k = islands.ok_or("--islands is required")?;
+    let (vi, partition_tag) = match partition_kind.as_str() {
+        "logical" => (
+            partition::logical_partition(&spec, k).map_err(|e| e.to_string())?,
+            format!("logical:{k}"),
+        ),
+        "comm" => (
+            partition::communication_partition(&spec, k, comm_seed).map_err(|e| e.to_string())?,
+            format!("comm:{k}:{comm_seed}"),
+        ),
+        other => return Err(format!("unknown partition '{other}'")),
+    };
+    if grid_cfg.freq_scales.is_empty()
+        || grid_cfg
+            .freq_scales
+            .iter()
+            .any(|&s| !s.is_finite() || s < 1.0)
+    {
+        return Err("--scales must be a non-empty list of factors >= 1.0".to_string());
+    }
+    if frontier && shard != Shard::full() {
+        return Err("--frontier requires the unsharded run (--shard 0/1)".to_string());
+    }
+    Ok(SweepOpts {
+        spec,
+        vi,
+        partition_tag,
+        grid_cfg,
+        cfg,
+        shard,
+        frontier,
+        out,
+    })
+}
+
+fn descriptor(opts: &SweepOpts, grid: &SweepGrid) -> GridDescriptor {
+    GridDescriptor::for_grid(grid, opts.spec.name(), &opts.partition_tag, opts.cfg.seed)
+}
+
+fn write_out(out: Option<&str>, text: &str) -> Result<(), String> {
+    match out {
+        None | Some("-") => {
+            print!("{text}");
+            Ok(())
+        }
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}")),
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let grid = SweepGrid::build(&opts.spec, &opts.vi, &opts.cfg, &opts.grid_cfg);
+    let desc = descriptor(&opts, &grid);
+    eprintln!(
+        "sweep run: {} ({}), grid {} chains / {} candidates, shard {}",
+        desc.spec_name,
+        desc.partition,
+        grid.num_active_chains(),
+        grid.num_candidates(),
+        opts.shard
+    );
+    let start = Instant::now();
+    let run = run_shard(&opts.spec, &opts.vi, &grid, opts.shard, &opts.cfg);
+    let elapsed = start.elapsed();
+    eprintln!(
+        "sweep run: shard {} done in {elapsed:.2?}: {} chains, {} feasible / {} duplicate / \
+         {} infeasible candidates, {} frontier points",
+        opts.shard,
+        run.stats.chains,
+        run.stats.feasible,
+        run.stats.duplicates,
+        run.stats.infeasible,
+        run.frontier.len()
+    );
+    let text = if opts.frontier {
+        frontier_json(&desc, &run)
+    } else {
+        shard_checkpoint_json(&desc, &run)
+    };
+    write_out(opts.out.as_deref(), &text)
+}
+
+fn cmd_merge(args: &[String]) -> Result<(), String> {
+    let mut files = Vec::new();
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = Some(it.next().ok_or("--out needs a value")?.clone()),
+            path => files.push(path.to_string()),
+        }
+    }
+    if files.is_empty() {
+        return Err("merge needs at least one checkpoint file".to_string());
+    }
+    let contents: Vec<String> = files
+        .iter()
+        .map(|p| std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let merged = merge_checkpoints(&contents)?;
+    eprintln!(
+        "sweep merge: {} shard file(s) -> {} frontier bytes",
+        files.len(),
+        merged.len()
+    );
+    write_out(out.as_deref(), &merged)
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let grid = SweepGrid::build(&opts.spec, &opts.vi, &opts.cfg, &opts.grid_cfg);
+    println!("spec:            {}", opts.spec.name());
+    println!("partition:       {}", opts.partition_tag);
+    println!("max boost:       {}", opts.grid_cfg.max_boost);
+    println!("freq scales:     {:?}", opts.grid_cfg.freq_scales);
+    println!("max mid:         {}", opts.grid_cfg.max_intermediate);
+    println!("chain ids:       {}", grid.num_chains());
+    println!("active chains:   {}", grid.num_active_chains());
+    println!("candidates:      {}", grid.num_candidates());
+    println!("chain length:    {}", grid.chain_len());
+    Ok(())
+}

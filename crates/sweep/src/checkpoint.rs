@@ -1,0 +1,419 @@
+//! The serde-free JSON checkpoint format: one file per shard, merged into a
+//! frontier file that is byte-identical to the unsharded run's emission.
+//!
+//! Byte-identity is engineered, not hoped for: every writer in the pipeline
+//! (the struct writers here, [`vi_noc_core::design_point_json`] for embedded
+//! points, and the [`crate::json::Value`] re-writer `merge` uses) emits a
+//! fixed key order, compact layout, and shortest-round-trip numbers — so
+//! `write(parse(write(x))) == write(x)` byte for byte, and a frontier
+//! assembled from parsed shard files equals the frontier written directly
+//! from the in-memory run.
+
+use crate::json::{self, Value};
+use crate::run::{FrontierPoint, ShardRun, SweepStats};
+use crate::shard::Shard;
+use std::fmt::Write as _;
+use vi_noc_core::{design_point_json, json_number, json_string, ParetoFold, ParetoKey};
+
+/// `format` tag of shard checkpoint files.
+pub const SHARD_FORMAT: &str = "vi-noc-sweep-shard-v1";
+/// `format` tag of merged frontier files.
+pub const FRONTIER_FORMAT: &str = "vi-noc-sweep-frontier-v1";
+
+/// Everything that identifies a grid run, echoed into every shard file so
+/// `merge` can refuse to combine shards of different sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridDescriptor {
+    /// Benchmark/spec name the sweep ran over.
+    pub spec_name: String,
+    /// Number of voltage islands.
+    pub island_count: usize,
+    /// Free-form partition tag (e.g. `logical:6`).
+    pub partition: String,
+    /// The synthesis seed (drives the min-cut partitioner).
+    pub seed: u64,
+    /// Grid axis: largest per-island switch-count boost.
+    pub max_boost: usize,
+    /// Grid axis: frequency-plan scale factors.
+    pub freq_scales: Vec<f64>,
+    /// Grid axis: largest intermediate-island switch count.
+    pub max_intermediate: usize,
+    /// Total chain ids of the grid (sharding-invariant).
+    pub num_chains: u64,
+}
+
+impl GridDescriptor {
+    /// Builds the descriptor of `grid` (the canonical way — axis fields are
+    /// taken from the grid itself, so e.g. the *effective* intermediate
+    /// bound is recorded: a grid built under `allow_intermediate_vi: false`
+    /// describes itself with `max_intermediate: 0` and can never be merged
+    /// with shards of the unrestricted grid).
+    pub fn for_grid(
+        grid: &crate::grid::SweepGrid,
+        spec_name: &str,
+        partition: &str,
+        seed: u64,
+    ) -> Self {
+        GridDescriptor {
+            spec_name: spec_name.to_string(),
+            island_count: grid.vcgs().len(),
+            partition: partition.to_string(),
+            seed,
+            max_boost: grid.config().max_boost,
+            freq_scales: grid.config().freq_scales.clone(),
+            max_intermediate: (grid.chain_len() - 1) as usize,
+            num_chains: grid.num_chains(),
+        }
+    }
+
+    /// Serializes the descriptor as one compact JSON object.
+    pub fn to_json(&self) -> String {
+        let scales: Vec<String> = self.freq_scales.iter().map(|&s| json_number(s)).collect();
+        format!(
+            "{{\"spec_name\":{},\"island_count\":{},\"partition\":{},\"seed\":{},\
+             \"max_boost\":{},\"freq_scales\":[{}],\"max_intermediate\":{},\"num_chains\":{}}}",
+            json_string(&self.spec_name),
+            self.island_count,
+            json_string(&self.partition),
+            self.seed,
+            self.max_boost,
+            scales.join(","),
+            self.max_intermediate,
+            self.num_chains
+        )
+    }
+}
+
+fn stats_json(s: &SweepStats) -> String {
+    format!(
+        "{{\"chains\":{},\"inactive_chains\":{},\"feasible\":{},\"duplicates\":{},\
+         \"infeasible\":{}}}",
+        s.chains, s.inactive_chains, s.feasible, s.duplicates, s.infeasible
+    )
+}
+
+/// Serializes one frontier entry: the dominance key fields first (so
+/// `merge` can fold without touching the payload), then the chain
+/// provenance, then the full design point.
+pub fn frontier_entry_json(fp: &FrontierPoint) -> String {
+    let boosts: Vec<String> = fp.boosts.iter().map(|b| b.to_string()).collect();
+    format!(
+        "{{\"ordinal\":{},\"power_mw\":{},\"latency_cycles\":{},\"chain_id\":{},\
+         \"scale\":{},\"boosts\":[{}],\"point\":{}}}",
+        fp.ordinal,
+        json_number(fp.point.metrics.noc_dynamic_power().mw()),
+        json_number(fp.point.metrics.avg_latency_cycles),
+        fp.chain_id,
+        json_number(fp.scale),
+        boosts.join(","),
+        design_point_json(&fp.point)
+    )
+}
+
+/// Shared file layout of shard and frontier files: top-level members one
+/// per line, frontier entries one per line.
+fn file_json(
+    format: &str,
+    grid_json: &str,
+    shard: Option<Shard>,
+    stats: &SweepStats,
+    entries: &[String],
+) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{{\"format\":{},", json_string(format));
+    let _ = write!(s, "\n\"grid\":{grid_json},");
+    if let Some(sh) = shard {
+        let _ = write!(
+            s,
+            "\n\"shard\":{{\"index\":{},\"count\":{}}},",
+            sh.index, sh.count
+        );
+    }
+    let _ = write!(s, "\n\"stats\":{},", stats_json(stats));
+    s.push_str("\n\"frontier\":[");
+    for (i, e) in entries.iter().enumerate() {
+        s.push_str(if i == 0 { "\n" } else { ",\n" });
+        s.push_str(e);
+    }
+    s.push_str("\n]}\n");
+    s
+}
+
+/// Entries of a frontier fold, sorted by dominance key and serialized.
+fn sorted_entries(frontier: &ParetoFold<FrontierPoint>) -> Vec<String> {
+    frontier
+        .clone()
+        .into_sorted()
+        .iter()
+        .map(|(_, fp)| frontier_entry_json(fp))
+        .collect()
+}
+
+/// Serializes one shard's checkpoint file.
+pub fn shard_checkpoint_json(desc: &GridDescriptor, run: &ShardRun) -> String {
+    file_json(
+        SHARD_FORMAT,
+        &desc.to_json(),
+        Some(run.shard),
+        &run.stats,
+        &sorted_entries(&run.frontier),
+    )
+}
+
+/// Serializes a frontier file directly from an in-memory unsharded run —
+/// byte-identical to merging that run's (or any complete shard set's)
+/// checkpoint files.
+pub fn frontier_json(desc: &GridDescriptor, run: &ShardRun) -> String {
+    file_json(
+        FRONTIER_FORMAT,
+        &desc.to_json(),
+        None,
+        &run.stats,
+        &sorted_entries(&run.frontier),
+    )
+}
+
+/// A parsed shard checkpoint, payloads kept as raw JSON values.
+#[derive(Debug, Clone)]
+pub struct ParsedShard {
+    /// The grid descriptor, unparsed (compared structurally by `merge`).
+    pub grid: Value,
+    /// Which stripe this file covers.
+    pub shard: Shard,
+    /// The shard's counters.
+    pub stats: SweepStats,
+    /// Frontier entries: dominance key + the full entry value.
+    pub entries: Vec<(ParetoKey, Value)>,
+}
+
+fn field<'v>(v: &'v Value, key: &str, ctx: &str) -> Result<&'v Value, String> {
+    v.get(key).ok_or_else(|| format!("{ctx}: missing '{key}'"))
+}
+
+fn u64_field(v: &Value, key: &str, ctx: &str) -> Result<u64, String> {
+    field(v, key, ctx)?
+        .as_u64()
+        .ok_or_else(|| format!("{ctx}: '{key}' is not an unsigned integer"))
+}
+
+fn f64_field(v: &Value, key: &str, ctx: &str) -> Result<f64, String> {
+    field(v, key, ctx)?
+        .as_f64()
+        .ok_or_else(|| format!("{ctx}: '{key}' is not a number"))
+}
+
+/// Removes and returns member `key` of an object (avoids deep-cloning the
+/// payload trees when dismantling a parsed checkpoint).
+fn take_member(v: &mut Value, key: &str, ctx: &str) -> Result<Value, String> {
+    match v {
+        Value::Obj(members) => members
+            .iter()
+            .position(|(k, _)| k == key)
+            .map(|i| members.remove(i).1)
+            .ok_or_else(|| format!("{ctx}: missing '{key}'")),
+        _ => Err(format!("{ctx}: not an object")),
+    }
+}
+
+/// Parses and validates one shard checkpoint file.
+pub fn parse_shard_checkpoint(text: &str) -> Result<ParsedShard, String> {
+    let mut doc = json::parse(text).map_err(|e| e.to_string())?;
+    let format = field(&doc, "format", "checkpoint")?
+        .as_str()
+        .ok_or("checkpoint: 'format' is not a string")?
+        .to_string();
+    if format != SHARD_FORMAT {
+        return Err(format!(
+            "checkpoint: format '{format}' is not '{SHARD_FORMAT}'"
+        ));
+    }
+    let shard_v = field(&doc, "shard", "checkpoint")?;
+    let shard = Shard::new(
+        u64_field(shard_v, "index", "shard")?,
+        u64_field(shard_v, "count", "shard")?,
+    )?;
+    let stats_v = field(&doc, "stats", "checkpoint")?;
+    let stats = SweepStats {
+        chains: u64_field(stats_v, "chains", "stats")?,
+        inactive_chains: u64_field(stats_v, "inactive_chains", "stats")?,
+        feasible: u64_field(stats_v, "feasible", "stats")?,
+        duplicates: u64_field(stats_v, "duplicates", "stats")?,
+        infeasible: u64_field(stats_v, "infeasible", "stats")?,
+    };
+    let grid = take_member(&mut doc, "grid", "checkpoint")?;
+    let frontier = match take_member(&mut doc, "frontier", "checkpoint")? {
+        Value::Arr(items) => items,
+        _ => return Err("checkpoint: 'frontier' is not an array".to_string()),
+    };
+    let mut entries = Vec::with_capacity(frontier.len());
+    for (i, entry) in frontier.into_iter().enumerate() {
+        let ctx = format!("frontier[{i}]");
+        let key = ParetoKey {
+            power_mw: f64_field(&entry, "power_mw", &ctx)?,
+            latency_cycles: f64_field(&entry, "latency_cycles", &ctx)?,
+            ordinal: u64_field(&entry, "ordinal", &ctx)?,
+        };
+        // Cross-check the fold key against the embedded point's metrics —
+        // a mismatch means the file was edited or truncated.
+        let metrics = field(field(&entry, "point", &ctx)?, "metrics", &ctx)?;
+        let total = f64_field(field(metrics, "power_mw", &ctx)?, "total", &ctx)?;
+        let lat = f64_field(metrics, "avg_latency_cycles", &ctx)?;
+        if total.to_bits() != key.power_mw.to_bits()
+            || lat.to_bits() != key.latency_cycles.to_bits()
+        {
+            return Err(format!("{ctx}: key fields disagree with point metrics"));
+        }
+        entries.push((key, entry));
+    }
+    Ok(ParsedShard {
+        grid,
+        shard,
+        stats,
+        entries,
+    })
+}
+
+/// Merges a complete set of shard checkpoint files into a frontier file.
+///
+/// Validates that every file describes the same grid, that all shard counts
+/// agree, and that the shard indices are exactly `0..count` (no gaps, no
+/// duplicates) — then folds all entries and re-emits the survivors. The
+/// output is byte-identical to [`frontier_json`] of the unsharded run.
+pub fn merge_checkpoints(files: &[String]) -> Result<String, String> {
+    if files.is_empty() {
+        return Err("merge needs at least one checkpoint file".to_string());
+    }
+    let parsed: Vec<ParsedShard> = files
+        .iter()
+        .enumerate()
+        .map(|(i, text)| parse_shard_checkpoint(text).map_err(|e| format!("checkpoint #{i}: {e}")))
+        .collect::<Result<_, _>>()?;
+
+    let grid = parsed[0].grid.clone();
+    let count = parsed[0].shard.count;
+    let mut seen = vec![false; count as usize];
+    let mut stats = SweepStats::default();
+    let mut fold: ParetoFold<Value> = ParetoFold::new();
+    for p in parsed {
+        if p.grid != grid {
+            return Err("checkpoints describe different grids".to_string());
+        }
+        if p.shard.count != count {
+            return Err(format!(
+                "shard counts disagree: {} vs {count}",
+                p.shard.count
+            ));
+        }
+        let idx = p.shard.index as usize;
+        if seen[idx] {
+            return Err(format!("shard {idx}/{count} appears twice"));
+        }
+        seen[idx] = true;
+        stats.add(&p.stats);
+        for (key, entry) in p.entries {
+            fold.offer(key, entry);
+        }
+    }
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(format!("shard {missing}/{count} is missing"));
+    }
+
+    let entries: Vec<String> = fold
+        .into_sorted()
+        .iter()
+        .map(|(_, v)| v.to_json())
+        .collect();
+    Ok(file_json(
+        FRONTIER_FORMAT,
+        &grid.to_json(),
+        None,
+        &stats,
+        &entries,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{GridConfig, SweepGrid};
+    use crate::run::run_shard;
+    use vi_noc_core::SynthesisConfig;
+    use vi_noc_soc::{benchmarks, partition};
+
+    fn small_setup() -> (GridDescriptor, Vec<ShardRun>, ShardRun) {
+        let soc = benchmarks::d12_auto();
+        let vi = partition::logical_partition(&soc, 4).unwrap();
+        let cfg = SynthesisConfig {
+            parallel: false,
+            ..SynthesisConfig::default()
+        };
+        let grid_cfg = GridConfig {
+            max_boost: 1,
+            freq_scales: vec![1.0],
+            max_intermediate: 2,
+        };
+        let grid = SweepGrid::build(&soc, &vi, &cfg, &grid_cfg);
+        let desc = GridDescriptor::for_grid(&grid, soc.name(), "logical:4", cfg.seed);
+        let shards: Vec<ShardRun> = (0..3)
+            .map(|i| run_shard(&soc, &vi, &grid, Shard::new(i, 3).unwrap(), &cfg))
+            .collect();
+        let full = run_shard(&soc, &vi, &grid, Shard::full(), &cfg);
+        (desc, shards, full)
+    }
+
+    #[test]
+    fn merge_reproduces_the_unsharded_frontier_byte_for_byte() {
+        let (desc, shards, full) = small_setup();
+        let files: Vec<String> = shards
+            .iter()
+            .map(|r| shard_checkpoint_json(&desc, r))
+            .collect();
+        let merged = merge_checkpoints(&files).unwrap();
+        let direct = frontier_json(&desc, &full);
+        assert_eq!(merged, direct);
+        // And merging the single full checkpoint gives the same bytes too.
+        let full_desc_file = shard_checkpoint_json(&desc, &full);
+        let merged_single = merge_checkpoints(&[full_desc_file]).unwrap();
+        assert_eq!(merged_single, direct);
+    }
+
+    #[test]
+    fn checkpoints_round_trip_through_the_parser() {
+        let (desc, shards, _) = small_setup();
+        let text = shard_checkpoint_json(&desc, &shards[1]);
+        let parsed = parse_shard_checkpoint(&text).unwrap();
+        assert_eq!(parsed.shard, Shard::new(1, 3).unwrap());
+        assert_eq!(parsed.stats, shards[1].stats);
+        assert_eq!(parsed.entries.len(), shards[1].frontier.len());
+        // The parsed grid re-serializes to the descriptor's exact bytes.
+        assert_eq!(parsed.grid.to_json(), desc.to_json());
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_or_mismatched_shard_sets() {
+        let (desc, shards, _) = small_setup();
+        let files: Vec<String> = shards
+            .iter()
+            .map(|r| shard_checkpoint_json(&desc, r))
+            .collect();
+        // Missing shard.
+        let err = merge_checkpoints(&files[..2]).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+        // Duplicate shard.
+        let dup = vec![files[0].clone(), files[0].clone(), files[1].clone()];
+        let err = merge_checkpoints(&dup).unwrap_err();
+        assert!(err.contains("twice"), "{err}");
+        // Different grid.
+        let mut other_desc = desc.clone();
+        other_desc.seed ^= 1;
+        let mut mixed = files.clone();
+        mixed[2] = shard_checkpoint_json(&other_desc, &shards[2]);
+        let err = merge_checkpoints(&mixed).unwrap_err();
+        assert!(err.contains("different grids"), "{err}");
+        // Tampered metrics.
+        let tampered = files[0].replace("\"latency_cycles\":", "\"latency_cycles\":1e9,\"x\":");
+        if tampered != files[0] {
+            assert!(merge_checkpoints(&[tampered]).is_err());
+        }
+    }
+}

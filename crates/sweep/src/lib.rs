@@ -1,0 +1,49 @@
+//! Sharded, streaming design-space exploration with a merging Pareto fold.
+//!
+//! The classic driver (`vi_noc_core::synthesize`) enumerates every
+//! candidate eagerly and materializes the whole `DesignSpace` — fine for the
+//! paper's ~10² candidates per SoC, a dead end for production-scale sweeps.
+//! This crate turns the sweep into a subsystem that scales across processes
+//! and machines while staying *exact*:
+//!
+//! * [`SweepGrid`] — lazy candidate enumeration over axes finer than the
+//!   paper's global `(i, k)` pair: per-island switch-count boosts and
+//!   alternative (overclocked) frequency plans on top of the base schedule.
+//!   Grids of 10⁴–10⁵ candidates are addressed by index, never materialized.
+//! * [`Shard`] — deterministic round-robin striping of the grid's *chains*
+//!   (not candidates), keeping PR 2's warm-start sharing intact inside each
+//!   stripe.
+//! * [`run_shard`] — streams a stripe: evaluates chains through
+//!   `vi_noc_core::evaluate_candidate_chain` and folds outcomes into a
+//!   bounded-memory [`vi_noc_core::ParetoFold`] the moment they complete.
+//! * [`checkpoint`] — a serde-free JSON checkpoint per shard plus
+//!   [`merge_checkpoints`], which combines any complete shard set into a
+//!   frontier file **byte-identical** to the unsharded run's emission.
+//!   Exactness rests on dominance being a strict partial order
+//!   (`vi_noc_core::pareto`): survival is pairwise, so folds compose in any
+//!   order and across process boundaries.
+//!
+//! The `sweep` binary (`src/bin/sweep.rs`) exposes the workflow:
+//!
+//! ```text
+//! sweep run --spec d26 --islands 6 --max-boost 1 --shard 0/3 --out a.json
+//! sweep run --spec d26 --islands 6 --max-boost 1 --shard 1/3 --out b.json
+//! sweep run --spec d26 --islands 6 --max-boost 1 --shard 2/3 --out c.json
+//! sweep merge a.json b.json c.json --out frontier.json
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod grid;
+pub mod json;
+pub mod run;
+pub mod shard;
+
+pub use checkpoint::{
+    frontier_json, merge_checkpoints, parse_shard_checkpoint, shard_checkpoint_json,
+    GridDescriptor, ParsedShard, FRONTIER_FORMAT, SHARD_FORMAT,
+};
+pub use grid::{ChainSpec, GridConfig, SweepGrid};
+pub use run::{run_shard, FrontierPoint, ShardRun, SweepStats};
+pub use shard::Shard;

@@ -1,0 +1,281 @@
+//! The streaming shard runner: evaluate a shard's chains, fold outcomes
+//! into a Pareto frontier as they complete, never materialize the space.
+
+use crate::grid::{ChainSpec, SweepGrid};
+use crate::shard::Shard;
+use rayon::prelude::*;
+use vi_noc_core::{
+    evaluate_candidate_chain, island_switch_assignment, CandidateOutcome, DesignPoint, ParetoFold,
+    ParetoKey, SynthesisConfig,
+};
+use vi_noc_soc::{SocSpec, ViAssignment};
+
+/// Chains evaluated per fold step when [`SynthesisConfig::parallel`] is set:
+/// a block is fanned out over rayon, its chain-local frontiers are merged
+/// into the running fold, and everything else is dropped — so peak memory is
+/// `O(block × chain frontier)`, independent of the grid size.
+const PARALLEL_BLOCK: usize = 64;
+
+/// One surviving design point with its full grid provenance.
+#[derive(Debug, Clone)]
+pub struct FrontierPoint {
+    /// Global candidate ordinal (`chain_id * chain_len + k`): the Pareto
+    /// tiebreak, stable across any sharding.
+    pub ordinal: u64,
+    /// The chain that produced the point.
+    pub chain_id: u64,
+    /// Frequency-plan scale factor of the chain.
+    pub scale: f64,
+    /// Per-island switch-count boosts of the chain.
+    pub boosts: Vec<usize>,
+    /// The design point itself (provenance fields carry the base sweep
+    /// index and the boosted switch counts).
+    pub point: DesignPoint,
+}
+
+impl FrontierPoint {
+    /// The point's dominance key.
+    pub fn key(&self) -> ParetoKey {
+        self.point.pareto_key(self.ordinal)
+    }
+}
+
+/// Evaluation counters of one shard run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Chains evaluated (active chains owned by the shard).
+    pub chains: u64,
+    /// Chain ids skipped because their boost vector exceeds an island cap.
+    pub inactive_chains: u64,
+    /// Candidates that produced a feasible design point.
+    pub feasible: u64,
+    /// Candidates that were provable duplicates of a smaller-`k` candidate.
+    pub duplicates: u64,
+    /// Candidates with no constraint-satisfying allocation.
+    pub infeasible: u64,
+}
+
+impl SweepStats {
+    /// Component-wise sum (used when merging shard checkpoints).
+    pub fn add(&mut self, other: &SweepStats) {
+        self.chains += other.chains;
+        self.inactive_chains += other.inactive_chains;
+        self.feasible += other.feasible;
+        self.duplicates += other.duplicates;
+        self.infeasible += other.infeasible;
+    }
+}
+
+/// Result of streaming one shard: the shard-local Pareto frontier plus
+/// counters. The frontier of shard `0/1` *is* the full run's frontier.
+#[derive(Debug, Clone)]
+pub struct ShardRun {
+    /// The stripe that was run.
+    pub shard: Shard,
+    /// Evaluation counters.
+    pub stats: SweepStats,
+    /// Undominated outcomes of this stripe.
+    pub frontier: ParetoFold<FrontierPoint>,
+}
+
+/// Evaluates one chain and folds its feasible outcomes into a chain-local
+/// frontier (at most `chain_len` entries; everything dominated is dropped
+/// on the spot).
+fn evaluate_chain(
+    spec: &SocSpec,
+    vi: &ViAssignment,
+    grid: &SweepGrid,
+    chain: &ChainSpec,
+    cfg: &SynthesisConfig,
+) -> (SweepStats, ParetoFold<FrontierPoint>) {
+    let plan = grid.plan(chain.scale_index);
+    let assignment = island_switch_assignment(grid.vcgs(), plan, &chain.counts, cfg);
+    let candidates = grid.candidates_of(chain);
+    let outcomes = evaluate_candidate_chain(spec, vi, plan, &assignment, &candidates, cfg);
+
+    let mut stats = SweepStats {
+        chains: 1,
+        ..SweepStats::default()
+    };
+    let mut local = ParetoFold::new();
+    for (k, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            CandidateOutcome::Feasible(point) => {
+                stats.feasible += 1;
+                let fp = FrontierPoint {
+                    ordinal: grid.ordinal(chain.chain_id, k),
+                    chain_id: chain.chain_id,
+                    scale: chain.scale,
+                    boosts: chain.boosts.clone(),
+                    point: *point,
+                };
+                local.offer(fp.key(), fp);
+            }
+            CandidateOutcome::Duplicate => stats.duplicates += 1,
+            CandidateOutcome::Infeasible(_) => stats.infeasible += 1,
+        }
+    }
+    (stats, local)
+}
+
+/// Streams shard `shard` of `grid`: evaluates every owned chain (rayon
+/// block-parallel when [`SynthesisConfig::parallel`] is set, strictly
+/// sequential otherwise) and folds outcomes into a bounded-memory Pareto
+/// frontier as they complete.
+///
+/// The result is exact and sharding-invariant: because dominance is a
+/// strict partial order (see [`vi_noc_core::pareto`]), merging the
+/// [`ShardRun::frontier`]s of any complete shard set — including this
+/// function's own internal block merges — reproduces, bit for bit, the
+/// frontier a single sequential pass over all candidates produces.
+pub fn run_shard(
+    spec: &SocSpec,
+    vi: &ViAssignment,
+    grid: &SweepGrid,
+    shard: Shard,
+    cfg: &SynthesisConfig,
+) -> ShardRun {
+    let mut stats = SweepStats::default();
+    let mut frontier: ParetoFold<FrontierPoint> = ParetoFold::new();
+
+    let mut block: Vec<ChainSpec> = Vec::with_capacity(PARALLEL_BLOCK);
+    let flush = |block: &mut Vec<ChainSpec>,
+                 stats: &mut SweepStats,
+                 frontier: &mut ParetoFold<FrontierPoint>| {
+        let results: Vec<(SweepStats, ParetoFold<FrontierPoint>)> = if cfg.parallel {
+            block
+                .par_iter()
+                .map(|chain| evaluate_chain(spec, vi, grid, chain, cfg))
+                .collect()
+        } else {
+            block
+                .iter()
+                .map(|chain| evaluate_chain(spec, vi, grid, chain, cfg))
+                .collect()
+        };
+        for (s, local) in results {
+            stats.add(&s);
+            frontier.absorb(local);
+        }
+        block.clear();
+    };
+
+    for chain_id in shard.chain_ids(grid.num_chains()) {
+        match grid.chain(chain_id) {
+            Some(chain) => block.push(chain),
+            None => stats.inactive_chains += 1,
+        }
+        if block.len() >= PARALLEL_BLOCK {
+            flush(&mut block, &mut stats, &mut frontier);
+        }
+    }
+    flush(&mut block, &mut stats, &mut frontier);
+
+    ShardRun {
+        shard,
+        stats,
+        frontier,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridConfig;
+    use vi_noc_soc::{benchmarks, partition};
+
+    #[test]
+    fn default_grid_frontier_matches_synthesize() {
+        // On the paper-equivalent grid the streaming fold must reproduce
+        // `DesignSpace::pareto_front` of the classic eager sweep, point for
+        // point and bit for bit.
+        let soc = benchmarks::d26_mobile();
+        let vi = partition::logical_partition(&soc, 6).unwrap();
+        let cfg = SynthesisConfig::default();
+        let grid = SweepGrid::build(&soc, &vi, &cfg, &GridConfig::default());
+        let run = run_shard(&soc, &vi, &grid, Shard::full(), &cfg);
+
+        let space = vi_noc_core::synthesize(&soc, &vi, &cfg).unwrap();
+        let want = space.pareto_front();
+        let got = run.frontier.clone().into_sorted();
+        assert_eq!(got.len(), want.len());
+        for ((_, fp), dp) in got.iter().zip(&want) {
+            assert_eq!(fp.point.sweep_index, dp.sweep_index);
+            assert_eq!(fp.point.requested_intermediate, dp.requested_intermediate);
+            assert_eq!(fp.point.switch_counts, dp.switch_counts);
+            assert_eq!(fp.point.topology, dp.topology);
+            assert_eq!(
+                fp.point.metrics.noc_dynamic_power().mw(),
+                dp.metrics.noc_dynamic_power().mw()
+            );
+            assert_eq!(
+                fp.point.metrics.avg_latency_cycles,
+                dp.metrics.avg_latency_cycles
+            );
+        }
+        assert_eq!(
+            run.stats.feasible,
+            space.points.len() as u64,
+            "every feasible candidate was streamed"
+        );
+    }
+
+    #[test]
+    fn parallel_and_sequential_runs_agree() {
+        let soc = benchmarks::d12_auto();
+        let vi = partition::logical_partition(&soc, 4).unwrap();
+        let grid_cfg = GridConfig {
+            max_boost: 1,
+            freq_scales: vec![1.0, 1.2],
+            max_intermediate: 2,
+        };
+        let seq_cfg = SynthesisConfig {
+            parallel: false,
+            ..SynthesisConfig::default()
+        };
+        let par_cfg = SynthesisConfig {
+            parallel: true,
+            ..SynthesisConfig::default()
+        };
+        let grid = SweepGrid::build(&soc, &vi, &seq_cfg, &grid_cfg);
+        let seq = run_shard(&soc, &vi, &grid, Shard::full(), &seq_cfg);
+        let par = run_shard(&soc, &vi, &grid, Shard::full(), &par_cfg);
+        assert_eq!(seq.stats, par.stats);
+        let a = seq.frontier.into_sorted();
+        let b = par.frontier.into_sorted();
+        assert_eq!(a.len(), b.len());
+        for ((ka, fa), (kb, fb)) in a.iter().zip(&b) {
+            assert_eq!(ka.ordinal, kb.ordinal);
+            assert_eq!(ka.power_mw, kb.power_mw);
+            assert_eq!(ka.latency_cycles, kb.latency_cycles);
+            assert_eq!(fa.point.topology, fb.point.topology);
+        }
+    }
+
+    #[test]
+    fn finer_axes_strictly_extend_the_explored_space() {
+        let soc = benchmarks::d12_auto();
+        let vi = partition::logical_partition(&soc, 4).unwrap();
+        let cfg = SynthesisConfig::default();
+        let coarse = SweepGrid::build(&soc, &vi, &cfg, &GridConfig::default());
+        let fine = SweepGrid::build(
+            &soc,
+            &vi,
+            &cfg,
+            &GridConfig {
+                max_boost: 2,
+                freq_scales: vec![1.0, 1.15],
+                ..GridConfig::default()
+            },
+        );
+        assert!(fine.num_candidates() >= 10 * coarse.num_candidates());
+        let run = run_shard(&soc, &vi, &fine, Shard::full(), &cfg);
+        assert_eq!(
+            run.stats.chains + run.stats.inactive_chains,
+            fine.num_chains()
+        );
+        assert!(run.stats.feasible > 0);
+        // The frontier stays bounded even though the space is 10x+ larger.
+        assert!(run.frontier.len() as u64 <= run.stats.feasible);
+    }
+}

@@ -1,0 +1,95 @@
+//! Deterministic striping of a [`crate::SweepGrid`] across shards.
+
+use std::fmt;
+
+/// One stripe of a sharded sweep: shard `index` of `count` owns every chain
+/// id congruent to `index` modulo `count`.
+///
+/// Striping is by **chain**, not by candidate: all intermediate-count
+/// candidates of a chain share their allocation context and warm-start one
+/// another (PR 2's exact optimization), so splitting a chain across shards
+/// would forfeit the warm start. Round-robin over chain ids also balances
+/// load — neighbouring chains have similar switch counts and hence similar
+/// evaluation cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's stripe, `0 <= index < count`.
+    pub index: u64,
+    /// Total number of shards.
+    pub count: u64,
+}
+
+impl Shard {
+    /// The trivial sharding: one shard owning every chain (the unsharded,
+    /// single-process streaming run).
+    pub fn full() -> Self {
+        Shard { index: 0, count: 1 }
+    }
+
+    /// Creates a shard, validating `index < count`.
+    pub fn new(index: u64, count: u64) -> Result<Self, String> {
+        if count == 0 {
+            return Err("shard count must be at least 1".to_string());
+        }
+        if index >= count {
+            return Err(format!("shard index {index} out of range 0..{count}"));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Parses the CLI form `index/count`, e.g. `0/3`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (i, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("expected INDEX/COUNT, got '{s}'"))?;
+        let index: u64 = i.parse().map_err(|_| format!("bad shard index '{i}'"))?;
+        let count: u64 = n.parse().map_err(|_| format!("bad shard count '{n}'"))?;
+        Shard::new(index, count)
+    }
+
+    /// `true` iff this shard owns `chain_id`.
+    pub fn owns(&self, chain_id: u64) -> bool {
+        chain_id % self.count == self.index
+    }
+
+    /// The chain ids this shard owns, in ascending order.
+    pub fn chain_ids(&self, num_chains: u64) -> impl Iterator<Item = u64> + '_ {
+        (self.index..num_chains).step_by(self.count as usize)
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripes_partition_the_chain_ids() {
+        for n in [1u64, 2, 3, 7] {
+            let mut seen = [0u32; 23];
+            for i in 0..n {
+                let shard = Shard::new(i, n).unwrap();
+                for c in shard.chain_ids(23) {
+                    seen[c as usize] += 1;
+                    assert!(shard.owns(c));
+                }
+            }
+            assert!(seen.iter().all(|&s| s == 1), "n={n}: each chain once");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_cli_form_and_rejects_junk() {
+        assert_eq!(Shard::parse("2/5").unwrap(), Shard { index: 2, count: 5 });
+        assert_eq!(Shard::parse("0/1").unwrap(), Shard::full());
+        for bad in ["", "3", "3/3", "a/2", "1/0", "1/b", "-1/2"] {
+            assert!(Shard::parse(bad).is_err(), "{bad:?}");
+        }
+        assert_eq!(Shard::parse("2/5").unwrap().to_string(), "2/5");
+    }
+}
