@@ -1,0 +1,573 @@
+//! Implementation of the `vi-noc` CLI (and the back-compat `sweep`
+//! binary, which forwards to the `sweep` subcommand here).
+//!
+//! ```text
+//! vi-noc run      SCENARIO.json [--out FILE] [--frontier-out FILE]
+//! vi-noc simulate SCENARIO.json [--out FILE]
+//! vi-noc report   REPORT.json
+//! vi-noc sweep    run|merge|info ...
+//! ```
+//!
+//! `run` executes every stage a scenario declares and writes the report
+//! JSON; `simulate` skips the sweep stage; `report` pretty-prints a report
+//! file; `sweep` is the sharded design-space workflow (one shard per
+//! process), extended with `--scenario` (grid + configs from a scenario
+//! file), `--resume` and `--checkpoint-every` (preemptible shards).
+
+use crate::error::Error;
+use crate::report::REPORT_FORMAT;
+use crate::scenario::{benchmark_by_name, PartitionPlan, Scenario};
+use std::time::Instant;
+use vi_noc_core::SynthesisConfig;
+use vi_noc_soc::{partition, SocSpec, ViAssignment};
+use vi_noc_sweep::{
+    frontier_progress_json, json, merge_checkpoints, parse_shard_checkpoint, resume_shard,
+    shard_progress_json, GridConfig, GridDescriptor, Shard, ShardProgress, SweepGrid,
+};
+
+/// Top-level usage text of the `vi-noc` binary.
+pub const USAGE: &str = "\
+usage:
+  vi-noc run      SCENARIO.json [--out FILE] [--frontier-out FILE]
+  vi-noc simulate SCENARIO.json [--out FILE]
+  vi-noc report   REPORT.json
+  vi-noc sweep    run|merge|info ...   (see `vi-noc sweep` for details)";
+
+/// Usage text of the `sweep` subcommand / binary.
+pub const SWEEP_USAGE: &str = "\
+usage:
+  sweep run   --spec <d12|d16|d20|d26|d36> --islands K [--partition logical|comm]
+              [--comm-seed S] [--max-boost B] [--scales 1.0,1.15] [--max-mid M]
+              | --scenario FILE
+              [--shard I/N] [--seq] [--frontier] [--resume] [--checkpoint-every C]
+              --out FILE
+  sweep merge SHARD.json... --out FILE
+  sweep info  (--spec ... --islands K [grid flags] | --scenario FILE)";
+
+/// Entry point of the `vi-noc` binary.
+///
+/// # Errors
+///
+/// A printable message; the binary appends the usage text.
+pub fn vi_noc_cli(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..], true),
+        Some("simulate") => cmd_run(&args[1..], false),
+        Some("report") => cmd_report(&args[1..]),
+        Some("sweep") => sweep_cli(&args[1..]),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("missing command".to_string()),
+    }
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn write_out(out: Option<&str>, text: &str) -> Result<(), String> {
+    match out {
+        None | Some("-") => {
+            print!("{text}");
+            Ok(())
+        }
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}")),
+    }
+}
+
+// --- run / simulate ------------------------------------------------------
+
+fn cmd_run(args: &[String], with_sweep: bool) -> Result<(), String> {
+    let mut scenario_path: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut frontier_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = Some(it.next().ok_or("--out needs a value")?.clone()),
+            "--frontier-out" if with_sweep => {
+                frontier_out = Some(it.next().ok_or("--frontier-out needs a value")?.clone())
+            }
+            path if !path.starts_with('-') && scenario_path.is_none() => {
+                scenario_path = Some(path.to_string())
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    let path = scenario_path.ok_or("a scenario file is required")?;
+    let scenario = Scenario::from_json(&read_file(&path)?)?;
+    eprintln!("vi-noc: running scenario '{}' from {path}", scenario.name);
+    let start = Instant::now();
+    let report = if with_sweep {
+        scenario.run()
+    } else {
+        scenario.run_without_sweep()
+    }?;
+    eprintln!("vi-noc: done in {:.2?}", start.elapsed());
+    eprint!("{}", report.summary());
+    if let Some(fpath) = frontier_out {
+        let frontier = report
+            .frontier
+            .as_ref()
+            .ok_or("--frontier-out requires the scenario to declare a sweep grid")?;
+        write_out(Some(&fpath), frontier)?;
+    }
+    write_out(out.as_deref(), &report.to_json())
+}
+
+// --- report --------------------------------------------------------------
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let path = match args {
+        [path] => path,
+        _ => return Err("report takes exactly one REPORT.json argument".to_string()),
+    };
+    let doc = json::parse(&read_file(path)?).map_err(|e| e.to_string())?;
+    let format = doc
+        .get("format")
+        .and_then(|v| v.as_str())
+        .ok_or("not a vi-noc report file (no 'format' member)")?;
+    if format != REPORT_FORMAT {
+        return Err(format!("'{format}' is not '{REPORT_FORMAT}'"));
+    }
+    let str_field = |k: &str| doc.get(k).and_then(|v| v.as_str()).unwrap_or("?");
+    let num_field = |k: &str| doc.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    println!(
+        "report: scenario '{}' — {} @ {} islands, {} design point(s) explored",
+        str_field("scenario"),
+        str_field("spec_name"),
+        num_field("island_count"),
+        num_field("explored_points"),
+    );
+    if let Some(metrics) = doc.get("point").and_then(|p| p.get("metrics")) {
+        let mw = metrics
+            .get("power_mw")
+            .and_then(|p| p.get("total"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        let lat = metrics
+            .get("avg_latency_cycles")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        println!("  chosen point: {mw:.1} mW, {lat:.2} cycles avg zero-load latency");
+    }
+    if let Some(realized) = doc.get("realized").and_then(|r| r.get("metrics")) {
+        let mw = realized
+            .get("power_mw")
+            .and_then(|p| p.get("total"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        println!("  floorplan-realized: {mw:.1} mW with Manhattan wires");
+    }
+    if let Some(sim) = doc.get("sim") {
+        let horizon = sim.get("horizon_ns").and_then(|v| v.as_u64()).unwrap_or(0);
+        let delivered = sim
+            .get("stats")
+            .and_then(|s| s.get("total_delivered_packets"))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
+        println!("  simulated {horizon} ns: {delivered} packets delivered");
+    }
+    if let Some(sd) = doc.get("shutdown") {
+        println!(
+            "  shutdown: island {} gated, drained cleanly = {}, {} survivor packets after",
+            sd.get("island").and_then(|v| v.as_u64()).unwrap_or(0),
+            sd.get("drained_cleanly")
+                .map(|v| matches!(v, json::Value::Bool(true)))
+                .unwrap_or(false),
+            sd.get("survivors_after")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0),
+        );
+    }
+    if let Some(frontier) = doc.get("frontier") {
+        let n = frontier
+            .get("frontier")
+            .and_then(|v| v.as_arr())
+            .map(|a| a.len())
+            .unwrap_or(0);
+        println!("  sweep frontier: {n} undominated point(s)");
+    }
+    Ok(())
+}
+
+// --- sweep ---------------------------------------------------------------
+
+/// Entry point of the `sweep` subcommand (and the standalone `sweep`
+/// binary, which is a thin wrapper over this).
+///
+/// # Errors
+///
+/// A printable message; the binaries append [`SWEEP_USAGE`].
+pub fn sweep_cli(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("run") => sweep_run(&args[1..]),
+        Some("merge") => sweep_merge(&args[1..]),
+        Some("info") => sweep_info(&args[1..]),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("missing command".to_string()),
+    }
+}
+
+/// Options shared by `sweep run` and `sweep info`.
+#[derive(Debug)]
+struct SweepOpts {
+    spec: SocSpec,
+    vi: ViAssignment,
+    partition_tag: String,
+    grid_cfg: GridConfig,
+    cfg: SynthesisConfig,
+    shard: Shard,
+    frontier: bool,
+    resume: bool,
+    checkpoint_every: Option<u64>,
+    out: Option<String>,
+}
+
+fn parse_sweep_opts(args: &[String]) -> Result<SweepOpts, String> {
+    let mut scenario_path: Option<String> = None;
+    let mut spec_name: Option<String> = None;
+    let mut islands: Option<usize> = None;
+    let mut partition_kind: Option<String> = None;
+    let mut comm_seed: Option<u64> = None;
+    let mut grid_flags: Vec<(String, String)> = Vec::new();
+    let mut seq = false;
+    let mut shard = Shard::full();
+    let mut frontier = false;
+    let mut resume = false;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut out: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--scenario" => scenario_path = Some(value("--scenario")?.clone()),
+            "--spec" => spec_name = Some(value("--spec")?.clone()),
+            "--islands" => {
+                islands = Some(
+                    value("--islands")?
+                        .parse()
+                        .map_err(|_| "bad --islands value")?,
+                )
+            }
+            "--partition" => partition_kind = Some(value("--partition")?.clone()),
+            "--comm-seed" => {
+                comm_seed = Some(
+                    value("--comm-seed")?
+                        .parse()
+                        .map_err(|_| "bad --comm-seed value")?,
+                )
+            }
+            "--max-boost" | "--scales" | "--max-mid" => {
+                grid_flags.push((arg.clone(), value(arg)?.clone()))
+            }
+            "--shard" => shard = Shard::parse(value("--shard")?)?,
+            "--seq" => seq = true,
+            "--frontier" => frontier = true,
+            "--resume" => resume = true,
+            "--checkpoint-every" => {
+                checkpoint_every = Some(
+                    value("--checkpoint-every")?
+                        .parse()
+                        .map_err(|_| "bad --checkpoint-every value")?,
+                )
+            }
+            "--out" => out = Some(value("--out")?.clone()),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+
+    let (spec, vi, partition_tag, mut grid_cfg, mut cfg) = if let Some(path) = scenario_path {
+        // The scenario owns spec and partition; silently ignoring these
+        // flags would run a different grid than the user asked for.
+        if spec_name.is_some()
+            || islands.is_some()
+            || partition_kind.is_some()
+            || comm_seed.is_some()
+        {
+            return Err(
+                "--scenario and --spec/--islands/--partition/--comm-seed are mutually exclusive"
+                    .to_string(),
+            );
+        }
+        let scenario = Scenario::from_json(&read_file(&path)?)?;
+        let spec = scenario.resolve_spec()?;
+        let vi = scenario.resolve_partition(&spec)?;
+        let grid = scenario
+            .sweep
+            .clone()
+            .ok_or_else(|| format!("scenario '{}' declares no sweep grid", scenario.name))?;
+        (
+            spec,
+            vi,
+            scenario.partition.tag(),
+            grid,
+            scenario.synthesis.clone(),
+        )
+    } else {
+        let spec_name = spec_name.ok_or("--spec (or --scenario) is required")?;
+        let spec =
+            benchmark_by_name(&spec_name).ok_or_else(|| format!("unknown spec '{spec_name}'"))?;
+        let k = islands.ok_or("--islands is required")?;
+        let seed = comm_seed.unwrap_or(1);
+        let (vi, tag) = match partition_kind.as_deref().unwrap_or("logical") {
+            "logical" => (
+                partition::logical_partition(&spec, k).map_err(|e| e.to_string())?,
+                PartitionPlan::Logical { islands: k }.tag(),
+            ),
+            "comm" => (
+                partition::communication_partition(&spec, k, seed).map_err(|e| e.to_string())?,
+                PartitionPlan::Communication { islands: k, seed }.tag(),
+            ),
+            other => return Err(format!("unknown partition '{other}'")),
+        };
+        (
+            spec,
+            vi,
+            tag,
+            GridConfig::default(),
+            SynthesisConfig::default(),
+        )
+    };
+
+    // Grid flags refine the base grid (scenario-provided or default).
+    for (flag, value) in grid_flags {
+        match flag.as_str() {
+            "--max-boost" => {
+                grid_cfg.max_boost = value.parse().map_err(|_| "bad --max-boost value")?
+            }
+            "--scales" => {
+                grid_cfg.freq_scales = value
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<f64>()
+                            .map_err(|_| format!("bad scale '{s}'"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--max-mid" => {
+                grid_cfg.max_intermediate = value.parse().map_err(|_| "bad --max-mid value")?
+            }
+            _ => unreachable!("only grid flags collected"),
+        }
+    }
+    if seq {
+        cfg.parallel = false;
+    }
+    if grid_cfg.freq_scales.is_empty()
+        || grid_cfg
+            .freq_scales
+            .iter()
+            .any(|&s| !s.is_finite() || s < 1.0)
+    {
+        return Err("--scales must be a non-empty list of factors >= 1.0".to_string());
+    }
+    if frontier && shard != Shard::full() {
+        return Err("--frontier requires the unsharded run (--shard 0/1)".to_string());
+    }
+    if resume && out.as_deref().is_none_or(|o| o == "-") {
+        return Err("--resume needs --out FILE (the checkpoint to resume from)".to_string());
+    }
+    if checkpoint_every == Some(0) {
+        return Err("--checkpoint-every must be at least 1".to_string());
+    }
+    if checkpoint_every.is_some() && out.as_deref().is_none_or(|o| o == "-") {
+        return Err("--checkpoint-every needs --out FILE".to_string());
+    }
+    Ok(SweepOpts {
+        spec,
+        vi,
+        partition_tag,
+        grid_cfg,
+        cfg,
+        shard,
+        frontier,
+        resume,
+        checkpoint_every,
+        out,
+    })
+}
+
+fn sweep_run(args: &[String]) -> Result<(), String> {
+    let opts = parse_sweep_opts(args)?;
+    let grid = SweepGrid::build(&opts.spec, &opts.vi, &opts.cfg, &opts.grid_cfg);
+    let desc =
+        GridDescriptor::for_grid(&grid, opts.spec.name(), &opts.partition_tag, opts.cfg.seed);
+    eprintln!(
+        "sweep run: {} ({}), grid {} chains / {} candidates, shard {}",
+        desc.spec_name,
+        desc.partition,
+        grid.num_active_chains(),
+        grid.num_candidates(),
+        opts.shard
+    );
+
+    // Restore a previous (possibly partial) checkpoint when resuming.
+    let mut progress = ShardProgress::new();
+    if opts.resume {
+        let path = opts.out.as_deref().expect("validated by parse_sweep_opts");
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let parsed =
+                    parse_shard_checkpoint(&text).map_err(|e| format!("resuming {path}: {e}"))?;
+                if parsed.grid.to_json() != desc.to_json() {
+                    return Err(format!(
+                        "resuming {path}: checkpoint describes a different grid"
+                    ));
+                }
+                if parsed.shard != opts.shard {
+                    return Err(format!(
+                        "resuming {path}: checkpoint covers shard {}, not {}",
+                        parsed.shard, opts.shard
+                    ));
+                }
+                progress = parsed.to_progress();
+                eprintln!(
+                    "sweep run: resuming shard {} from {path} at {}/{} chains",
+                    opts.shard,
+                    progress.chains_done,
+                    opts.shard.stripe_len(grid.num_chains())
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                eprintln!("sweep run: no checkpoint at {path}, starting fresh");
+            }
+            Err(e) => return Err(format!("reading {path}: {e}")),
+        }
+    }
+
+    let start = Instant::now();
+    loop {
+        let finished = resume_shard(
+            &opts.spec,
+            &opts.vi,
+            &grid,
+            opts.shard,
+            &opts.cfg,
+            &mut progress,
+            opts.checkpoint_every,
+        );
+        if finished {
+            break;
+        }
+        // Periodic checkpoint so a killed process loses at most one batch.
+        let path = opts.out.as_deref().expect("validated by parse_sweep_opts");
+        std::fs::write(path, shard_progress_json(&desc, opts.shard, &progress))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!(
+            "sweep run: checkpoint at {}/{} chains -> {path}",
+            progress.chains_done,
+            opts.shard.stripe_len(grid.num_chains())
+        );
+    }
+    let elapsed = start.elapsed();
+    eprintln!(
+        "sweep run: shard {} done in {elapsed:.2?}: {} chains, {} feasible / {} duplicate / \
+         {} infeasible candidates, {} frontier points",
+        opts.shard,
+        progress.stats.chains,
+        progress.stats.feasible,
+        progress.stats.duplicates,
+        progress.stats.infeasible,
+        progress.frontier.len()
+    );
+    let text = if opts.frontier {
+        frontier_progress_json(&desc, &progress)
+    } else {
+        shard_progress_json(&desc, opts.shard, &progress)
+    };
+    write_out(opts.out.as_deref(), &text)
+}
+
+fn sweep_merge(args: &[String]) -> Result<(), String> {
+    let mut files = Vec::new();
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = Some(it.next().ok_or("--out needs a value")?.clone()),
+            path => files.push(path.to_string()),
+        }
+    }
+    if files.is_empty() {
+        return Err("merge needs at least one checkpoint file".to_string());
+    }
+    let contents: Vec<String> = files
+        .iter()
+        .map(|p| read_file(p))
+        .collect::<Result<_, _>>()?;
+    let merged = merge_checkpoints(&contents)?;
+    eprintln!(
+        "sweep merge: {} shard file(s) -> {} frontier bytes",
+        files.len(),
+        merged.len()
+    );
+    write_out(out.as_deref(), &merged)
+}
+
+fn sweep_info(args: &[String]) -> Result<(), String> {
+    let opts = parse_sweep_opts(args)?;
+    let grid = SweepGrid::build(&opts.spec, &opts.vi, &opts.cfg, &opts.grid_cfg);
+    println!("spec:            {}", opts.spec.name());
+    println!("partition:       {}", opts.partition_tag);
+    println!("max boost:       {}", opts.grid_cfg.max_boost);
+    println!("freq scales:     {:?}", opts.grid_cfg.freq_scales);
+    println!("max mid:         {}", opts.grid_cfg.max_intermediate);
+    println!("chain ids:       {}", grid.num_chains());
+    println!("active chains:   {}", grid.num_active_chains());
+    println!("candidates:      {}", grid.num_candidates());
+    println!("chain length:    {}", grid.chain_len());
+    Ok(())
+}
+
+// Lets the String-error CLI functions apply `?` directly to API results.
+impl From<Error> for String {
+    fn from(e: Error) -> String {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_commands_are_reported() {
+        let err = vi_noc_cli(&["explode".to_string()]).unwrap_err();
+        assert!(err.contains("explode"));
+        assert!(sweep_cli(&[]).is_err());
+    }
+
+    #[test]
+    fn sweep_opts_validate_flag_combinations() {
+        let args = |s: &str| -> Vec<String> { s.split(' ').map(String::from).collect() };
+        // --frontier with a real shard is rejected.
+        let err =
+            parse_sweep_opts(&args("--spec d12 --islands 4 --shard 1/3 --frontier")).unwrap_err();
+        assert!(err.contains("--frontier"));
+        // --resume without --out is rejected.
+        let err = parse_sweep_opts(&args("--spec d12 --islands 4 --resume")).unwrap_err();
+        assert!(err.contains("--resume"));
+        // --scenario owns spec AND partition: every overridden flag is
+        // rejected rather than silently ignored.
+        for conflicting in [
+            "--scenario x.json --spec d12 --islands 4",
+            "--scenario x.json --partition comm",
+            "--scenario x.json --comm-seed 7",
+        ] {
+            let err = parse_sweep_opts(&args(conflicting)).unwrap_err();
+            assert!(err.contains("mutually exclusive"), "{conflicting}: {err}");
+        }
+        // The classic flag surface still parses.
+        let opts = parse_sweep_opts(&args(
+            "--spec d12 --islands 4 --max-boost 1 --shard 0/2 --seq",
+        ))
+        .unwrap();
+        assert_eq!(opts.grid_cfg.max_boost, 1);
+        assert!(!opts.cfg.parallel);
+        assert_eq!(opts.shard, Shard::new(0, 2).unwrap());
+    }
+}

@@ -1,0 +1,1021 @@
+//! Scenario JSON ingestion and emission.
+//!
+//! Built on the sweep crate's serde-free document model
+//! ([`vi_noc_sweep::json`]): ingestion is *strict* — unknown members,
+//! duplicate keys (rejected by the parser itself), wrong types and
+//! out-of-range values are all errors with a JSON-path context — and
+//! emission is byte-deterministic (fixed member order, every field written,
+//! shortest-round-trip numbers), so
+//! `Scenario::from_json(s.to_json()) == s` holds exactly; the proptest in
+//! `crates/api/tests/scenario_json.rs` pins it over random synthetic SoCs
+//! and configurations.
+//!
+//! Quantities are emitted in their storage units (`clock_hz`,
+//! `bandwidth_bytes_per_s`, `dyn_power_w`) so values round-trip bit-exactly;
+//! hand-written files may use the scaled alternates (`clock_mhz`,
+//! `bandwidth_mbps`, `dyn_power_mw`) instead.
+
+use crate::error::Error;
+use crate::scenario::{IslandChoice, PartitionPlan, Scenario, ShutdownPlan, SimPlan, SpecSource};
+use vi_noc_core::{json_number, json_string, SynthesisConfig};
+use vi_noc_floorplan::FloorplanConfig;
+use vi_noc_models::{Area, Bandwidth, Frequency, Power, Technology};
+use vi_noc_sim::TrafficKind;
+use vi_noc_soc::{CoreId, CoreKind, CoreSpec, SocSpec, TrafficFlow};
+use vi_noc_sweep::json::{self, Value};
+use vi_noc_sweep::GridConfig;
+
+/// `format` tag of scenario files.
+pub const SCENARIO_FORMAT: &str = "vi-noc-scenario-v1";
+
+type Members = [(String, Value)];
+
+fn as_obj<'a>(v: &'a Value, ctx: &str) -> Result<&'a Members, Error> {
+    match v {
+        Value::Obj(members) => Ok(members),
+        _ => Err(Error::scenario(ctx, "expected an object")),
+    }
+}
+
+fn check_keys(members: &Members, allowed: &[&str], ctx: &str) -> Result<(), Error> {
+    for (k, _) in members {
+        if !allowed.contains(&k.as_str()) {
+            return Err(Error::scenario(
+                ctx,
+                format!("unknown member '{k}' (allowed: {})", allowed.join(", ")),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn get<'a>(members: &'a Members, key: &str) -> Option<&'a Value> {
+    members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn req<'a>(members: &'a Members, key: &str, ctx: &str) -> Result<&'a Value, Error> {
+    get(members, key).ok_or_else(|| Error::scenario(ctx, format!("missing member '{key}'")))
+}
+
+fn str_of<'a>(v: &'a Value, ctx: &str) -> Result<&'a str, Error> {
+    v.as_str()
+        .ok_or_else(|| Error::scenario(ctx, "expected a string"))
+}
+
+fn f64_of(v: &Value, ctx: &str) -> Result<f64, Error> {
+    v.as_f64()
+        .ok_or_else(|| Error::scenario(ctx, "expected a number"))
+}
+
+fn u64_of(v: &Value, ctx: &str) -> Result<u64, Error> {
+    v.as_u64()
+        .ok_or_else(|| Error::scenario(ctx, "expected an unsigned integer"))
+}
+
+fn usize_of(v: &Value, ctx: &str) -> Result<usize, Error> {
+    v.as_usize()
+        .ok_or_else(|| Error::scenario(ctx, "expected an unsigned integer"))
+}
+
+fn u32_of(v: &Value, ctx: &str) -> Result<u32, Error> {
+    u64_of(v, ctx)?
+        .try_into()
+        .map_err(|_| Error::scenario(ctx, "value does not fit in 32 bits"))
+}
+
+fn bool_of(v: &Value, ctx: &str) -> Result<bool, Error> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(Error::scenario(ctx, "expected true or false")),
+    }
+}
+
+/// Applies `read` to member `key` if present (config overrides on top of
+/// defaults).
+fn override_field<T>(
+    members: &Members,
+    key: &str,
+    ctx: &str,
+    slot: &mut T,
+    read: impl Fn(&Value, &str) -> Result<T, Error>,
+) -> Result<(), Error> {
+    if let Some(v) = get(members, key) {
+        *slot = read(v, &format!("{ctx}.{key}"))?;
+    }
+    Ok(())
+}
+
+/// Exactly one of two unit-variant members, the second scaled by `scale`.
+fn unit_pair(
+    members: &Members,
+    raw_key: &str,
+    scaled_key: &str,
+    scale: f64,
+    ctx: &str,
+) -> Result<f64, Error> {
+    match (get(members, raw_key), get(members, scaled_key)) {
+        (Some(v), None) => f64_of(v, &format!("{ctx}.{raw_key}")),
+        (None, Some(v)) => Ok(f64_of(v, &format!("{ctx}.{scaled_key}"))? * scale),
+        (Some(_), Some(_)) => Err(Error::scenario(
+            ctx,
+            format!("'{raw_key}' and '{scaled_key}' are mutually exclusive"),
+        )),
+        (None, None) => Err(Error::scenario(
+            ctx,
+            format!("missing member '{raw_key}' (or '{scaled_key}')"),
+        )),
+    }
+}
+
+/// A strictly positive number (core areas and clocks — zero or negative
+/// values would panic deep in the floorplanner instead of erroring here).
+fn positive(x: f64, ctx: &str) -> Result<f64, Error> {
+    if x > 0.0 {
+        Ok(x)
+    } else {
+        Err(Error::scenario(ctx, format!("must be positive, got {x}")))
+    }
+}
+
+/// A non-negative number (core dynamic power may be zero, never negative).
+fn non_negative(x: f64, ctx: &str) -> Result<f64, Error> {
+    if x >= 0.0 {
+        Ok(x)
+    } else {
+        Err(Error::scenario(ctx, format!("must be >= 0, got {x}")))
+    }
+}
+
+// --- Spec ----------------------------------------------------------------
+
+fn spec_from_value(v: &Value, ctx: &str) -> Result<SpecSource, Error> {
+    let members = as_obj(v, ctx)?;
+    if get(members, "benchmark").is_some() {
+        check_keys(members, &["benchmark"], ctx)?;
+        let name = str_of(req(members, "benchmark", ctx)?, &format!("{ctx}.benchmark"))?;
+        return Ok(SpecSource::Benchmark(name.to_string()));
+    }
+    check_keys(members, &["name", "cores", "flows"], ctx)?;
+    let name = str_of(req(members, "name", ctx)?, &format!("{ctx}.name"))?;
+    let mut spec = SocSpec::new(name);
+
+    let cores_ctx = format!("{ctx}.cores");
+    let cores = req(members, "cores", ctx)?
+        .as_arr()
+        .ok_or_else(|| Error::scenario(&cores_ctx, "expected an array"))?;
+    for (i, core) in cores.iter().enumerate() {
+        let cctx = format!("{cores_ctx}[{i}]");
+        let m = as_obj(core, &cctx)?;
+        check_keys(
+            m,
+            &[
+                "name",
+                "kind",
+                "area_mm2",
+                "dyn_power_w",
+                "dyn_power_mw",
+                "clock_hz",
+                "clock_mhz",
+                "always_on",
+            ],
+            &cctx,
+        )?;
+        let kind_ctx = format!("{cctx}.kind");
+        let kind: CoreKind = str_of(req(m, "kind", &cctx)?, &kind_ctx)?
+            .parse()
+            .map_err(|e: String| Error::scenario(&kind_ctx, e))?;
+        let mut always_on = false;
+        override_field(m, "always_on", &cctx, &mut always_on, bool_of)?;
+        let area_ctx = format!("{cctx}.area_mm2");
+        spec.add_core(CoreSpec {
+            name: str_of(req(m, "name", &cctx)?, &format!("{cctx}.name"))?.to_string(),
+            kind,
+            area: Area::from_mm2(positive(
+                f64_of(req(m, "area_mm2", &cctx)?, &area_ctx)?,
+                &area_ctx,
+            )?),
+            dyn_power: Power::from_watts(non_negative(
+                unit_pair(m, "dyn_power_w", "dyn_power_mw", 1e-3, &cctx)?,
+                &format!("{cctx}.dyn_power_w"),
+            )?),
+            clock: Frequency::from_hz(positive(
+                unit_pair(m, "clock_hz", "clock_mhz", 1e6, &cctx)?,
+                &format!("{cctx}.clock_hz"),
+            )?),
+            always_on,
+        });
+    }
+
+    let flows_ctx = format!("{ctx}.flows");
+    let flows = req(members, "flows", ctx)?
+        .as_arr()
+        .ok_or_else(|| Error::scenario(&flows_ctx, "expected an array"))?;
+    for (i, flow) in flows.iter().enumerate() {
+        let fctx = format!("{flows_ctx}[{i}]");
+        let m = as_obj(flow, &fctx)?;
+        check_keys(
+            m,
+            &[
+                "src",
+                "dst",
+                "bandwidth_bytes_per_s",
+                "bandwidth_mbps",
+                "max_latency_cycles",
+            ],
+            &fctx,
+        )?;
+        let flow = TrafficFlow {
+            src: CoreId::from_index(usize_of(req(m, "src", &fctx)?, &format!("{fctx}.src"))?),
+            dst: CoreId::from_index(usize_of(req(m, "dst", &fctx)?, &format!("{fctx}.dst"))?),
+            bandwidth: Bandwidth::from_bytes_per_s(unit_pair(
+                m,
+                "bandwidth_bytes_per_s",
+                "bandwidth_mbps",
+                1e6,
+                &fctx,
+            )?),
+            max_latency_cycles: u32_of(
+                req(m, "max_latency_cycles", &fctx)?,
+                &format!("{fctx}.max_latency_cycles"),
+            )?,
+        };
+        // Malformed flows are rejected at their source (the `soc` layer's
+        // Result-based construction), with the JSON path attached.
+        spec.try_add_flow(flow)
+            .map_err(|e| Error::scenario(&fctx, e.to_string()))?;
+    }
+    Ok(SpecSource::Inline(spec))
+}
+
+fn spec_to_json(spec: &SpecSource) -> String {
+    match spec {
+        SpecSource::Benchmark(name) => format!("{{\"benchmark\":{}}}", json_string(name)),
+        SpecSource::Inline(spec) => {
+            let mut s = format!("{{\"name\":{},\"cores\":[", json_string(spec.name()));
+            for (i, c) in spec.cores().iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"name\":{},\"kind\":{},\"area_mm2\":{},\"dyn_power_w\":{},\
+                     \"clock_hz\":{},\"always_on\":{}}}",
+                    json_string(&c.name),
+                    json_string(&c.kind.to_string()),
+                    json_number(c.area.mm2()),
+                    json_number(c.dyn_power.watts()),
+                    json_number(c.clock.hz()),
+                    c.always_on
+                ));
+            }
+            s.push_str("],\"flows\":[");
+            for (i, f) in spec.flows().iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"src\":{},\"dst\":{},\"bandwidth_bytes_per_s\":{},\
+                     \"max_latency_cycles\":{}}}",
+                    f.src.index(),
+                    f.dst.index(),
+                    json_number(f.bandwidth.bytes_per_s()),
+                    f.max_latency_cycles
+                ));
+            }
+            s.push_str("]}");
+            s
+        }
+    }
+}
+
+// --- Partition -----------------------------------------------------------
+
+fn partition_from_value(v: &Value, ctx: &str) -> Result<PartitionPlan, Error> {
+    let members = as_obj(v, ctx)?;
+    let kind_ctx = format!("{ctx}.kind");
+    let kind = str_of(req(members, "kind", ctx)?, &kind_ctx)?;
+    let islands = usize_of(req(members, "islands", ctx)?, &format!("{ctx}.islands"))?;
+    match kind {
+        "logical" => {
+            check_keys(members, &["kind", "islands"], ctx)?;
+            Ok(PartitionPlan::Logical { islands })
+        }
+        "communication" | "comm" => {
+            check_keys(members, &["kind", "islands", "seed"], ctx)?;
+            let mut seed = 1u64;
+            override_field(members, "seed", ctx, &mut seed, u64_of)?;
+            Ok(PartitionPlan::Communication { islands, seed })
+        }
+        other => Err(Error::scenario(
+            kind_ctx,
+            format!("unknown partition kind '{other}' (logical | communication)"),
+        )),
+    }
+}
+
+fn partition_to_json(p: &PartitionPlan) -> String {
+    match p {
+        PartitionPlan::Logical { islands } => {
+            format!("{{\"kind\":\"logical\",\"islands\":{islands}}}")
+        }
+        PartitionPlan::Communication { islands, seed } => {
+            format!("{{\"kind\":\"communication\",\"islands\":{islands},\"seed\":{seed}}}")
+        }
+    }
+}
+
+// --- Technology ----------------------------------------------------------
+
+const TECH_KEYS: [&str; 11] = [
+    "node_nm",
+    "vdd_v",
+    "wire_cap_ff_per_mm",
+    "wire_delay_ps_per_mm",
+    "link_setup_margin_ns",
+    "switch_delay_base_ns",
+    "switch_delay_per_port_ns",
+    "activity_factor",
+    "leak_density_mw_per_mm2",
+    "gating_residual",
+    "level_shift_energy_pj_per_bit",
+];
+
+fn technology_from_value(v: &Value, ctx: &str) -> Result<Technology, Error> {
+    match v {
+        Value::Str(name) => match name.as_str() {
+            "cmos_65nm" => Ok(Technology::cmos_65nm()),
+            "cmos_90nm" => Ok(Technology::cmos_90nm()),
+            other => Err(Error::scenario(
+                ctx,
+                format!("unknown technology '{other}' (cmos_65nm | cmos_90nm | inline object)"),
+            )),
+        },
+        _ => {
+            let members = as_obj(v, ctx)?;
+            check_keys(members, &TECH_KEYS, ctx)?;
+            let mut t = Technology::cmos_65nm();
+            override_field(members, "node_nm", ctx, &mut t.node_nm, f64_of)?;
+            override_field(members, "vdd_v", ctx, &mut t.vdd_v, f64_of)?;
+            override_field(
+                members,
+                "wire_cap_ff_per_mm",
+                ctx,
+                &mut t.wire_cap_ff_per_mm,
+                f64_of,
+            )?;
+            override_field(
+                members,
+                "wire_delay_ps_per_mm",
+                ctx,
+                &mut t.wire_delay_ps_per_mm,
+                f64_of,
+            )?;
+            override_field(
+                members,
+                "link_setup_margin_ns",
+                ctx,
+                &mut t.link_setup_margin_ns,
+                f64_of,
+            )?;
+            override_field(
+                members,
+                "switch_delay_base_ns",
+                ctx,
+                &mut t.switch_delay_base_ns,
+                f64_of,
+            )?;
+            override_field(
+                members,
+                "switch_delay_per_port_ns",
+                ctx,
+                &mut t.switch_delay_per_port_ns,
+                f64_of,
+            )?;
+            override_field(
+                members,
+                "activity_factor",
+                ctx,
+                &mut t.activity_factor,
+                f64_of,
+            )?;
+            override_field(
+                members,
+                "leak_density_mw_per_mm2",
+                ctx,
+                &mut t.leak_density_mw_per_mm2,
+                f64_of,
+            )?;
+            override_field(
+                members,
+                "gating_residual",
+                ctx,
+                &mut t.gating_residual,
+                f64_of,
+            )?;
+            override_field(
+                members,
+                "level_shift_energy_pj_per_bit",
+                ctx,
+                &mut t.level_shift_energy_pj_per_bit,
+                f64_of,
+            )?;
+            Ok(t)
+        }
+    }
+}
+
+fn technology_to_json(t: &Technology) -> String {
+    if *t == Technology::cmos_65nm() {
+        return "\"cmos_65nm\"".to_string();
+    }
+    if *t == Technology::cmos_90nm() {
+        return "\"cmos_90nm\"".to_string();
+    }
+    format!(
+        "{{\"node_nm\":{},\"vdd_v\":{},\"wire_cap_ff_per_mm\":{},\"wire_delay_ps_per_mm\":{},\
+         \"link_setup_margin_ns\":{},\"switch_delay_base_ns\":{},\"switch_delay_per_port_ns\":{},\
+         \"activity_factor\":{},\"leak_density_mw_per_mm2\":{},\"gating_residual\":{},\
+         \"level_shift_energy_pj_per_bit\":{}}}",
+        json_number(t.node_nm),
+        json_number(t.vdd_v),
+        json_number(t.wire_cap_ff_per_mm),
+        json_number(t.wire_delay_ps_per_mm),
+        json_number(t.link_setup_margin_ns),
+        json_number(t.switch_delay_base_ns),
+        json_number(t.switch_delay_per_port_ns),
+        json_number(t.activity_factor),
+        json_number(t.leak_density_mw_per_mm2),
+        json_number(t.gating_residual),
+        json_number(t.level_shift_energy_pj_per_bit)
+    )
+}
+
+// --- Stage configs -------------------------------------------------------
+
+fn synthesis_from_value(v: &Value, ctx: &str) -> Result<SynthesisConfig, Error> {
+    let m = as_obj(v, ctx)?;
+    check_keys(
+        m,
+        &[
+            "alpha",
+            "link_width_bits",
+            "allow_intermediate_vi",
+            "max_intermediate_switches",
+            "switch_delay_cycles",
+            "link_delay_cycles",
+            "cost_power_weight",
+            "cost_latency_weight",
+            "cost_port_scarcity",
+            "est_intra_link_mm",
+            "est_inter_link_mm",
+            "est_mid_link_mm",
+            "min_frequency_hz",
+            "technology",
+            "seed",
+            "parallel",
+        ],
+        ctx,
+    )?;
+    let mut c = SynthesisConfig::default();
+    override_field(m, "alpha", ctx, &mut c.alpha, f64_of)?;
+    override_field(m, "link_width_bits", ctx, &mut c.link_width_bits, usize_of)?;
+    override_field(
+        m,
+        "allow_intermediate_vi",
+        ctx,
+        &mut c.allow_intermediate_vi,
+        bool_of,
+    )?;
+    override_field(
+        m,
+        "max_intermediate_switches",
+        ctx,
+        &mut c.max_intermediate_switches,
+        usize_of,
+    )?;
+    override_field(
+        m,
+        "switch_delay_cycles",
+        ctx,
+        &mut c.switch_delay_cycles,
+        u32_of,
+    )?;
+    override_field(
+        m,
+        "link_delay_cycles",
+        ctx,
+        &mut c.link_delay_cycles,
+        u32_of,
+    )?;
+    override_field(
+        m,
+        "cost_power_weight",
+        ctx,
+        &mut c.cost_power_weight,
+        f64_of,
+    )?;
+    override_field(
+        m,
+        "cost_latency_weight",
+        ctx,
+        &mut c.cost_latency_weight,
+        f64_of,
+    )?;
+    override_field(
+        m,
+        "cost_port_scarcity",
+        ctx,
+        &mut c.cost_port_scarcity,
+        f64_of,
+    )?;
+    override_field(
+        m,
+        "est_intra_link_mm",
+        ctx,
+        &mut c.est_intra_link_mm,
+        f64_of,
+    )?;
+    override_field(
+        m,
+        "est_inter_link_mm",
+        ctx,
+        &mut c.est_inter_link_mm,
+        f64_of,
+    )?;
+    override_field(m, "est_mid_link_mm", ctx, &mut c.est_mid_link_mm, f64_of)?;
+    if let Some(v) = get(m, "min_frequency_hz") {
+        c.min_frequency = Frequency::from_hz(f64_of(v, &format!("{ctx}.min_frequency_hz"))?);
+    }
+    if let Some(v) = get(m, "technology") {
+        c.technology = technology_from_value(v, &format!("{ctx}.technology"))?;
+    }
+    override_field(m, "seed", ctx, &mut c.seed, u64_of)?;
+    override_field(m, "parallel", ctx, &mut c.parallel, bool_of)?;
+    Ok(c)
+}
+
+fn synthesis_to_json(c: &SynthesisConfig) -> String {
+    format!(
+        "{{\"alpha\":{},\"link_width_bits\":{},\"allow_intermediate_vi\":{},\
+         \"max_intermediate_switches\":{},\"switch_delay_cycles\":{},\"link_delay_cycles\":{},\
+         \"cost_power_weight\":{},\"cost_latency_weight\":{},\"cost_port_scarcity\":{},\
+         \"est_intra_link_mm\":{},\"est_inter_link_mm\":{},\"est_mid_link_mm\":{},\
+         \"min_frequency_hz\":{},\"technology\":{},\"seed\":{},\"parallel\":{}}}",
+        json_number(c.alpha),
+        c.link_width_bits,
+        c.allow_intermediate_vi,
+        c.max_intermediate_switches,
+        c.switch_delay_cycles,
+        c.link_delay_cycles,
+        json_number(c.cost_power_weight),
+        json_number(c.cost_latency_weight),
+        json_number(c.cost_port_scarcity),
+        json_number(c.est_intra_link_mm),
+        json_number(c.est_inter_link_mm),
+        json_number(c.est_mid_link_mm),
+        json_number(c.min_frequency.hz()),
+        technology_to_json(&c.technology),
+        c.seed,
+        c.parallel
+    )
+}
+
+fn floorplan_from_value(v: &Value, ctx: &str) -> Result<FloorplanConfig, Error> {
+    let m = as_obj(v, ctx)?;
+    check_keys(
+        m,
+        &[
+            "seed",
+            "iterations",
+            "initial_temp",
+            "cooling",
+            "lambda_wire",
+            "lambda_island",
+            "lambda_aspect",
+            "restarts",
+            "parallel",
+        ],
+        ctx,
+    )?;
+    let mut c = FloorplanConfig::default();
+    override_field(m, "seed", ctx, &mut c.seed, u64_of)?;
+    override_field(m, "iterations", ctx, &mut c.iterations, usize_of)?;
+    override_field(m, "initial_temp", ctx, &mut c.initial_temp, f64_of)?;
+    override_field(m, "cooling", ctx, &mut c.cooling, f64_of)?;
+    override_field(m, "lambda_wire", ctx, &mut c.lambda_wire, f64_of)?;
+    override_field(m, "lambda_island", ctx, &mut c.lambda_island, f64_of)?;
+    override_field(m, "lambda_aspect", ctx, &mut c.lambda_aspect, f64_of)?;
+    override_field(m, "restarts", ctx, &mut c.restarts, usize_of)?;
+    override_field(m, "parallel", ctx, &mut c.parallel, bool_of)?;
+    Ok(c)
+}
+
+fn floorplan_to_json(c: &FloorplanConfig) -> String {
+    format!(
+        "{{\"seed\":{},\"iterations\":{},\"initial_temp\":{},\"cooling\":{},\"lambda_wire\":{},\
+         \"lambda_island\":{},\"lambda_aspect\":{},\"restarts\":{},\"parallel\":{}}}",
+        c.seed,
+        c.iterations,
+        json_number(c.initial_temp),
+        json_number(c.cooling),
+        json_number(c.lambda_wire),
+        json_number(c.lambda_island),
+        json_number(c.lambda_aspect),
+        c.restarts,
+        c.parallel
+    )
+}
+
+fn sim_from_value(v: &Value, ctx: &str) -> Result<SimPlan, Error> {
+    let m = as_obj(v, ctx)?;
+    check_keys(
+        m,
+        &[
+            "packet_bytes",
+            "link_width_bits",
+            "queue_capacity",
+            "traffic",
+            "seed",
+            "load_factor",
+            "batching",
+            "horizon_ns",
+        ],
+        ctx,
+    )?;
+    let mut plan = SimPlan::default();
+    let c = &mut plan.config;
+    override_field(m, "packet_bytes", ctx, &mut c.packet_bytes, usize_of)?;
+    override_field(m, "link_width_bits", ctx, &mut c.link_width_bits, usize_of)?;
+    override_field(m, "queue_capacity", ctx, &mut c.queue_capacity, usize_of)?;
+    if let Some(v) = get(m, "traffic") {
+        let tctx = format!("{ctx}.traffic");
+        c.traffic = str_of(v, &tctx)?
+            .parse::<TrafficKind>()
+            .map_err(|e| Error::scenario(&tctx, e))?;
+    }
+    override_field(m, "seed", ctx, &mut c.seed, u64_of)?;
+    override_field(m, "load_factor", ctx, &mut c.load_factor, f64_of)?;
+    override_field(m, "batching", ctx, &mut c.batching, bool_of)?;
+    override_field(m, "horizon_ns", ctx, &mut plan.horizon_ns, u64_of)?;
+    Ok(plan)
+}
+
+fn sim_to_json(plan: &SimPlan) -> String {
+    let c = &plan.config;
+    format!(
+        "{{\"packet_bytes\":{},\"link_width_bits\":{},\"queue_capacity\":{},\"traffic\":{},\
+         \"seed\":{},\"load_factor\":{},\"batching\":{},\"horizon_ns\":{}}}",
+        c.packet_bytes,
+        c.link_width_bits,
+        c.queue_capacity,
+        json_string(&c.traffic.to_string()),
+        c.seed,
+        json_number(c.load_factor),
+        c.batching,
+        plan.horizon_ns
+    )
+}
+
+fn shutdown_from_value(v: &Value, ctx: &str) -> Result<ShutdownPlan, Error> {
+    let m = as_obj(v, ctx)?;
+    check_keys(
+        m,
+        &["island", "stop_at_ns", "drain_ns", "post_gate_ns"],
+        ctx,
+    )?;
+    let mut plan = ShutdownPlan::default();
+    if let Some(v) = get(m, "island") {
+        let ictx = format!("{ctx}.island");
+        plan.island = match v {
+            Value::Str(s) if s == "auto" => IslandChoice::Auto,
+            Value::Num(_) => IslandChoice::Index(usize_of(v, &ictx)?),
+            _ => {
+                return Err(Error::scenario(
+                    ictx,
+                    "expected \"auto\" or an island index",
+                ))
+            }
+        };
+    }
+    override_field(m, "stop_at_ns", ctx, &mut plan.stop_at_ns, u64_of)?;
+    override_field(m, "drain_ns", ctx, &mut plan.drain_ns, u64_of)?;
+    override_field(m, "post_gate_ns", ctx, &mut plan.post_gate_ns, u64_of)?;
+    Ok(plan)
+}
+
+fn shutdown_to_json(plan: &ShutdownPlan) -> String {
+    let island = match plan.island {
+        IslandChoice::Auto => "\"auto\"".to_string(),
+        IslandChoice::Index(j) => j.to_string(),
+    };
+    format!(
+        "{{\"island\":{island},\"stop_at_ns\":{},\"drain_ns\":{},\"post_gate_ns\":{}}}",
+        plan.stop_at_ns, plan.drain_ns, plan.post_gate_ns
+    )
+}
+
+fn sweep_from_value(v: &Value, ctx: &str) -> Result<GridConfig, Error> {
+    let m = as_obj(v, ctx)?;
+    check_keys(m, &["max_boost", "freq_scales", "max_intermediate"], ctx)?;
+    let mut c = GridConfig::default();
+    override_field(m, "max_boost", ctx, &mut c.max_boost, usize_of)?;
+    if let Some(v) = get(m, "freq_scales") {
+        let sctx = format!("{ctx}.freq_scales");
+        let arr = v
+            .as_arr()
+            .ok_or_else(|| Error::scenario(&sctx, "expected an array"))?;
+        let scales: Vec<f64> = arr
+            .iter()
+            .enumerate()
+            .map(|(i, s)| f64_of(s, &format!("{sctx}[{i}]")))
+            .collect::<Result<_, _>>()?;
+        // Validated here so a bad scenario fails with a path instead of
+        // panicking later in `FrequencyPlan::scaled`.
+        if scales.is_empty() || scales.iter().any(|&s| !s.is_finite() || s < 1.0) {
+            return Err(Error::scenario(
+                sctx,
+                "must be a non-empty list of finite factors >= 1.0",
+            ));
+        }
+        c.freq_scales = scales;
+    }
+    override_field(
+        m,
+        "max_intermediate",
+        ctx,
+        &mut c.max_intermediate,
+        usize_of,
+    )?;
+    Ok(c)
+}
+
+fn sweep_to_json(c: &GridConfig) -> String {
+    let scales: Vec<String> = c.freq_scales.iter().map(|&s| json_number(s)).collect();
+    format!(
+        "{{\"max_boost\":{},\"freq_scales\":[{}],\"max_intermediate\":{}}}",
+        c.max_boost,
+        scales.join(","),
+        c.max_intermediate
+    )
+}
+
+// --- Scenario ------------------------------------------------------------
+
+pub(crate) fn scenario_from_json(text: &str) -> Result<Scenario, Error> {
+    let doc = json::parse(text)?;
+    let ctx = "scenario";
+    let members = as_obj(&doc, ctx)?;
+    check_keys(
+        members,
+        &[
+            "format",
+            "name",
+            "spec",
+            "partition",
+            "synthesis",
+            "floorplan",
+            "sim",
+            "shutdown",
+            "sweep",
+        ],
+        ctx,
+    )?;
+    if let Some(v) = get(members, "format") {
+        let format = str_of(v, "scenario.format")?;
+        if format != SCENARIO_FORMAT {
+            return Err(Error::scenario(
+                "scenario.format",
+                format!("'{format}' is not '{SCENARIO_FORMAT}'"),
+            ));
+        }
+    }
+    let name = str_of(req(members, "name", ctx)?, "scenario.name")?.to_string();
+    let spec = spec_from_value(req(members, "spec", ctx)?, "scenario.spec")?;
+    let partition = partition_from_value(req(members, "partition", ctx)?, "scenario.partition")?;
+    let synthesis = match get(members, "synthesis") {
+        Some(v) => synthesis_from_value(v, "scenario.synthesis")?,
+        None => SynthesisConfig::default(),
+    };
+    let floorplan = match get(members, "floorplan") {
+        Some(v) => floorplan_from_value(v, "scenario.floorplan")?,
+        None => FloorplanConfig::default(),
+    };
+    let sim = get(members, "sim")
+        .map(|v| sim_from_value(v, "scenario.sim"))
+        .transpose()?;
+    let shutdown = get(members, "shutdown")
+        .map(|v| shutdown_from_value(v, "scenario.shutdown"))
+        .transpose()?;
+    let sweep = get(members, "sweep")
+        .map(|v| sweep_from_value(v, "scenario.sweep"))
+        .transpose()?;
+    Ok(Scenario {
+        name,
+        spec,
+        partition,
+        synthesis,
+        floorplan,
+        sim,
+        shutdown,
+        sweep,
+    })
+}
+
+pub(crate) fn scenario_to_json(s: &Scenario) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{{\"format\":{},", json_string(SCENARIO_FORMAT)));
+    out.push_str(&format!("\n\"name\":{},", json_string(&s.name)));
+    out.push_str(&format!("\n\"spec\":{},", spec_to_json(&s.spec)));
+    out.push_str(&format!(
+        "\n\"partition\":{},",
+        partition_to_json(&s.partition)
+    ));
+    out.push_str(&format!(
+        "\n\"synthesis\":{},",
+        synthesis_to_json(&s.synthesis)
+    ));
+    out.push_str(&format!(
+        "\n\"floorplan\":{}",
+        floorplan_to_json(&s.floorplan)
+    ));
+    if let Some(sim) = &s.sim {
+        out.push_str(&format!(",\n\"sim\":{}", sim_to_json(sim)));
+    }
+    if let Some(sd) = &s.shutdown {
+        out.push_str(&format!(",\n\"shutdown\":{}", shutdown_to_json(sd)));
+    }
+    if let Some(grid) = &s.sweep {
+        out.push_str(&format!(",\n\"sweep\":{}", sweep_to_json(grid)));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+impl Scenario {
+    /// Parses a scenario from its JSON description.
+    ///
+    /// Ingestion is strict: unknown members, duplicate keys, wrong types,
+    /// non-finite numbers and malformed flows are all rejected with a
+    /// JSON-path context. Missing config members fall back to the same
+    /// defaults the programmatic API uses.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Json`] for malformed JSON, [`Error::Scenario`] for
+    /// schema-level problems, [`Error::Spec`]-shaped messages for inline
+    /// specs with malformed flows.
+    pub fn from_json(text: &str) -> Result<Scenario, Error> {
+        scenario_from_json(text)
+    }
+
+    /// Serializes the scenario byte-deterministically, writing every field
+    /// (storage units, shortest-round-trip numbers), so
+    /// `Scenario::from_json(s.to_json())` reproduces `s` exactly.
+    pub fn to_json(&self) -> String {
+        scenario_to_json(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::benchmark_by_name;
+
+    #[test]
+    fn minimal_scenario_parses_with_defaults() {
+        let s = Scenario::from_json(
+            r#"{"name":"min","spec":{"benchmark":"d12"},"partition":{"kind":"logical","islands":4}}"#,
+        )
+        .unwrap();
+        assert_eq!(s.name, "min");
+        assert_eq!(s.synthesis, SynthesisConfig::default());
+        assert_eq!(s.floorplan, FloorplanConfig::default());
+        assert!(s.sim.is_none() && s.shutdown.is_none() && s.sweep.is_none());
+    }
+
+    #[test]
+    fn default_round_trip_is_exact() {
+        let mut s = Scenario::new(
+            "rt",
+            SpecSource::Inline(benchmark_by_name("d12").unwrap()),
+            PartitionPlan::Communication {
+                islands: 3,
+                seed: 9,
+            },
+        );
+        s.sim = Some(SimPlan::default());
+        s.shutdown = Some(ShutdownPlan::default());
+        s.sweep = Some(GridConfig {
+            max_boost: 1,
+            freq_scales: vec![1.0, 1.12],
+            max_intermediate: 3,
+        });
+        let json = s.to_json();
+        let back = Scenario::from_json(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json(), json, "emission is a fixed point");
+    }
+
+    #[test]
+    fn custom_technology_round_trips_inline() {
+        let mut s = Scenario::new(
+            "tech",
+            SpecSource::Benchmark("d12".into()),
+            PartitionPlan::Logical { islands: 2 },
+        );
+        s.synthesis.technology.vdd_v = 0.9;
+        let back = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(back.synthesis.technology.vdd_v, 0.9);
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn unknown_members_are_rejected_with_a_path() {
+        let err = Scenario::from_json(
+            r#"{"name":"x","spec":{"benchmark":"d12"},"partition":{"kind":"logical","islands":4},"sim":{"horizon_nsec":5}}"#,
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("scenario.sim") && msg.contains("horizon_nsec"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn scaled_unit_alternates_are_accepted_but_exclusive() {
+        let core = r#"{"name":"c0","kind":"cpu","area_mm2":1,"dyn_power_mw":10,"clock_mhz":100}"#;
+        let core2 = r#"{"name":"c1","kind":"memory","area_mm2":1,"dyn_power_w":0.01,"clock_hz":1e8,"always_on":true}"#;
+        let text = format!(
+            r#"{{"name":"u","spec":{{"name":"tiny","cores":[{core},{core2}],"flows":[
+                {{"src":0,"dst":1,"bandwidth_mbps":100,"max_latency_cycles":10}},
+                {{"src":1,"dst":0,"bandwidth_bytes_per_s":1e8,"max_latency_cycles":10}}
+            ]}},"partition":{{"kind":"logical","islands":1}}}}"#
+        );
+        let s = Scenario::from_json(&text).unwrap();
+        let spec = s.resolve_spec().unwrap();
+        assert_eq!(spec.core_count(), 2);
+        assert_eq!(spec.flows()[0].bandwidth.mbps(), 100.0);
+
+        let both = r#"{"name":"u","spec":{"name":"t","cores":[{"name":"c","kind":"cpu","area_mm2":1,"dyn_power_w":1,"dyn_power_mw":2,"clock_hz":1e8}],"flows":[]},"partition":{"kind":"logical","islands":1}}"#;
+        let err = Scenario::from_json(both).unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_core_numbers_fail_at_ingestion() {
+        // Negative area would otherwise panic deep in the floorplanner;
+        // negative power would silently produce negative-mW reports.
+        let with_core = |core: &str| {
+            format!(
+                r#"{{"name":"r","spec":{{"name":"t","cores":[{core},
+                {{"name":"m","kind":"memory","area_mm2":1,"dyn_power_w":1,"clock_hz":1e8,"always_on":true}}],
+                "flows":[{{"src":0,"dst":1,"bandwidth_mbps":10,"max_latency_cycles":5}}]}},
+                "partition":{{"kind":"logical","islands":1}}}}"#
+            )
+        };
+        for (core, needle) in [
+            (
+                r#"{"name":"c","kind":"cpu","area_mm2":-5,"dyn_power_w":1,"clock_hz":1e8}"#,
+                "area_mm2",
+            ),
+            (
+                r#"{"name":"c","kind":"cpu","area_mm2":0,"dyn_power_w":1,"clock_hz":1e8}"#,
+                "area_mm2",
+            ),
+            (
+                r#"{"name":"c","kind":"cpu","area_mm2":1,"dyn_power_mw":-3,"clock_hz":1e8}"#,
+                "dyn_power",
+            ),
+            (
+                r#"{"name":"c","kind":"cpu","area_mm2":1,"dyn_power_w":1,"clock_mhz":0}"#,
+                "clock",
+            ),
+        ] {
+            let err = Scenario::from_json(&with_core(core)).unwrap_err();
+            assert!(err.to_string().contains(needle), "{core}: {err}");
+        }
+        // Zero power is physically fine (a pad or dummy block).
+        let ok =
+            with_core(r#"{"name":"c","kind":"cpu","area_mm2":1,"dyn_power_w":0,"clock_hz":1e8}"#);
+        assert!(Scenario::from_json(&ok).is_ok());
+    }
+
+    #[test]
+    fn malformed_inline_flows_fail_at_their_source() {
+        let text = r#"{"name":"bad","spec":{"name":"t","cores":[
+            {"name":"a","kind":"cpu","area_mm2":1,"dyn_power_w":1,"clock_hz":1e8},
+            {"name":"b","kind":"memory","area_mm2":1,"dyn_power_w":1,"clock_hz":1e8}
+        ],"flows":[{"src":0,"dst":0,"bandwidth_mbps":10,"max_latency_cycles":5}]},
+        "partition":{"kind":"logical","islands":1}}"#;
+        let err = Scenario::from_json(text).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("flows[0]") && msg.contains("itself"), "{msg}");
+    }
+
+    #[test]
+    fn bad_sweep_scales_fail_with_a_path() {
+        let text = r#"{"name":"x","spec":{"benchmark":"d12"},"partition":{"kind":"logical","islands":2},"sweep":{"freq_scales":[0.5]}}"#;
+        let err = Scenario::from_json(text).unwrap_err();
+        assert!(err.to_string().contains("freq_scales"), "{err}");
+    }
+}

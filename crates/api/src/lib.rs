@@ -1,0 +1,46 @@
+//! The unified scenario API: one typed entry point from SoC spec to
+//! shutdown-aware simulation.
+//!
+//! The paper's flow is a single conceptual pipeline — VI-partitioned SoC
+//! spec → topology synthesis → floorplan-aware realization → flit-level
+//! simulation with island shutdown — and this crate exposes it as one
+//! surface instead of seven crates of hand-chained calls:
+//!
+//! * [`Scenario`] — a complete experiment **as data**: spec (bundled
+//!   benchmark or inline custom SoC), partition strategy, synthesis /
+//!   floorplan / simulation configs, shutdown schedule, sweep grid.
+//!   Parsed from JSON ([`Scenario::from_json`]), executed end to end
+//!   ([`Scenario::run`]), re-emitted byte-deterministically
+//!   ([`Scenario::to_json`]) — so new workloads need no Rust edits.
+//! * [`Pipeline`] — the typestate builder behind it:
+//!   `Scenario::for_spec(..).synthesize(..)?.floorplan(..).simulate(..)`.
+//!   Stages are types; the compiler rejects out-of-order flows.
+//! * [`Report`] — everything a run produced, with a byte-deterministic
+//!   JSON emission (`Report::to_json`) and a terminal summary.
+//! * [`Error`] — the workspace-wide error type every stage fails through.
+//! * [`cli`] — the implementation of the `vi-noc` binary (`run`,
+//!   `simulate`, `sweep`, `report`) and the back-compat `sweep` binary.
+//!
+//! Everything here composes the existing stage functions
+//! (`vi_noc_core::synthesize`, `realize_on_floorplan`,
+//! `vi_noc_sim::Simulator`, the `vi-noc-sweep` shard runner) without
+//! reimplementing them, so pipeline outputs — design spaces, `SimStats`,
+//! frontier bytes — are bit-identical to hand-chained calls
+//! (`crates/api/tests/byte_identity.rs` pins this on D26).
+
+#![warn(missing_docs)]
+
+pub mod cli;
+mod error;
+mod ingest;
+mod pipeline;
+mod report;
+mod scenario;
+
+pub use error::Error;
+pub use ingest::SCENARIO_FORMAT;
+pub use pipeline::{Pipeline, Realized, Simulated, Specified, Synthesized};
+pub use report::{Report, ShutdownReport, SimReport, REPORT_FORMAT};
+pub use scenario::{
+    benchmark_by_name, IslandChoice, PartitionPlan, Scenario, ShutdownPlan, SimPlan, SpecSource,
+};

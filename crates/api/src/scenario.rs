@@ -1,0 +1,376 @@
+//! The declarative experiment description: everything the paper's flow
+//! needs — spec, partition, synthesis, floorplan, simulation, shutdown
+//! schedule, sweep grid — as one data value.
+//!
+//! A [`Scenario`] is the unit of work of the `vi-noc` CLI: parsed from
+//! JSON ([`Scenario::from_json`]), executed end to end ([`Scenario::run`]),
+//! and re-emitted byte-deterministically ([`Scenario::to_json`]). The same
+//! type is the programmatic entry point into the typestate pipeline via
+//! [`Scenario::for_spec`].
+
+use crate::error::Error;
+use crate::pipeline::{Pipeline, Specified};
+use crate::report::Report;
+use vi_noc_core::SynthesisConfig;
+use vi_noc_floorplan::FloorplanConfig;
+use vi_noc_sim::{ShutdownScenario, SimConfig};
+use vi_noc_soc::{benchmarks, partition, SocSpec, ViAssignment};
+use vi_noc_sweep::{frontier_json, run_shard, GridConfig, GridDescriptor, Shard, SweepGrid};
+
+/// Where the SoC spec comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecSource {
+    /// One of the bundled benchmarks (`d12`, `d16`, `d20`, `d26`, `d36`).
+    Benchmark(String),
+    /// A complete inline spec (custom workloads need no Rust edits).
+    Inline(SocSpec),
+}
+
+/// How cores are assigned to voltage islands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionPlan {
+    /// Group by functionality ([`partition::logical_partition`]).
+    Logical {
+        /// Number of voltage islands.
+        islands: usize,
+    },
+    /// Min-cut clustering of the traffic graph
+    /// ([`partition::communication_partition`]).
+    Communication {
+        /// Number of voltage islands.
+        islands: usize,
+        /// Partitioner seed.
+        seed: u64,
+    },
+}
+
+impl PartitionPlan {
+    /// The provenance tag recorded in sweep checkpoints and reports —
+    /// the same format the `sweep` CLI has always used (`logical:6`,
+    /// `comm:6:1`), so scenario-driven and flag-driven runs produce
+    /// byte-identical grid descriptors.
+    pub fn tag(&self) -> String {
+        match self {
+            PartitionPlan::Logical { islands } => format!("logical:{islands}"),
+            PartitionPlan::Communication { islands, seed } => format!("comm:{islands}:{seed}"),
+        }
+    }
+}
+
+/// The flit-level simulation stage of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimPlan {
+    /// Engine parameters.
+    pub config: SimConfig,
+    /// Simulated horizon, ns.
+    pub horizon_ns: u64,
+}
+
+impl Default for SimPlan {
+    fn default() -> Self {
+        SimPlan {
+            config: SimConfig::default(),
+            horizon_ns: 200_000,
+        }
+    }
+}
+
+/// Which island a shutdown experiment gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IslandChoice {
+    /// The first shutdown-capable island of the partition.
+    Auto,
+    /// An explicit island index (must be shutdown-capable).
+    Index(usize),
+}
+
+/// The island-shutdown stage of a scenario (the paper's headline
+/// experiment: gate an island mid-run, verify survivors keep flowing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShutdownPlan {
+    /// The island to gate.
+    pub island: IslandChoice,
+    /// Time to stop flows touching the island, ns.
+    pub stop_at_ns: u64,
+    /// Extra drain time before gating, ns.
+    pub drain_ns: u64,
+    /// Additional runtime after gating, ns.
+    pub post_gate_ns: u64,
+}
+
+impl Default for ShutdownPlan {
+    fn default() -> Self {
+        let s = ShutdownScenario::default();
+        ShutdownPlan {
+            island: IslandChoice::Auto,
+            stop_at_ns: s.stop_at_ns,
+            drain_ns: s.drain_ns,
+            post_gate_ns: s.post_gate_ns,
+        }
+    }
+}
+
+/// A complete experiment, declared as data.
+///
+/// Build one programmatically, or parse it from JSON
+/// ([`Scenario::from_json`]); [`Scenario::run`] executes every declared
+/// stage and returns the [`Report`]. The executed pipeline is exactly the
+/// hand-chained flow `synthesize` → `realize_on_floorplan` → `Simulator`
+/// → `run_shutdown_scenario` → sharded sweep, so its outputs (frontier
+/// bytes, `SimStats`) are bit-identical to calling those stages directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Free-form experiment name (report provenance).
+    pub name: String,
+    /// The SoC under design.
+    pub spec: SpecSource,
+    /// Core → voltage-island assignment strategy.
+    pub partition: PartitionPlan,
+    /// Synthesis knobs (paper defaults unless overridden).
+    pub synthesis: SynthesisConfig,
+    /// Floorplan-realization knobs.
+    pub floorplan: FloorplanConfig,
+    /// Flit-level simulation stage, if any.
+    pub sim: Option<SimPlan>,
+    /// Island-shutdown experiment, if any.
+    pub shutdown: Option<ShutdownPlan>,
+    /// Design-space sweep grid, if any (runs unsharded; use the CLI's
+    /// `sweep` subcommand to shard the same grid across processes).
+    pub sweep: Option<GridConfig>,
+}
+
+/// Looks up a bundled benchmark spec by its CLI name.
+pub fn benchmark_by_name(name: &str) -> Option<SocSpec> {
+    match name {
+        "d12" => Some(benchmarks::d12_auto()),
+        "d16" => Some(benchmarks::d16_settop()),
+        "d20" => Some(benchmarks::d20_baseband()),
+        "d26" => Some(benchmarks::d26_mobile()),
+        "d36" => Some(benchmarks::d36_tablet()),
+        _ => None,
+    }
+}
+
+impl Scenario {
+    /// A minimal scenario: named spec + partition, every stage at its
+    /// defaults, no sim/shutdown/sweep.
+    pub fn new(name: impl Into<String>, spec: SpecSource, partition: PartitionPlan) -> Self {
+        Scenario {
+            name: name.into(),
+            spec,
+            partition,
+            synthesis: SynthesisConfig::default(),
+            floorplan: FloorplanConfig::default(),
+            sim: None,
+            shutdown: None,
+            sweep: None,
+        }
+    }
+
+    /// Enters the typestate pipeline directly from an already-built spec
+    /// and island assignment:
+    /// `Scenario::for_spec(..).synthesize(..)?.floorplan(..).simulate(..)`.
+    pub fn for_spec(spec: SocSpec, vi: ViAssignment) -> Pipeline<Specified> {
+        Pipeline::new(spec, vi)
+    }
+
+    /// Resolves the spec source into a validated [`SocSpec`].
+    ///
+    /// # Errors
+    ///
+    /// Unknown benchmark names and invalid inline specs.
+    pub fn resolve_spec(&self) -> Result<SocSpec, Error> {
+        let spec = match &self.spec {
+            SpecSource::Benchmark(name) => benchmark_by_name(name).ok_or_else(|| {
+                Error::scenario(
+                    "spec.benchmark",
+                    format!("unknown benchmark '{name}' (expected d12|d16|d20|d26|d36)"),
+                )
+            })?,
+            SpecSource::Inline(spec) => spec.clone(),
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Resolves the partition plan against `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Unrealizable island counts ([`vi_noc_soc::PartitionError`]).
+    pub fn resolve_partition(&self, spec: &SocSpec) -> Result<ViAssignment, Error> {
+        Ok(match self.partition {
+            PartitionPlan::Logical { islands } => partition::logical_partition(spec, islands)?,
+            PartitionPlan::Communication { islands, seed } => {
+                partition::communication_partition(spec, islands, seed)?
+            }
+        })
+    }
+
+    /// Resolves a shutdown plan's island choice against `vi`.
+    ///
+    /// # Errors
+    ///
+    /// No gateable island exists (`Auto`), or the explicit island is out of
+    /// range or always-on.
+    pub fn resolve_shutdown_island(plan: &ShutdownPlan, vi: &ViAssignment) -> Result<usize, Error> {
+        match plan.island {
+            IslandChoice::Auto => (0..vi.island_count())
+                .find(|&j| vi.can_shutdown(j))
+                .ok_or_else(|| {
+                    Error::scenario(
+                        "shutdown.island",
+                        "no island of this partition can shut down",
+                    )
+                }),
+            IslandChoice::Index(j) if j >= vi.island_count() => Err(Error::scenario(
+                "shutdown.island",
+                format!("island {j} out of range 0..{}", vi.island_count()),
+            )),
+            IslandChoice::Index(j) if !vi.can_shutdown(j) => Err(Error::scenario(
+                "shutdown.island",
+                format!("island {j} is always-on and cannot be gated"),
+            )),
+            IslandChoice::Index(j) => Ok(j),
+        }
+    }
+
+    /// Executes every declared stage: synthesis, floorplan realization,
+    /// then — as declared — simulation, the shutdown experiment, and the
+    /// design-space sweep. Returns the complete [`Report`].
+    ///
+    /// # Errors
+    ///
+    /// Any stage failure, through the unified [`Error`].
+    pub fn run(&self) -> Result<Report, Error> {
+        self.run_stages(true)
+    }
+
+    /// [`Scenario::run`] without the sweep stage (the CLI's `simulate`
+    /// subcommand).
+    pub fn run_without_sweep(&self) -> Result<Report, Error> {
+        self.run_stages(false)
+    }
+
+    fn run_stages(&self, with_sweep: bool) -> Result<Report, Error> {
+        let spec = self.resolve_spec()?;
+        let vi = self.resolve_partition(&spec)?;
+
+        let realized = Scenario::for_spec(spec.clone(), vi.clone())
+            .synthesize(&self.synthesis)?
+            .floorplan(&self.floorplan);
+
+        // The shutdown experiment drives its own simulator; it reuses the
+        // scenario's engine parameters when a sim stage is declared.
+        let sim_cfg = self
+            .sim
+            .as_ref()
+            .map(|p| p.config.clone())
+            .unwrap_or_default();
+        let mut report = if let Some(plan) = &self.sim {
+            let simulated = realized.simulate(&plan.config, plan.horizon_ns);
+            let shutdown = self
+                .shutdown
+                .as_ref()
+                .map(|sd| simulated.run_shutdown(&sim_cfg, sd))
+                .transpose()?;
+            let mut report = simulated.into_report(&self.name);
+            report.shutdown = shutdown;
+            report
+        } else {
+            let shutdown = self
+                .shutdown
+                .as_ref()
+                .map(|sd| realized.run_shutdown(&sim_cfg, sd))
+                .transpose()?;
+            let mut report = realized.into_report(&self.name);
+            report.shutdown = shutdown;
+            report
+        };
+
+        if with_sweep {
+            if let Some(grid_cfg) = &self.sweep {
+                report.frontier = Some(self.run_sweep(&spec, &vi, grid_cfg));
+            }
+        }
+        Ok(report)
+    }
+
+    /// Runs the scenario's sweep grid unsharded and returns the frontier
+    /// file text — byte-identical to `sweep run --frontier` over the same
+    /// grid (same descriptor, same writers).
+    fn run_sweep(&self, spec: &SocSpec, vi: &ViAssignment, grid_cfg: &GridConfig) -> String {
+        let grid = SweepGrid::build(spec, vi, &self.synthesis, grid_cfg);
+        let desc = GridDescriptor::for_grid(
+            &grid,
+            spec.name(),
+            &self.partition.tag(),
+            self.synthesis.seed,
+        );
+        let run = run_shard(spec, vi, &grid, Shard::full(), &self.synthesis);
+        frontier_json(&desc, &run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_names_resolve() {
+        for name in ["d12", "d16", "d20", "d26", "d36"] {
+            assert!(benchmark_by_name(name).is_some(), "{name}");
+        }
+        assert!(benchmark_by_name("d99").is_none());
+    }
+
+    #[test]
+    fn partition_tags_match_the_sweep_cli_format() {
+        assert_eq!(PartitionPlan::Logical { islands: 6 }.tag(), "logical:6");
+        assert_eq!(
+            PartitionPlan::Communication {
+                islands: 4,
+                seed: 7
+            }
+            .tag(),
+            "comm:4:7"
+        );
+    }
+
+    #[test]
+    fn unknown_benchmark_is_a_scenario_error() {
+        let s = Scenario::new(
+            "x",
+            SpecSource::Benchmark("d99".into()),
+            PartitionPlan::Logical { islands: 2 },
+        );
+        let err = s.resolve_spec().unwrap_err();
+        assert!(err.to_string().contains("unknown benchmark"));
+    }
+
+    #[test]
+    fn shutdown_island_resolution_rejects_always_on() {
+        let spec = benchmark_by_name("d12").unwrap();
+        let s = Scenario::new(
+            "x",
+            SpecSource::Benchmark("d12".into()),
+            PartitionPlan::Logical { islands: 4 },
+        );
+        let vi = s.resolve_partition(&spec).unwrap();
+        let auto = Scenario::resolve_shutdown_island(&ShutdownPlan::default(), &vi).unwrap();
+        assert!(vi.can_shutdown(auto));
+        let always_on = (0..vi.island_count())
+            .find(|&j| !vi.can_shutdown(j))
+            .unwrap();
+        let plan = ShutdownPlan {
+            island: IslandChoice::Index(always_on),
+            ..ShutdownPlan::default()
+        };
+        assert!(Scenario::resolve_shutdown_island(&plan, &vi).is_err());
+        let plan = ShutdownPlan {
+            island: IslandChoice::Index(99),
+            ..ShutdownPlan::default()
+        };
+        assert!(Scenario::resolve_shutdown_island(&plan, &vi).is_err());
+    }
+}

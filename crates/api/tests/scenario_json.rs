@@ -1,0 +1,247 @@
+//! Scenario JSON round-trips and parser error paths.
+//!
+//! The core property: `Scenario::from_json(s.to_json()) == s` exactly, for
+//! random synthetic SoCs and stage configurations — emission writes every
+//! field in storage units with shortest-round-trip numbers, so nothing is
+//! lost. Plus error-path coverage for the serde-free JSON parser the
+//! ingestion is built on (truncated input, duplicate keys, non-finite
+//! numbers).
+
+use proptest::prelude::*;
+use vi_noc_api::{IslandChoice, PartitionPlan, Scenario, ShutdownPlan, SimPlan, SpecSource};
+use vi_noc_core::SynthesisConfig;
+use vi_noc_floorplan::FloorplanConfig;
+use vi_noc_models::Technology;
+use vi_noc_sim::TrafficKind;
+use vi_noc_soc::{generate_synthetic, SyntheticConfig};
+use vi_noc_sweep::{json, GridConfig};
+
+fn arb_spec() -> impl Strategy<Value = SpecSource> {
+    (0usize..5, 4usize..24, 0u64..1000).prop_map(|(pick, n_cores, seed)| match pick {
+        0 => SpecSource::Benchmark("d12".into()),
+        1 => SpecSource::Benchmark("d26".into()),
+        _ => SpecSource::Inline(generate_synthetic(&SyntheticConfig {
+            n_cores,
+            seed,
+            ..SyntheticConfig::default()
+        })),
+    })
+}
+
+fn arb_partition() -> impl Strategy<Value = PartitionPlan> {
+    (0usize..2, 1usize..5, 0u64..100).prop_map(|(pick, islands, seed)| match pick {
+        0 => PartitionPlan::Logical { islands },
+        _ => PartitionPlan::Communication { islands, seed },
+    })
+}
+
+fn arb_synthesis() -> impl Strategy<Value = SynthesisConfig> {
+    (
+        0.05f64..0.95,
+        0u64..1_000_000,
+        proptest::bool::ANY,
+        0usize..3,
+    )
+        .prop_map(|(alpha, seed, parallel, tech)| SynthesisConfig {
+            alpha,
+            seed,
+            parallel,
+            technology: match tech {
+                0 => Technology::cmos_65nm(),
+                1 => Technology::cmos_90nm(),
+                _ => {
+                    // A custom node exercises the inline-object emission.
+                    Technology {
+                        vdd_v: 0.8 + alpha / 10.0,
+                        node_nm: 45.0,
+                        ..Technology::cmos_65nm()
+                    }
+                }
+            },
+            ..SynthesisConfig::default()
+        })
+}
+
+fn arb_floorplan() -> impl Strategy<Value = FloorplanConfig> {
+    (1_000usize..30_000, 1usize..4, 0u64..1000).prop_map(|(iterations, restarts, seed)| {
+        FloorplanConfig {
+            iterations,
+            restarts,
+            seed,
+            ..FloorplanConfig::default()
+        }
+    })
+}
+
+fn arb_sim() -> impl Strategy<Value = Option<SimPlan>> {
+    (0usize..3, 0.05f64..1.5, 1u64..500_000, proptest::bool::ANY).prop_map(
+        |(pick, load_factor, horizon_ns, batching)| match pick {
+            0 => None,
+            p => {
+                let mut plan = SimPlan::default();
+                plan.config.traffic = if p == 1 {
+                    TrafficKind::Cbr
+                } else {
+                    TrafficKind::Poisson
+                };
+                plan.config.load_factor = load_factor;
+                plan.config.batching = batching;
+                plan.horizon_ns = horizon_ns;
+                Some(plan)
+            }
+        },
+    )
+}
+
+fn arb_shutdown() -> impl Strategy<Value = Option<ShutdownPlan>> {
+    (0usize..3, 0usize..6, 1u64..100_000).prop_map(|(pick, island, stop_at_ns)| match pick {
+        0 => None,
+        p => Some(ShutdownPlan {
+            island: if p == 1 {
+                IslandChoice::Auto
+            } else {
+                IslandChoice::Index(island)
+            },
+            stop_at_ns,
+            ..ShutdownPlan::default()
+        }),
+    })
+}
+
+fn arb_sweep() -> impl Strategy<Value = Option<GridConfig>> {
+    (0usize..3, 0usize..3, 0usize..5, 1.0f64..1.5).prop_map(
+        |(pick, max_boost, max_intermediate, scale)| match pick {
+            0 => None,
+            p => Some(GridConfig {
+                max_boost,
+                max_intermediate,
+                freq_scales: if p == 1 { vec![1.0] } else { vec![1.0, scale] },
+            }),
+        },
+    )
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        (arb_spec(), arb_partition(), arb_synthesis()),
+        (arb_floorplan(), arb_sim(), arb_shutdown(), arb_sweep()),
+        0u64..u64::MAX,
+    )
+        .prop_map(
+            |((spec, partition, synthesis), (floorplan, sim, shutdown, sweep), tag)| Scenario {
+                name: format!("prop scenario {tag}"),
+                spec,
+                partition,
+                synthesis,
+                floorplan,
+                sim,
+                shutdown,
+                sweep,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The headline property: serialization loses nothing, exactly.
+    #[test]
+    fn scenario_json_round_trips_exactly(scenario in arb_scenario()) {
+        let json = scenario.to_json();
+        let back = Scenario::from_json(&json)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{json}")))?;
+        prop_assert_eq!(&back, &scenario);
+        // Emission is a fixed point of parse -> emit.
+        prop_assert_eq!(back.to_json(), json);
+    }
+
+    /// Any strict truncation of an emitted scenario is rejected, never
+    /// mis-parsed or panicked on. (The last two bytes are a closing `}`
+    /// and a trailing newline; only cuts before them are malformed.)
+    #[test]
+    fn truncated_scenarios_are_rejected(scenario in arb_scenario(), frac in 1usize..10) {
+        let json = scenario.to_json();
+        let cut = json.len() * frac / 10;
+        if cut < json.len() - 2 {
+            prop_assert!(Scenario::from_json(&json[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}
+
+// --- Error paths of the serde-free parser itself ------------------------
+
+#[test]
+fn parser_rejects_truncations_of_a_real_document() {
+    let doc = Scenario::new(
+        "trunc",
+        SpecSource::Benchmark("d12".into()),
+        PartitionPlan::Logical { islands: 2 },
+    )
+    .to_json();
+    // Every strict prefix that drops more than the trailing newline and
+    // closing brace must fail to parse.
+    for cut in 0..doc.len().saturating_sub(2) {
+        assert!(
+            json::parse(&doc[..cut]).is_err(),
+            "prefix of {cut} bytes unexpectedly parsed"
+        );
+    }
+}
+
+#[test]
+fn parser_rejects_duplicate_keys_everywhere() {
+    for bad in [
+        r#"{"name":"a","name":"b"}"#,
+        r#"{"sim":{"seed":1,"seed":2}}"#,
+        r#"[{"x":1},{"y":1,"y":2}]"#,
+    ] {
+        let err = json::parse(bad).unwrap_err();
+        assert!(err.msg.contains("duplicate"), "{bad}: {err}");
+    }
+    // And through scenario ingestion, with the parse offset attached.
+    let err = Scenario::from_json(r#"{"name":"x","name":"y"}"#).unwrap_err();
+    assert!(err.to_string().contains("duplicate"), "{err}");
+}
+
+#[test]
+fn parser_rejects_non_finite_numbers() {
+    for bad in ["1e999", "-1e999", r#"{"alpha":1e999}"#, "[1e400]"] {
+        assert!(json::parse(bad).is_err(), "{bad}");
+    }
+    // A scenario smuggling an over-range literal is rejected at parse, so
+    // non-finite values can never reach the synthesis math.
+    let err = Scenario::from_json(
+        r#"{"name":"x","spec":{"benchmark":"d12"},"partition":{"kind":"logical","islands":2},"synthesis":{"alpha":1e999}}"#,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("non-finite"), "{err}");
+}
+
+#[test]
+fn committed_example_scenarios_parse_and_round_trip() {
+    for (name, text) in [
+        (
+            "d26_baseline",
+            include_str!("../../../scenarios/d26_baseline.json"),
+        ),
+        (
+            "d26_overclocked_fine",
+            include_str!("../../../scenarios/d26_overclocked_fine.json"),
+        ),
+        (
+            "d26_shutdown_stress",
+            include_str!("../../../scenarios/d26_shutdown_stress.json"),
+        ),
+    ] {
+        let scenario = Scenario::from_json(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let back = Scenario::from_json(&scenario.to_json()).unwrap();
+        assert_eq!(back, scenario, "{name}");
+        // Committed scenarios must resolve against the bundled benchmarks.
+        let spec = scenario
+            .resolve_spec()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        scenario
+            .resolve_partition(&spec)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}

@@ -10,7 +10,7 @@ use vi_noc_soc::{SocSpec, ViAssignment};
 /// traversal, the 4-cycle bi-synchronous crossing penalty (taken from
 /// [`vi_noc_models::BisyncFifoModel`]), and cost weights that prefer
 /// opening as few power-hungry resources as possible.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SynthesisConfig {
     /// VCG weight parameter α of Definition 1 (bandwidth vs latency).
     pub alpha: f64,

@@ -5,7 +5,7 @@ use crate::pareto::{self, ParetoKey};
 use crate::topology::Topology;
 
 /// One feasible design produced by the synthesis sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignPoint {
     /// Sweep index `i` of Algorithm 1 (1 = minimum switch counts).
     pub sweep_index: usize,
@@ -34,7 +34,7 @@ impl DesignPoint {
 }
 
 /// All design points found by [`crate::synthesize`], in exploration order.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignSpace {
     /// Benchmark name the space was synthesized for.
     pub spec_name: String,

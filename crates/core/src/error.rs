@@ -1,6 +1,14 @@
 //! Synthesis errors.
+//!
+//! The workspace-wide error type of the scenario API (`vi_noc::Error`,
+//! defined in the `vi-noc-api` crate) wraps this alongside the `soc`
+//! layer's [`vi_noc_soc::SpecError`] and [`vi_noc_soc::PartitionError`];
+//! the `From` conversions below let the lower layers' failures flow into
+//! [`SynthesisError`] (and from there into the unified type) without
+//! ad-hoc `.to_string()` plumbing at every call site.
 
 use std::fmt;
+use vi_noc_soc::{PartitionError, SpecError};
 
 /// Failure modes of [`crate::synthesize`] and related entry points.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +43,20 @@ impl fmt::Display for SynthesisError {
 
 impl std::error::Error for SynthesisError {}
 
+impl From<SpecError> for SynthesisError {
+    /// A malformed spec is an invalid synthesis input.
+    fn from(e: SpecError) -> Self {
+        SynthesisError::InvalidSpec(e.to_string())
+    }
+}
+
+impl From<PartitionError> for SynthesisError {
+    /// A malformed island assignment is an invalid synthesis input.
+    fn from(e: PartitionError) -> Self {
+        SynthesisError::InvalidSpec(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,5 +76,13 @@ mod tests {
     fn implements_error_trait() {
         let e: Box<dyn std::error::Error> = Box::new(SynthesisError::InvalidSpec("x".into()));
         assert!(e.to_string().contains("invalid"));
+    }
+
+    #[test]
+    fn lower_layer_errors_convert() {
+        let e: SynthesisError = SpecError::SelfFlow { flow: 3 }.into();
+        assert!(e.to_string().contains("flow 3"));
+        let e: SynthesisError = PartitionError::EmptyIsland { island: 2 }.into();
+        assert!(e.to_string().contains("island 2"));
     }
 }

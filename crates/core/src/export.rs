@@ -279,7 +279,11 @@ pub fn topology_json(topo: &Topology) -> String {
     s
 }
 
-fn metrics_json(m: &DesignMetrics) -> String {
+/// Renders design metrics as one compact JSON object (powers in mW, area
+/// in mm²) — the `"metrics"` member of [`design_point_json`], exposed so
+/// the scenario report can serialize floorplan-realized metrics with the
+/// identical layout.
+pub fn metrics_json(m: &DesignMetrics) -> String {
     format!(
         "{{\"power_mw\":{{\"switches\":{},\"links\":{},\"synchronizers\":{},\"nis\":{},\
          \"fig2\":{},\"total\":{}}},\"leakage_mw\":{},\"area_mm2\":{},\

@@ -72,8 +72,8 @@ pub use config::SynthesisConfig;
 pub use design_space::{DesignPoint, DesignSpace};
 pub use error::SynthesisError;
 pub use export::{
-    design_point_json, design_space_json, json_number, json_string, routes_table, to_dot,
-    topology_json, topology_summary,
+    design_point_json, design_space_json, json_number, json_string, metrics_json, routes_table,
+    to_dot, topology_json, topology_summary,
 };
 pub use flows::{inter_switch_flows, InterSwitchFlow};
 pub use metrics::{compute_metrics, DesignMetrics, PowerBreakdown};

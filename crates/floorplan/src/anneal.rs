@@ -8,7 +8,7 @@ use rand::{RngExt, SeedableRng};
 use rayon::prelude::*;
 
 /// Parameters for [`floorplan`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FloorplanConfig {
     /// RNG seed; equal seeds give identical floorplans.
     pub seed: u64,

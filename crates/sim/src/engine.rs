@@ -33,7 +33,7 @@ use vi_noc_core::Topology;
 use vi_noc_soc::{FlowId, SocSpec};
 
 /// Simulator parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Packet payload size in bytes (flit count = size / link width).
     pub packet_bytes: usize,

@@ -5,7 +5,7 @@ use vi_noc_core::Topology;
 use vi_noc_soc::{SocSpec, ViAssignment};
 
 /// A shutdown experiment: gate `island` partway through a run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShutdownScenario {
     /// The (real) island to power-gate.
     pub island: usize,

@@ -2,6 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::RngExt;
+use std::fmt;
 
 /// Packet injection process of a flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -10,6 +11,29 @@ pub enum TrafficKind {
     Cbr,
     /// Poisson arrivals with the same mean rate (exponential gaps).
     Poisson,
+}
+
+impl fmt::Display for TrafficKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TrafficKind::Cbr => "cbr",
+            TrafficKind::Poisson => "poisson",
+        })
+    }
+}
+
+impl std::str::FromStr for TrafficKind {
+    type Err = String;
+
+    /// Parses the lowercase form `Display` emits (`"cbr"` / `"poisson"`),
+    /// so traffic kinds round-trip through the scenario JSON format.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cbr" => Ok(TrafficKind::Cbr),
+            "poisson" => Ok(TrafficKind::Poisson),
+            other => Err(format!("unknown traffic kind '{other}'")),
+        }
+    }
 }
 
 /// Per-flow injection state.
@@ -103,6 +127,14 @@ mod tests {
         let mean_gap = (g.next_ps - start) / n as f64;
         let err = (mean_gap - g.interval_ps).abs() / g.interval_ps;
         assert!(err < 0.05, "Poisson mean off by {:.1}%", err * 100.0);
+    }
+
+    #[test]
+    fn kind_round_trips_through_from_str() {
+        for k in [TrafficKind::Cbr, TrafficKind::Poisson] {
+            assert_eq!(k.to_string().parse::<TrafficKind>(), Ok(k));
+        }
+        assert!("bursty".parse::<TrafficKind>().is_err());
     }
 
     #[test]

@@ -82,6 +82,20 @@ impl CoreKind {
     ];
 }
 
+impl std::str::FromStr for CoreKind {
+    type Err = String;
+
+    /// Parses the kebab-case form [`CoreKind`]'s `Display` emits
+    /// (`"video-decoder"`, `"cpu"`, …), so kinds round-trip through the
+    /// scenario JSON format.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CoreKind::ALL
+            .into_iter()
+            .find(|k| k.to_string() == s)
+            .ok_or_else(|| format!("unknown core kind '{s}'"))
+    }
+}
+
 impl fmt::Display for CoreKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -173,6 +187,14 @@ mod tests {
             assert!(seen.insert(format!("{k:?}")));
         }
         assert_eq!(seen.len(), 15);
+    }
+
+    #[test]
+    fn kind_round_trips_through_from_str() {
+        for k in CoreKind::ALL {
+            assert_eq!(k.to_string().parse::<CoreKind>(), Ok(k));
+        }
+        assert!("warp-drive".parse::<CoreKind>().is_err());
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::core::CoreId;
 use crate::spec::SocSpec;
 use std::fmt;
 
-/// Error produced by partitioning strategies.
+/// Error produced by partitioning strategies and explicit assignments.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PartitionError {
     /// The requested island count cannot be realized for this spec.
@@ -34,6 +34,25 @@ pub enum PartitionError {
         /// Number of cores in the spec.
         cores: usize,
     },
+    /// An explicit assignment does not list exactly one island per core.
+    AssignmentLengthMismatch {
+        /// Cores in the spec.
+        cores: usize,
+        /// Entries in the assignment.
+        entries: usize,
+    },
+    /// An explicit assignment references an island index `>= island_count`.
+    IslandOutOfRange {
+        /// The offending island index.
+        island: usize,
+        /// The declared island count.
+        count: usize,
+    },
+    /// An island in `0..island_count` holds no core.
+    EmptyIsland {
+        /// The empty island.
+        island: usize,
+    },
 }
 
 impl fmt::Display for PartitionError {
@@ -42,6 +61,17 @@ impl fmt::Display for PartitionError {
             PartitionError::UnsupportedIslandCount { requested, cores } => write!(
                 f,
                 "cannot split {cores} cores into {requested} voltage islands"
+            ),
+            PartitionError::AssignmentLengthMismatch { cores, entries } => write!(
+                f,
+                "assignment length must match core count ({entries} entries for {cores} cores)"
+            ),
+            PartitionError::IslandOutOfRange { island, count } => {
+                write!(f, "island index {island} out of range 0..{count}")
+            }
+            PartitionError::EmptyIsland { island } => write!(
+                f,
+                "island {island}: every island in 0..island_count must hold at least one core"
             ),
         }
     }
@@ -71,33 +101,63 @@ impl ViAssignment {
     ///
     /// Panics if `island_of.len() != spec.core_count()`, if any island index
     /// is `>= island_count`, or if some island in `0..island_count` is empty.
+    /// Use [`ViAssignment::try_new`] to get those failures as values instead
+    /// (the data-driven scenario pipeline does).
     pub fn new(spec: &SocSpec, island_count: usize, island_of: Vec<usize>) -> Self {
-        assert_eq!(
-            island_of.len(),
-            spec.core_count(),
-            "assignment length must match core count"
-        );
-        assert!(island_count > 0, "need at least one island");
+        Self::try_new(spec, island_count, island_of).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`ViAssignment::new`]: every malformed-assignment
+    /// case that `new` would panic on is returned as a [`PartitionError`].
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::AssignmentLengthMismatch`] if `island_of` does not
+    /// list exactly one island per core,
+    /// [`PartitionError::UnsupportedIslandCount`] if `island_count` is zero,
+    /// [`PartitionError::IslandOutOfRange`] if an entry is `>= island_count`,
+    /// and [`PartitionError::EmptyIsland`] if some island holds no core.
+    pub fn try_new(
+        spec: &SocSpec,
+        island_count: usize,
+        island_of: Vec<usize>,
+    ) -> Result<Self, PartitionError> {
+        if island_of.len() != spec.core_count() {
+            return Err(PartitionError::AssignmentLengthMismatch {
+                cores: spec.core_count(),
+                entries: island_of.len(),
+            });
+        }
+        if island_count == 0 {
+            return Err(PartitionError::UnsupportedIslandCount {
+                requested: 0,
+                cores: spec.core_count(),
+            });
+        }
         let mut seen = vec![false; island_count];
         for &isl in &island_of {
-            assert!(isl < island_count, "island index out of range");
+            if isl >= island_count {
+                return Err(PartitionError::IslandOutOfRange {
+                    island: isl,
+                    count: island_count,
+                });
+            }
             seen[isl] = true;
         }
-        assert!(
-            seen.iter().all(|&s| s),
-            "every island in 0..island_count must hold at least one core"
-        );
+        if let Some(island) = seen.iter().position(|&s| !s) {
+            return Err(PartitionError::EmptyIsland { island });
+        }
         let mut always_on = vec![false; island_count];
         for id in spec.core_ids() {
             if spec.core(id).always_on {
                 always_on[island_of[id.index()]] = true;
             }
         }
-        ViAssignment {
+        Ok(ViAssignment {
             island_of,
             island_count,
             always_on,
-        }
+        })
     }
 
     /// Number of islands.
@@ -188,5 +248,37 @@ mod tests {
     fn rejects_wrong_length() {
         let s = spec();
         ViAssignment::new(&s, 1, vec![0, 0]);
+    }
+
+    #[test]
+    fn try_new_returns_every_malformed_case_as_a_value() {
+        let s = spec();
+        assert_eq!(
+            ViAssignment::try_new(&s, 1, vec![0, 0]),
+            Err(PartitionError::AssignmentLengthMismatch {
+                cores: 3,
+                entries: 2
+            })
+        );
+        assert_eq!(
+            ViAssignment::try_new(&s, 0, vec![0, 0, 0]),
+            Err(PartitionError::UnsupportedIslandCount {
+                requested: 0,
+                cores: 3
+            })
+        );
+        assert_eq!(
+            ViAssignment::try_new(&s, 2, vec![0, 5, 0]),
+            Err(PartitionError::IslandOutOfRange {
+                island: 5,
+                count: 2
+            })
+        );
+        assert_eq!(
+            ViAssignment::try_new(&s, 3, vec![0, 0, 0]),
+            Err(PartitionError::EmptyIsland { island: 1 })
+        );
+        let ok = ViAssignment::try_new(&s, 2, vec![0, 1, 0]).unwrap();
+        assert_eq!(ok.island_count(), 2);
     }
 }

@@ -90,10 +90,40 @@ impl SocSpec {
     }
 
     /// Adds a traffic flow and returns its id.
+    ///
+    /// Malformed flows are accepted here and reported by
+    /// [`validate`](SocSpec::validate); use
+    /// [`try_add_flow`](SocSpec::try_add_flow) to reject them immediately.
     pub fn add_flow(&mut self, flow: TrafficFlow) -> FlowId {
         let id = FlowId(self.flows.len());
         self.flows.push(flow);
         id
+    }
+
+    /// Adds a traffic flow, rejecting malformed ones up front instead of
+    /// deferring to [`validate`](SocSpec::validate) (the data-driven
+    /// ingestion path uses this so a bad flow is reported at its source).
+    ///
+    /// # Errors
+    ///
+    /// The same per-flow violations `validate` reports: dangling or
+    /// self-connecting endpoints, zero bandwidth, zero latency.
+    pub fn try_add_flow(&mut self, flow: TrafficFlow) -> Result<FlowId, SpecError> {
+        let i = self.flows.len();
+        if flow.src.0 >= self.cores.len() || flow.dst.0 >= self.cores.len() {
+            return Err(SpecError::DanglingFlow { flow: i });
+        }
+        if flow.src == flow.dst {
+            return Err(SpecError::SelfFlow { flow: i });
+        }
+        let bw = flow.bandwidth.bytes_per_s();
+        if !bw.is_finite() || bw <= 0.0 {
+            return Err(SpecError::ZeroBandwidth { flow: i });
+        }
+        if flow.max_latency_cycles == 0 {
+            return Err(SpecError::ZeroLatency { flow: i });
+        }
+        Ok(self.add_flow(flow))
     }
 
     /// Number of cores.
@@ -111,9 +141,20 @@ impl SocSpec {
         &self.cores[id.0]
     }
 
+    /// Borrows a core by id, `None` if the id is out of range (the
+    /// panic-free lookup for externally supplied ids).
+    pub fn get_core(&self, id: CoreId) -> Option<&CoreSpec> {
+        self.cores.get(id.0)
+    }
+
     /// Borrows a flow by id.
     pub fn flow(&self, id: FlowId) -> &TrafficFlow {
         &self.flows[id.0]
+    }
+
+    /// Borrows a flow by id, `None` if the id is out of range.
+    pub fn get_flow(&self, id: FlowId) -> Option<&TrafficFlow> {
+        self.flows.get(id.0)
     }
 
     /// All cores, indexable by `CoreId::index`.
@@ -158,7 +199,10 @@ impl SocSpec {
             if flow.src == flow.dst {
                 return Err(SpecError::SelfFlow { flow: i });
             }
-            if flow.bandwidth.bytes_per_s() <= 0.0 {
+            // Non-finite bandwidths (NaN would slip through a plain
+            // `<= 0.0` comparison) must not reach the synthesis math.
+            let bw = flow.bandwidth.bytes_per_s();
+            if !bw.is_finite() || bw <= 0.0 {
                 return Err(SpecError::ZeroBandwidth { flow: i });
             }
             if flow.max_latency_cycles == 0 {
@@ -296,6 +340,49 @@ mod tests {
             0,
         ));
         assert!(matches!(s2.validate(), Err(SpecError::ZeroLatency { .. })));
+    }
+
+    #[test]
+    fn try_add_flow_rejects_malformed_flows_eagerly() {
+        let a = CoreId::from_index(0);
+        let b = CoreId::from_index(1);
+        let mut s = tiny();
+        assert_eq!(
+            s.try_add_flow(TrafficFlow::new(a, CoreId::from_index(9), 5.0, 5)),
+            Err(SpecError::DanglingFlow { flow: 2 })
+        );
+        assert_eq!(
+            s.try_add_flow(TrafficFlow::new(a, a, 5.0, 5)),
+            Err(SpecError::SelfFlow { flow: 2 })
+        );
+        assert_eq!(
+            s.try_add_flow(TrafficFlow::new(a, b, 0.0, 5)),
+            Err(SpecError::ZeroBandwidth { flow: 2 })
+        );
+        assert_eq!(
+            s.try_add_flow(TrafficFlow::new(a, b, f64::NAN, 5)),
+            Err(SpecError::ZeroBandwidth { flow: 2 })
+        );
+        assert_eq!(
+            s.try_add_flow(TrafficFlow::new(a, b, 5.0, 0)),
+            Err(SpecError::ZeroLatency { flow: 2 })
+        );
+        // Nothing was added by the rejected calls; a good flow lands at 2.
+        assert_eq!(s.flow_count(), 2);
+        assert_eq!(
+            s.try_add_flow(TrafficFlow::new(a, b, 5.0, 5)),
+            Ok(FlowId::from_index(2))
+        );
+        assert_eq!(s.validate(), Ok(()));
+    }
+
+    #[test]
+    fn get_core_and_get_flow_are_panic_free() {
+        let s = tiny();
+        assert!(s.get_core(CoreId::from_index(0)).is_some());
+        assert!(s.get_core(CoreId::from_index(99)).is_none());
+        assert!(s.get_flow(FlowId::from_index(1)).is_some());
+        assert!(s.get_flow(FlowId::from_index(99)).is_none());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! from the in-memory run.
 
 use crate::json::{self, Value};
-use crate::run::{FrontierPoint, ShardRun, SweepStats};
+use crate::run::{FrontierPoint, ShardProgress, ShardRun, SweepStats};
 use crate::shard::Shard;
 use std::fmt::Write as _;
 use vi_noc_core::{design_point_json, json_number, json_string, ParetoFold, ParetoKey};
@@ -111,11 +111,14 @@ pub fn frontier_entry_json(fp: &FrontierPoint) -> String {
 }
 
 /// Shared file layout of shard and frontier files: top-level members one
-/// per line, frontier entries one per line.
+/// per line, frontier entries one per line. `chains_done` is the resume
+/// watermark — stripe positions already folded into the file — and is
+/// written for shard files only.
 fn file_json(
     format: &str,
     grid_json: &str,
     shard: Option<Shard>,
+    chains_done: Option<u64>,
     stats: &SweepStats,
     entries: &[String],
 ) -> String {
@@ -128,6 +131,9 @@ fn file_json(
             "\n\"shard\":{{\"index\":{},\"count\":{}}},",
             sh.index, sh.count
         );
+    }
+    if let Some(done) = chains_done {
+        let _ = write!(s, "\n\"chains_done\":{done},");
     }
     let _ = write!(s, "\n\"stats\":{},", stats_json(stats));
     s.push_str("\n\"frontier\":[");
@@ -149,14 +155,44 @@ fn sorted_entries(frontier: &ParetoFold<FrontierPoint>) -> Vec<String> {
         .collect()
 }
 
-/// Serializes one shard's checkpoint file.
+/// Entries of a [`ShardProgress`] fold, sorted by dominance key (the
+/// payloads are already serialized).
+fn sorted_progress_entries(frontier: &ParetoFold<String>) -> Vec<String> {
+    frontier
+        .clone()
+        .into_sorted()
+        .into_iter()
+        .map(|(_, e)| e)
+        .collect()
+}
+
+/// Serializes one (complete) shard run's checkpoint file.
 pub fn shard_checkpoint_json(desc: &GridDescriptor, run: &ShardRun) -> String {
     file_json(
         SHARD_FORMAT,
         &desc.to_json(),
         Some(run.shard),
+        Some(run.shard.stripe_len(desc.num_chains)),
         &run.stats,
         &sorted_entries(&run.frontier),
+    )
+}
+
+/// Serializes a (possibly partial) resumable run's checkpoint file. For a
+/// run driven to completion, the output is byte-identical to
+/// [`shard_checkpoint_json`] of the equivalent [`crate::run_shard`] run.
+pub fn shard_progress_json(
+    desc: &GridDescriptor,
+    shard: Shard,
+    progress: &ShardProgress,
+) -> String {
+    file_json(
+        SHARD_FORMAT,
+        &desc.to_json(),
+        Some(shard),
+        Some(progress.chains_done),
+        &progress.stats,
+        &sorted_progress_entries(&progress.frontier),
     )
 }
 
@@ -168,8 +204,21 @@ pub fn frontier_json(desc: &GridDescriptor, run: &ShardRun) -> String {
         FRONTIER_FORMAT,
         &desc.to_json(),
         None,
+        None,
         &run.stats,
         &sorted_entries(&run.frontier),
+    )
+}
+
+/// [`frontier_json`] for a resumable unsharded run driven to completion.
+pub fn frontier_progress_json(desc: &GridDescriptor, progress: &ShardProgress) -> String {
+    file_json(
+        FRONTIER_FORMAT,
+        &desc.to_json(),
+        None,
+        None,
+        &progress.stats,
+        &sorted_progress_entries(&progress.frontier),
     )
 }
 
@@ -180,10 +229,53 @@ pub struct ParsedShard {
     pub grid: Value,
     /// Which stripe this file covers.
     pub shard: Shard,
+    /// Resume watermark: stripe positions folded into the file. `None` for
+    /// files written before the watermark existed (treated as complete).
+    pub chains_done: Option<u64>,
     /// The shard's counters.
     pub stats: SweepStats,
     /// Frontier entries: dominance key + the full entry value.
     pub entries: Vec<(ParetoKey, Value)>,
+}
+
+impl ParsedShard {
+    /// Total chain ids of the grid this checkpoint describes.
+    pub fn num_chains(&self) -> Result<u64, String> {
+        u64_field(&self.grid, "num_chains", "grid")
+    }
+
+    /// `true` iff the checkpoint covers its whole stripe (files without a
+    /// watermark predate partial checkpoints and are complete by
+    /// construction).
+    pub fn is_complete(&self) -> Result<bool, String> {
+        match self.chains_done {
+            None => Ok(true),
+            Some(done) => Ok(done >= self.shard.stripe_len(self.num_chains()?)),
+        }
+    }
+
+    /// Reconstructs the resumable run state this checkpoint froze, with
+    /// every frontier entry re-serialized to its original bytes (the
+    /// writers are parse→write fixed points, so resuming from a file loses
+    /// nothing).
+    pub fn to_progress(&self) -> ShardProgress {
+        let mut frontier = ParetoFold::new();
+        for (key, entry) in &self.entries {
+            frontier.offer(*key, entry.to_json());
+        }
+        // Legacy files without a watermark are complete by construction —
+        // resume them at the end of the stripe, not the beginning.
+        let chains_done = self.chains_done.unwrap_or_else(|| {
+            self.num_chains()
+                .map(|n| self.shard.stripe_len(n))
+                .unwrap_or(0)
+        });
+        ShardProgress {
+            chains_done,
+            stats: self.stats,
+            frontier,
+        }
+    }
 }
 
 fn field<'v>(v: &'v Value, key: &str, ctx: &str) -> Result<&'v Value, String> {
@@ -232,6 +324,13 @@ pub fn parse_shard_checkpoint(text: &str) -> Result<ParsedShard, String> {
         u64_field(shard_v, "index", "shard")?,
         u64_field(shard_v, "count", "shard")?,
     )?;
+    let chains_done = match doc.get("chains_done") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or("checkpoint: 'chains_done' is not an unsigned integer")?,
+        ),
+    };
     let stats_v = field(&doc, "stats", "checkpoint")?;
     let stats = SweepStats {
         chains: u64_field(stats_v, "chains", "stats")?,
@@ -268,6 +367,7 @@ pub fn parse_shard_checkpoint(text: &str) -> Result<ParsedShard, String> {
     Ok(ParsedShard {
         grid,
         shard,
+        chains_done,
         stats,
         entries,
     })
@@ -276,9 +376,10 @@ pub fn parse_shard_checkpoint(text: &str) -> Result<ParsedShard, String> {
 /// Merges a complete set of shard checkpoint files into a frontier file.
 ///
 /// Validates that every file describes the same grid, that all shard counts
-/// agree, and that the shard indices are exactly `0..count` (no gaps, no
-/// duplicates) — then folds all entries and re-emits the survivors. The
-/// output is byte-identical to [`frontier_json`] of the unsharded run.
+/// agree, that the shard indices are exactly `0..count` (no gaps, no
+/// duplicates), and that no file is a partial (resumable) checkpoint — then
+/// folds all entries and re-emits the survivors. The output is
+/// byte-identical to [`frontier_json`] of the unsharded run.
 pub fn merge_checkpoints(files: &[String]) -> Result<String, String> {
     if files.is_empty() {
         return Err("merge needs at least one checkpoint file".to_string());
@@ -308,6 +409,14 @@ pub fn merge_checkpoints(files: &[String]) -> Result<String, String> {
         if seen[idx] {
             return Err(format!("shard {idx}/{count} appears twice"));
         }
+        if !p.is_complete()? {
+            return Err(format!(
+                "shard {idx}/{count} is a partial checkpoint ({} of {} chains) — resume it \
+                 to completion before merging",
+                p.chains_done.unwrap_or(0),
+                p.shard.stripe_len(p.num_chains()?)
+            ));
+        }
         seen[idx] = true;
         stats.add(&p.stats);
         for (key, entry) in p.entries {
@@ -326,6 +435,7 @@ pub fn merge_checkpoints(files: &[String]) -> Result<String, String> {
     Ok(file_json(
         FRONTIER_FORMAT,
         &grid.to_json(),
+        None,
         None,
         &stats,
         &entries,

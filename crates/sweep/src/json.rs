@@ -319,7 +319,18 @@ impl<'a> Parser<'a> {
         }
         loop {
             self.skip_ws();
+            let key_at = self.pos;
             let key = self.string()?;
+            // Duplicate keys are ambiguous (RFC 8259 leaves the semantics
+            // undefined) and our own writers never emit them; reject rather
+            // than silently shadow. Objects here have fixed small key sets,
+            // so the linear scan stays cheap.
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(JsonError {
+                    at: key_at,
+                    msg: format!("duplicate object key '{key}'"),
+                });
+            }
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
@@ -362,6 +373,16 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\":}", "1 2", "nul", "\"open", "{a:1}"] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn rejects_duplicate_object_keys() {
+        let err = parse("{\"a\":1,\"b\":2,\"a\":3}").unwrap_err();
+        assert!(err.msg.contains("duplicate"), "{err}");
+        // Equal keys in *different* objects are fine.
+        assert!(parse("[{\"a\":1},{\"a\":2}]").is_ok());
+        // Nested duplicate still caught.
+        assert!(parse("{\"o\":{\"x\":1,\"x\":1}}").is_err());
     }
 
     #[test]

@@ -22,8 +22,14 @@
 //!   Exactness rests on dominance being a strict partial order
 //!   (`vi_noc_core::pareto`): survival is pairwise, so folds compose in any
 //!   order and across process boundaries.
+//! * [`resume_shard`] / [`ShardProgress`] — preemptible shard runs: the
+//!   checkpoint's `chains_done` watermark records how much of the stripe a
+//!   file covers, so a killed shard resumes where it stopped and its final
+//!   checkpoint is byte-identical to an uninterrupted run's.
 //!
-//! The `sweep` binary (`src/bin/sweep.rs`) exposes the workflow:
+//! The `sweep` binary (hosted by the facade package, `src/bin/sweep.rs`
+//! at the workspace root, implemented in `vi-noc-api`) exposes the
+//! workflow:
 //!
 //! ```text
 //! sweep run --spec d26 --islands 6 --max-boost 1 --shard 0/3 --out a.json
@@ -41,9 +47,10 @@ pub mod run;
 pub mod shard;
 
 pub use checkpoint::{
-    frontier_json, merge_checkpoints, parse_shard_checkpoint, shard_checkpoint_json,
-    GridDescriptor, ParsedShard, FRONTIER_FORMAT, SHARD_FORMAT,
+    frontier_json, frontier_progress_json, merge_checkpoints, parse_shard_checkpoint,
+    shard_checkpoint_json, shard_progress_json, GridDescriptor, ParsedShard, FRONTIER_FORMAT,
+    SHARD_FORMAT,
 };
 pub use grid::{ChainSpec, GridConfig, SweepGrid};
-pub use run::{run_shard, FrontierPoint, ShardRun, SweepStats};
+pub use run::{resume_shard, run_shard, FrontierPoint, ShardProgress, ShardRun, SweepStats};
 pub use shard::Shard;

@@ -178,6 +178,100 @@ pub fn run_shard(
     }
 }
 
+/// Resumable state of one shard run: the stripe watermark, the counters,
+/// and the frontier with every surviving entry kept in its serialized
+/// checkpoint form ([`crate::checkpoint::frontier_entry_json`] bytes).
+///
+/// Keeping entries as strings is what makes kill-and-resume *byte-exact*:
+/// a checkpoint written mid-run, parsed after a crash and re-serialized
+/// reproduces each entry's bytes verbatim (`write(parse(write(x))) ==
+/// write(x)` — see [`crate::checkpoint`]), and the Pareto fold is
+/// order-independent, so the resumed run's final checkpoint equals the
+/// uninterrupted run's bit for bit.
+#[derive(Debug, Clone, Default)]
+pub struct ShardProgress {
+    /// Stripe positions consumed so far, counting active *and* inactive
+    /// chain ids from the start of the shard's stripe in ascending order.
+    /// Complete when this reaches [`crate::Shard::stripe_len`].
+    pub chains_done: u64,
+    /// Evaluation counters accumulated over the consumed positions.
+    pub stats: SweepStats,
+    /// Undominated outcomes, each as its serialized frontier entry.
+    pub frontier: ParetoFold<String>,
+}
+
+impl ShardProgress {
+    /// A fresh run: nothing consumed, empty frontier.
+    pub fn new() -> Self {
+        ShardProgress::default()
+    }
+}
+
+/// Continues (or starts) shard `shard` of `grid` from `progress`, consuming
+/// at most `limit` further stripe positions (`None` = run to the end of the
+/// stripe). Returns `true` once the stripe is exhausted.
+///
+/// The evaluation itself is identical to [`run_shard`] — same chain
+/// decoding, same block-parallel fan-out, same fold semantics — so a run
+/// assembled from any sequence of `resume_shard` calls (across process
+/// restarts via the checkpoint file) produces a final checkpoint
+/// byte-identical to the uninterrupted run's. `crates/sweep/tests/resume.rs`
+/// pins that.
+pub fn resume_shard(
+    spec: &SocSpec,
+    vi: &ViAssignment,
+    grid: &SweepGrid,
+    shard: Shard,
+    cfg: &SynthesisConfig,
+    progress: &mut ShardProgress,
+    limit: Option<u64>,
+) -> bool {
+    let total = shard.stripe_len(grid.num_chains());
+    let mut remaining = limit.unwrap_or(u64::MAX);
+    let mut ids = shard
+        .chain_ids(grid.num_chains())
+        .skip(progress.chains_done as usize);
+
+    while remaining > 0 && progress.chains_done < total {
+        let take = PARALLEL_BLOCK.min(usize::try_from(remaining).unwrap_or(usize::MAX));
+        let block_ids: Vec<u64> = ids.by_ref().take(take).collect();
+        if block_ids.is_empty() {
+            break;
+        }
+        let mut block: Vec<ChainSpec> = Vec::with_capacity(block_ids.len());
+        for &chain_id in &block_ids {
+            match grid.chain(chain_id) {
+                Some(chain) => block.push(chain),
+                None => progress.stats.inactive_chains += 1,
+            }
+        }
+        let results: Vec<(SweepStats, ParetoFold<FrontierPoint>)> = if cfg.parallel {
+            block
+                .par_iter()
+                .map(|chain| evaluate_chain(spec, vi, grid, chain, cfg))
+                .collect()
+        } else {
+            block
+                .iter()
+                .map(|chain| evaluate_chain(spec, vi, grid, chain, cfg))
+                .collect()
+        };
+        for (s, local) in results {
+            progress.stats.add(&s);
+            for (key, fp) in local.into_sorted() {
+                progress
+                    .frontier
+                    .offer(key, crate::checkpoint::frontier_entry_json(&fp));
+            }
+        }
+        // The watermark only advances once the whole block is folded, so a
+        // checkpoint written between calls never claims unfolded work.
+        progress.chains_done += block_ids.len() as u64;
+        remaining -= block_ids.len() as u64;
+    }
+    progress.chains_done >= total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -56,6 +56,13 @@ impl Shard {
     pub fn chain_ids(&self, num_chains: u64) -> impl Iterator<Item = u64> + '_ {
         (self.index..num_chains).step_by(self.count as usize)
     }
+
+    /// Number of stripe positions this shard owns in a grid of
+    /// `num_chains` chain ids — the completion value of the checkpoint's
+    /// `chains_done` watermark.
+    pub fn stripe_len(&self, num_chains: u64) -> u64 {
+        num_chains.saturating_sub(self.index).div_ceil(self.count)
+    }
 }
 
 impl fmt::Display for Shard {
@@ -80,6 +87,22 @@ mod tests {
                 }
             }
             assert!(seen.iter().all(|&s| s == 1), "n={n}: each chain once");
+        }
+    }
+
+    #[test]
+    fn stripe_len_counts_owned_positions() {
+        for n in [1u64, 2, 3, 7] {
+            for num_chains in [0u64, 1, 22, 23, 24] {
+                for i in 0..n {
+                    let shard = Shard::new(i, n).unwrap();
+                    assert_eq!(
+                        shard.stripe_len(num_chains),
+                        shard.chain_ids(num_chains).count() as u64,
+                        "shard {shard} of {num_chains}"
+                    );
+                }
+            }
         }
     }
 

@@ -1,0 +1,143 @@
+//! Mid-shard checkpoint resume: a shard killed partway through its stripe
+//! and resumed from its checkpoint file must produce a final checkpoint
+//! byte-identical to an uninterrupted run's.
+
+use vi_noc_core::SynthesisConfig;
+use vi_noc_soc::{benchmarks, partition, SocSpec, ViAssignment};
+use vi_noc_sweep::{
+    frontier_json, frontier_progress_json, merge_checkpoints, parse_shard_checkpoint, resume_shard,
+    run_shard, shard_checkpoint_json, shard_progress_json, GridConfig, GridDescriptor, Shard,
+    ShardProgress, SweepGrid,
+};
+
+fn setup() -> (SocSpec, ViAssignment, SynthesisConfig, GridConfig) {
+    let soc = benchmarks::d12_auto();
+    let vi = partition::logical_partition(&soc, 4).unwrap();
+    let cfg = SynthesisConfig {
+        parallel: false,
+        ..SynthesisConfig::default()
+    };
+    let grid_cfg = GridConfig {
+        max_boost: 1,
+        freq_scales: vec![1.0],
+        max_intermediate: 2,
+    };
+    (soc, vi, cfg, grid_cfg)
+}
+
+#[test]
+fn kill_and_resume_reproduces_uninterrupted_bytes() {
+    let (soc, vi, cfg, grid_cfg) = setup();
+    let grid = SweepGrid::build(&soc, &vi, &cfg, &grid_cfg);
+    let desc = GridDescriptor::for_grid(&grid, soc.name(), "logical:4", cfg.seed);
+
+    for shard in [Shard::full(), Shard::new(1, 3).unwrap()] {
+        // Reference: the one-shot runner's checkpoint.
+        let run = run_shard(&soc, &vi, &grid, shard, &cfg);
+        let reference = shard_checkpoint_json(&desc, &run);
+
+        // One uninterrupted resumable run matches it.
+        let mut progress = ShardProgress::new();
+        assert!(resume_shard(
+            &soc,
+            &vi,
+            &grid,
+            shard,
+            &cfg,
+            &mut progress,
+            None
+        ));
+        assert_eq!(shard_progress_json(&desc, shard, &progress), reference);
+
+        // Kill-and-resume: every 2 stripe positions the run is "killed" —
+        // its state survives only as checkpoint file bytes, which a fresh
+        // process parses back before continuing.
+        let mut progress = ShardProgress::new();
+        let mut rounds = 0;
+        loop {
+            let finished = resume_shard(&soc, &vi, &grid, shard, &cfg, &mut progress, Some(2));
+            let file = shard_progress_json(&desc, shard, &progress);
+            let parsed = parse_shard_checkpoint(&file).unwrap();
+            assert_eq!(parsed.shard, shard);
+            assert_eq!(parsed.chains_done, Some(progress.chains_done));
+            progress = parsed.to_progress();
+            rounds += 1;
+            if finished {
+                break;
+            }
+        }
+        assert!(rounds >= 2, "stripe long enough to actually interrupt");
+        assert_eq!(
+            shard_progress_json(&desc, shard, &progress),
+            reference,
+            "shard {shard}: resumed bytes differ from uninterrupted bytes"
+        );
+    }
+}
+
+#[test]
+fn resumed_unsharded_run_emits_the_exact_frontier_file() {
+    let (soc, vi, cfg, grid_cfg) = setup();
+    let grid = SweepGrid::build(&soc, &vi, &cfg, &grid_cfg);
+    let desc = GridDescriptor::for_grid(&grid, soc.name(), "logical:4", cfg.seed);
+
+    let run = run_shard(&soc, &vi, &grid, Shard::full(), &cfg);
+    let reference = frontier_json(&desc, &run);
+
+    let mut progress = ShardProgress::new();
+    while !resume_shard(
+        &soc,
+        &vi,
+        &grid,
+        Shard::full(),
+        &cfg,
+        &mut progress,
+        Some(5),
+    ) {}
+    assert_eq!(frontier_progress_json(&desc, &progress), reference);
+}
+
+#[test]
+fn merge_rejects_partial_checkpoints() {
+    let (soc, vi, cfg, grid_cfg) = setup();
+    let grid = SweepGrid::build(&soc, &vi, &cfg, &grid_cfg);
+    let desc = GridDescriptor::for_grid(&grid, soc.name(), "logical:4", cfg.seed);
+
+    let shard = Shard::full();
+    let mut progress = ShardProgress::new();
+    let finished = resume_shard(&soc, &vi, &grid, shard, &cfg, &mut progress, Some(2));
+    assert!(!finished, "grid must be larger than the interrupt budget");
+    let partial = shard_progress_json(&desc, shard, &progress);
+    let err = merge_checkpoints(&[partial]).unwrap_err();
+    assert!(err.contains("partial"), "{err}");
+
+    // Driven to completion, the same state merges fine.
+    assert!(resume_shard(
+        &soc,
+        &vi,
+        &grid,
+        shard,
+        &cfg,
+        &mut progress,
+        None
+    ));
+    let complete = shard_progress_json(&desc, shard, &progress);
+    assert!(merge_checkpoints(&[complete]).is_ok());
+}
+
+#[test]
+fn complete_checkpoints_record_the_full_watermark() {
+    let (soc, vi, cfg, grid_cfg) = setup();
+    let grid = SweepGrid::build(&soc, &vi, &cfg, &grid_cfg);
+    let desc = GridDescriptor::for_grid(&grid, soc.name(), "logical:4", cfg.seed);
+    for i in 0..2 {
+        let shard = Shard::new(i, 2).unwrap();
+        let run = run_shard(&soc, &vi, &grid, shard, &cfg);
+        let parsed = parse_shard_checkpoint(&shard_checkpoint_json(&desc, &run)).unwrap();
+        assert_eq!(
+            parsed.chains_done,
+            Some(shard.stripe_len(grid.num_chains()))
+        );
+        assert!(parsed.is_complete().unwrap());
+    }
+}

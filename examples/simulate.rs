@@ -1,95 +1,40 @@
-//! End-to-end dynamic validation: synthesize the D26 NoC, realize it on a
-//! floorplan, simulate its traffic with the event-batched engine, and
-//! power-gate an island mid-run.
+//! End-to-end dynamic validation as a *data-driven* experiment: the
+//! committed `scenarios/d26_baseline.json` declares the whole flow —
+//! synthesize the D26 NoC, realize it on a floorplan, simulate CBR traffic
+//! with the event-batched engine, power-gate an island mid-run, and sweep
+//! the paper-equivalent design grid — and this example is now just a thin
+//! wrapper that executes it through the unified [`vi_noc::Scenario`] API.
 //!
 //! ```sh
 //! cargo run --release --example simulate
 //! ```
 //!
-//! Where `quickstart` stops at the analytic design-space numbers, this
-//! example drives the flit-level simulator over the synthesized design: it
-//! cross-checks measured latency and power against the analytic models and
-//! then replays the paper's headline scenario — shutting down a voltage
-//! island without disturbing the surviving islands' traffic.
+//! The same experiment runs without any Rust at all:
+//!
+//! ```sh
+//! cargo run --release --bin vi-noc -- run scenarios/d26_baseline.json
+//! ```
 
-use vi_noc::floorplan::FloorplanConfig;
-use vi_noc::sim::{
-    measured_power, run_shutdown_scenario, ShutdownScenario, SimConfig, Simulator, TrafficKind,
-};
-use vi_noc::soc::{benchmarks, partition};
-use vi_noc::synth::{realize_on_floorplan, synthesize, SynthesisConfig};
+use vi_noc::Scenario;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Synthesize the design space for the paper's 26-core mobile SoC at
-    //    6 voltage islands and keep the minimum-power point.
-    let soc = benchmarks::d26_mobile();
-    let vi = partition::logical_partition(&soc, 6)?;
-    let cfg = SynthesisConfig::default();
-    let space = synthesize(&soc, &vi, &cfg)?;
-    let point = space.min_power_point().expect("non-empty space");
-    println!(
-        "synthesized {} design points; min-power point: {} switches, {:.1} mW",
-        space.points.len(),
-        point.metrics.switch_count,
-        point.metrics.noc_dynamic_power().mw()
-    );
+    let scenario = Scenario::from_json(include_str!("../scenarios/d26_baseline.json"))?;
+    let report = scenario.run()?;
+    print!("{}", report.summary());
 
-    // 2. Realize it on a floorplan: place cores island-cohesively, insert
-    //    the switches, re-measure every wire.
-    let realized = realize_on_floorplan(&soc, &vi, point, &FloorplanConfig::default(), &cfg);
-    println!(
-        "floorplan-realized: {:.1} mW with Manhattan wire lengths ({} link(s) need pipelining)",
-        realized.metrics.noc_dynamic_power().mw(),
-        realized.infeasible_links.len()
-    );
-
-    // 3. Simulate 200 µs of CBR traffic at 80 % load. The engine advances
-    //    event-to-event (`SimConfig::batching`), so the long horizon is
-    //    cheap; the stats are bit-identical to cycle-by-cycle stepping.
-    let sim_cfg = SimConfig {
-        traffic: TrafficKind::Cbr,
-        load_factor: 0.8,
-        ..SimConfig::default()
-    };
-    let mut sim = Simulator::new(&soc, &realized.topology, &sim_cfg);
-    let stats = sim.run_for_ns(200_000);
-    println!(
-        "simulated 200 us: {} packets delivered, avg latency {:.1} ns",
-        stats.total_delivered_packets(),
-        stats.avg_latency_ps().unwrap_or(0.0) / 1e3
-    );
-
-    // 4. Price the observed activity with the synthesis power models — the
-    //    dynamic cross-check of the analytic numbers behind Figure 2.
-    let measured = measured_power(&soc, &realized.topology, &cfg, &stats, 64.0);
-    println!(
-        "measured NoC power at 80% load: {:.1} mW (analytic full-load: {:.1} mW)",
-        measured.fig2_power().mw(),
-        realized.metrics.noc_dynamic_power().mw()
-    );
-
-    // 5. The headline property: gate a shutdown-capable island mid-run and
-    //    verify the surviving islands' traffic never stalls.
-    let island = (0..vi.island_count())
-        .find(|&j| vi.can_shutdown(j))
-        .expect("some island can shut down");
-    let outcome = run_shutdown_scenario(
-        &soc,
-        &vi,
-        &realized.topology,
-        &sim_cfg,
-        &ShutdownScenario {
-            island,
-            ..ShutdownScenario::default()
-        },
-    );
-    println!(
-        "island {island} gated: drained cleanly = {}, survivors delivered {} packets before \
-         and {} after the gate",
-        outcome.drained_cleanly, outcome.survivors_before, outcome.survivors_after
-    );
-    assert!(outcome.drained_cleanly);
-    assert!(outcome.survivors_after >= outcome.survivors_before);
+    // The paper's headline property, as asserted by the old hand-chained
+    // example: the gated island drains cleanly and the surviving islands'
+    // traffic never stalls.
+    let shutdown = report.shutdown.as_ref().expect("scenario gates an island");
+    assert!(shutdown.outcome.drained_cleanly);
+    assert!(shutdown.outcome.survivors_after >= shutdown.outcome.survivors_before);
     println!("shutdown left surviving traffic undisturbed");
+
+    // The report (chosen design point, realized metrics, SimStats, sweep
+    // frontier) serializes byte-deterministically — this is what
+    // `vi-noc run --out report.json` writes and CI diffs against a golden.
+    let json = report.to_json();
+    assert_eq!(json, report.to_json());
+    println!("report: {} bytes of deterministic JSON", json.len());
     Ok(())
 }

@@ -1,0 +1,19 @@
+//! The standalone `sweep` binary — a thin wrapper over the `vi-noc` CLI's
+//! `sweep` subcommand ([`vi_noc_api::cli::sweep_cli`]), kept so existing
+//! shard-farm invocations (`sweep run --shard 0/3 ...`) work unchanged.
+//! Checkpoint and frontier files are byte-identical between the two entry
+//! points.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match vi_noc_api::cli::sweep_cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            eprintln!("{}", vi_noc_api::cli::SWEEP_USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! The `vi-noc` CLI: run complete experiments — SoC spec → synthesis →
+//! floorplan → simulation → shutdown → sweep — from JSON scenario files.
+//!
+//! ```text
+//! vi-noc run      SCENARIO.json [--out report.json] [--frontier-out FILE]
+//! vi-noc simulate SCENARIO.json [--out report.json]
+//! vi-noc report   REPORT.json
+//! vi-noc sweep    run|merge|info ...
+//! ```
+//!
+//! The implementation lives in [`vi_noc_api::cli`]; see `scenarios/` for
+//! committed example experiments.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match vi_noc_api::cli::vi_noc_cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("vi-noc: {e}");
+            eprintln!("{}", vi_noc_api::cli::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}
