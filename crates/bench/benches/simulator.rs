@@ -5,9 +5,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
-use vi_noc_core::{synthesize, SynthesisConfig, Topology};
+use vi_noc_core::{synthesize, SynthesisConfig, Topology, TopologyBuilder};
+use vi_noc_models::{Bandwidth, Frequency};
 use vi_noc_sim::{SimConfig, Simulator, TrafficKind};
-use vi_noc_soc::{benchmarks, partition, SocSpec};
+use vi_noc_soc::{benchmarks, partition, CoreKind, CoreSpec, SocSpec, TrafficFlow};
 
 /// `BENCH_FAST=1` trims sample counts and horizons so the CI smoke job
 /// stays cheap.
@@ -198,5 +199,164 @@ fn bench_long_horizon(_c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_simulation, bench_long_horizon);
+/// One flow crossing three islands in series with the sink island slowest —
+/// the backpressure-bottleneck fixture of `crates/sim/tests/wake_edges.rs`:
+/// every queue along the chain is full almost all the time, so the wake
+/// lists (not event density) decide how often each domain ticks.
+fn bottleneck_chain() -> (SocSpec, Topology) {
+    let mut spec = SocSpec::new("chain");
+    let c0 = spec.add_core(CoreSpec::new("src", CoreKind::Cpu, 1.0, 10.0, 1000.0));
+    let c1 = spec.add_core(CoreSpec::new("dst", CoreKind::Memory, 1.0, 10.0, 250.0));
+    let f0 = spec.add_flow(TrafficFlow::new(c0, c1, 3200.0, 64));
+
+    let freqs: Vec<Frequency> = [1000.0, 600.0, 250.0, 1000.0]
+        .iter()
+        .map(|&m| Frequency::from_mhz(m))
+        .collect();
+    let mut b = TopologyBuilder::new(&spec, 3, freqs);
+    let sw0 = b.add_switch("sw0", 0, vec![c0]);
+    let sw1 = b.add_switch("sw1", 1, vec![]);
+    let sw2 = b.add_switch("sw2", 2, vec![c1]);
+    let cap = Bandwidth::from_mbps(4000.0);
+    b.open_link(sw0, sw1, cap);
+    b.open_link(sw1, sw2, cap);
+    b.set_route(&spec, f0, vec![sw0, sw1, sw2]);
+    (spec, b.build())
+}
+
+/// The acceptance benchmark for backpressure wake lists: saturated and
+/// oversubscribed workloads, where the pre-wake-list engine busy-polled
+/// blocked domains every cycle —
+///
+/// * `d26_load_{0.9,1.0,1.2}` — the full D26 design at and past its
+///   saturation knee. Nearly every domain still moves real flits almost
+///   every cycle here (the intermediate island carries all inter-island
+///   traffic), so the honest win is the deterministic ~1.4x tick reduction
+///   and a modest wall-clock edge — the wake lists' job in this regime is
+///   to stop batching from *losing* to stepping;
+/// * `bottleneck_chain_qcap{1,2}` — a three-domain chain throttled by a
+///   slow sink, the regime the wake lists exist for: whole domains stall on
+///   full queues and sleep until the exact unblocking pop (>= 4x wall
+///   clock, ~11x fewer ticks at queue capacity 1).
+///
+/// Every scenario asserts batched == stepped `SimStats` bit-for-bit before
+/// timing, and reports the deterministic tick ratio next to the wall-clock
+/// speedup. Emitted as `BENCH_sim_saturated.json` (path override:
+/// `BENCH_SIM_SATURATED_JSON`) in the `BENCH_sweep.json` history-entry
+/// schema, like the `sim_long_horizon` emitter.
+fn bench_saturated(_c: &mut Criterion) {
+    // Self-timed like `bench_long_horizon`; honor the positional filter.
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    if !filters.is_empty() && !filters.iter().any(|f| "sim_saturated".contains(f.as_str())) {
+        return;
+    }
+    let d26 = benchmarks::d26_mobile();
+    let d26_topo = design(&d26, 6);
+    let (chain_soc, chain_topo) = bottleneck_chain();
+    let horizon_ns: u64 = if fast_mode() { 20_000 } else { 200_000 };
+    let samples = if fast_mode() { 3 } else { 5 };
+
+    struct Scenario<'a> {
+        name: &'a str,
+        soc: &'a SocSpec,
+        topo: &'a Topology,
+        cfg: SimConfig,
+    }
+    let mut scenarios = Vec::new();
+    for load in [0.9, 1.0, 1.2] {
+        scenarios.push(Scenario {
+            name: match load {
+                x if x < 1.0 => "d26_load_0.9",
+                x if x > 1.0 => "d26_load_1.2",
+                _ => "d26_load_1.0",
+            },
+            soc: &d26,
+            topo: &d26_topo,
+            cfg: SimConfig {
+                traffic: TrafficKind::Cbr,
+                load_factor: load,
+                ..SimConfig::default()
+            },
+        });
+    }
+    for qcap in [1usize, 2] {
+        scenarios.push(Scenario {
+            name: if qcap == 1 {
+                "bottleneck_chain_qcap1"
+            } else {
+                "bottleneck_chain_qcap2"
+            },
+            soc: &chain_soc,
+            topo: &chain_topo,
+            cfg: SimConfig {
+                queue_capacity: qcap,
+                ..SimConfig::default()
+            },
+        });
+    }
+
+    let mut json_entries = Vec::new();
+    for s in &scenarios {
+        let run = |batching: bool| {
+            let mut sim = Simulator::new(
+                s.soc,
+                s.topo,
+                &SimConfig {
+                    batching,
+                    ..s.cfg.clone()
+                },
+            );
+            let stats = sim.run_for_ns(horizon_ns);
+            (stats, sim.ticks_processed())
+        };
+        let (stats_b, ticks_b) = run(true);
+        let (stats_s, ticks_s) = run(false);
+        assert_eq!(
+            stats_b, stats_s,
+            "{}: batched and stepped stats must be bit-identical",
+            s.name
+        );
+        let tick_ratio = ticks_s as f64 / ticks_b.max(1) as f64;
+        let stepped_s = median_secs(samples, || run(false));
+        let batched_s = median_secs(samples, || run(true));
+        let speedup = stepped_s / batched_s.max(1e-12);
+        println!(
+            "sim_saturated/{:<22} stepped {:>9.1?}  batched {:>9.1?}  speedup {speedup:.2}x  tick_ratio {tick_ratio:.2}x",
+            s.name,
+            Duration::from_secs_f64(stepped_s),
+            Duration::from_secs_f64(batched_s),
+        );
+        json_entries.push(format!(
+            "      \"{}\": {{ \"stepped_ms\": {:.2}, \"batched_ms\": {:.2}, \"speedup\": {:.2}, \"tick_ratio\": {:.2} }}",
+            s.name,
+            stepped_s * 1e3,
+            batched_s * 1e3,
+            speedup,
+            tick_ratio
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"sim_saturated\",\n  \"history\": [\n    {{\n      \"pr\": null,\n      \
+         \"bench\": \"sim_saturated\",\n      \"soc\": \"d26_mobile + bottleneck_chain\",\n      \
+         \"islands\": 6,\n      \"horizon_ns\": {horizon_ns},\n      \"samples\": {samples},\n{}\n    }}\n  ]\n}}\n",
+        json_entries.join(",\n")
+    );
+    let path = std::env::var("BENCH_SIM_SATURATED_JSON")
+        .unwrap_or_else(|_| "BENCH_sim_saturated.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("sim_saturated: wrote {path}"),
+        Err(e) => eprintln!("sim_saturated: could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_simulation,
+    bench_long_horizon,
+    bench_saturated
+);
 criterion_main!(benches);

@@ -18,6 +18,8 @@
 //! *shape-based* — who wins, by roughly what factor, where the curves sit
 //! relative to the 1-island reference — not absolute mW.
 
+#![warn(missing_docs)]
+
 use vi_noc_core::{synthesize, DesignPoint, SynthesisConfig};
 use vi_noc_soc::{partition, SocSpec, ViAssignment};
 

@@ -84,7 +84,9 @@ pub use synthesis::{
     evaluate_candidate, evaluate_candidate_chain, synthesize, CandidateOutcome, SweepCandidate,
     SweepPlan,
 };
-pub use topology::{LinkId, LinkKind, Route, Switch, SwitchId, TopoLink, Topology};
+pub use topology::{
+    LinkId, LinkKind, Route, Switch, SwitchId, TopoLink, Topology, TopologyBuilder,
+};
 pub use vcg::{build_vcg, Vcg};
 pub use verify::{verify_design, verify_shutdown_safety, Violation};
 

@@ -24,8 +24,19 @@
 //! contain the new intermediate switches (intra-island flows) replay their
 //! recorded path without searching, and every other flow re-runs exactly the
 //! search a cold start would run — so the produced topology is bit-identical
-//! to a cold start by construction. The reserve-retry fallback (see
-//! [`AllocState::reserve`]) always runs cold.
+//! to a cold start by construction.
+//!
+//! The port-reserve retry (see [`AllocState::reserve`]) is warm-started the
+//! same way, from the *previous candidate's retry* record, with one extra
+//! condition: consecutive retries run at different reserves (`k` and
+//! `k + 1`), and the reserve enters the port-admissibility check of every
+//! non-mid edge — including intra-island ones. A recorded intra-island path
+//! is therefore only replayed when every switch of the flow's island
+//! answers both admissibility questions (room for one more output port?
+//! one more input port?) identically at the two reserves, given the — still
+//! identical — committed state ([`reserve_invariant`]). The edge costs never
+//! read the reserve, so equal admissibility means an identical search
+//! result, and the replay stays exact.
 
 use crate::assign::SwitchAssignment;
 use crate::config::{FrequencyPlan, SynthesisConfig};
@@ -78,6 +89,9 @@ pub(crate) struct AllocContext {
     max_size: Vec<usize>,
     /// Initial per-switch port usage (attached cores; both directions).
     core_ports: Vec<usize>,
+    /// Switch indices of each real island (mid switches excluded), for the
+    /// reserve-invariance replay check of intra-island flows.
+    switches_of_island: Vec<Vec<usize>>,
 }
 
 impl AllocContext {
@@ -207,6 +221,11 @@ impl AllocContext {
         let min_lat_global = spec.min_latency_cycles().max(1) as f64;
         let flows = inter_switch_flows(spec, &base_topo);
 
+        let mut switches_of_island: Vec<Vec<usize>> = vec![Vec::new(); n_islands];
+        for s in 0..n_real {
+            switches_of_island[island_of(s)].push(s);
+        }
+
         Ok(AllocContext {
             cand_graph,
             base_topo,
@@ -222,6 +241,7 @@ impl AllocContext {
             min_lat_global,
             max_size,
             core_ports,
+            switches_of_island,
         })
     }
 }
@@ -278,12 +298,45 @@ enum FlowPath {
     Edges(Vec<EdgeId>),
 }
 
-/// Committed paths of one reserve-0 allocation attempt, aligned with
+/// Committed paths of one allocation attempt, aligned with
 /// [`AllocContext::flows`]. Holds the successful prefix even when the
 /// attempt failed partway — the prefix is still a valid warm-start seed.
 #[derive(Debug, Default)]
 pub(crate) struct AllocRecord {
     paths: Vec<FlowPath>,
+    /// Port reserve the recorded attempt ran at. Replaying a recorded path
+    /// under a *different* reserve additionally requires
+    /// [`reserve_invariant`] to hold for the flow's island.
+    reserve: usize,
+}
+
+/// Both attempts' records of one candidate evaluation — the warm-start seed
+/// for the next candidate of the chain. The reserve-0 attempt and the
+/// port-reserve retry commit different paths, so each seeds only its own
+/// successor.
+#[derive(Debug, Default)]
+pub(crate) struct CandidateRecord {
+    /// The reserve-0 attempt (always runs).
+    main: AllocRecord,
+    /// The port-reserve retry; present only when the reserve-0 attempt
+    /// failed and the retry ran (its failed prefix is kept too).
+    retry: Option<AllocRecord>,
+}
+
+/// `true` when every switch in `switches` answers the two
+/// port-admissibility questions of [`AllocState::admits`] — room to grow by
+/// one output port, room to grow by one input port — identically at port
+/// reserves `r_a` and `r_b`, given the current state. Under that condition
+/// an intra-island search's admissible edge set (and the costs never read
+/// the reserve) is the same at both reserves, so its result is too.
+fn reserve_invariant(state: &AllocState, switches: &[usize], r_a: usize, r_b: usize) -> bool {
+    switches.iter().all(|&u| {
+        let grow_out = state.in_ports[u].max(state.out_ports[u] + 1);
+        let grow_in = (state.in_ports[u] + 1).max(state.out_ports[u]);
+        let max = state.max_size[u];
+        (grow_out + r_a <= max) == (grow_out + r_b <= max)
+            && (grow_in + r_a <= max) == (grow_in + r_b <= max)
+    })
 }
 
 /// A successful allocation plus how it was obtained.
@@ -347,20 +400,22 @@ pub(crate) fn allocate_paths(
 
 /// Allocates paths for the candidate with `k_mid` active intermediate
 /// switches, optionally warm-started from the previous candidate's
-/// [`AllocRecord`] and recording this candidate's reserve-0 attempt into
+/// [`CandidateRecord`] and recording this candidate's attempts into
 /// `record`.
 ///
 /// The result is bit-identical to a cold start: warm-starting only skips
 /// searches whose outcome is provably unchanged (see the module docs). On
-/// reserve-0 infeasibility the port-reserve retry runs cold, exactly like
-/// the cold path.
+/// reserve-0 infeasibility the port-reserve retry runs, itself warm-started
+/// from the previous candidate's retry record when one exists — the
+/// differing reserves are handled by the [`reserve_invariant`] replay
+/// guard.
 pub(crate) fn allocate_paths_warm(
     ctx: &AllocContext,
     k_mid: usize,
     cfg: &SynthesisConfig,
     scratch: &mut SearchScratch,
-    prev: Option<&AllocRecord>,
-    record: Option<&mut AllocRecord>,
+    prev: Option<&CandidateRecord>,
+    mut record: Option<&mut CandidateRecord>,
 ) -> Result<Allocation, String> {
     assert!(
         k_mid <= ctx.k_mid_max,
@@ -368,23 +423,44 @@ pub(crate) fn allocate_paths_warm(
          was built with {}",
         ctx.k_mid_max
     );
-    match try_allocate(ctx, k_mid, 0, cfg, scratch, prev, record) {
-        Ok(topology) => Ok(Allocation {
-            topology,
-            via_retry: false,
-        }),
+    let main = try_allocate(
+        ctx,
+        k_mid,
+        0,
+        cfg,
+        scratch,
+        prev.map(|p| &p.main),
+        record.as_deref_mut().map(|r| &mut r.main),
+    );
+    match main {
+        Ok(topology) => {
+            if let Some(r) = record {
+                r.retry = None;
+            }
+            Ok(Allocation {
+                topology,
+                via_retry: false,
+            })
+        }
         // Greedy direct-link opening may have stranded later flows on a
         // port-exhausted hub switch; retry holding ports back for
-        // intermediate-island links (see `AllocState::reserve`). The retry
-        // is rare and its admissibility differs per `k_mid`, so it is not
-        // warm-started.
-        Err(first) if k_mid > 0 => try_allocate(ctx, k_mid, k_mid, cfg, scratch, None, None)
-            .map(|topology| Allocation {
-                topology,
-                via_retry: true,
-            })
-            .map_err(|_| first),
-        Err(e) => Err(e),
+        // intermediate-island links (see `AllocState::reserve`).
+        Err(first) if k_mid > 0 => {
+            let prev_retry = prev.and_then(|p| p.retry.as_ref());
+            let retry_rec = record.map(|r| r.retry.insert(AllocRecord::default()));
+            try_allocate(ctx, k_mid, k_mid, cfg, scratch, prev_retry, retry_rec)
+                .map(|topology| Allocation {
+                    topology,
+                    via_retry: true,
+                })
+                .map_err(|_| first)
+        }
+        Err(e) => {
+            if let Some(r) = record {
+                r.retry = None;
+            }
+            Err(e)
+        }
     }
 }
 
@@ -417,12 +493,16 @@ fn try_allocate(
     };
     if let Some(r) = record.as_deref_mut() {
         r.paths.clear();
+        r.reserve = reserve;
     }
 
     // Warm-start bookkeeping: while `diverged` is false, every flow
     // committed so far committed exactly the path the recorded run did, so
     // the two runs' states are identical and recorded intra-island paths
-    // can be replayed without searching.
+    // can be replayed without searching. When the recorded run used a
+    // different port reserve (consecutive retries), replay additionally
+    // needs the per-island reserve-invariance guard below.
+    let prev_reserve = prev.map_or(reserve, |r| r.reserve);
     let mut diverged = prev.is_none();
     let mut path_buf: Vec<EdgeId> = Vec::new();
 
@@ -459,13 +539,21 @@ fn try_allocate(
             p
         };
 
-        let replayable =
-            matches!(prev_path, Some(FlowPath::Edges(_))) && isf.src_island == isf.dst_island;
+        let replayable = matches!(prev_path, Some(FlowPath::Edges(_)))
+            && isf.src_island == isf.dst_island
+            && (prev_reserve == reserve
+                || reserve_invariant(
+                    &state,
+                    &ctx.switches_of_island[isf.src_island],
+                    prev_reserve,
+                    reserve,
+                ));
         if replayable {
             // Intra-island searches admit only edges inside the source
-            // island, which the intermediate-count change cannot touch;
-            // with identical state the search would return the recorded
-            // path verbatim, so skip it.
+            // island, which the intermediate-count change cannot touch —
+            // and any reserve difference is screened off by the invariance
+            // guard above. With identical state the search would return
+            // the recorded path verbatim, so skip it.
             let Some(FlowPath::Edges(edges)) = prev_path else {
                 unreachable!()
             };
@@ -873,6 +961,95 @@ mod tests {
         }
     }
 
+    /// The reserve-invariance guard itself: switches answer the
+    /// port-growth admissibility questions identically at two reserves iff
+    /// neither inequality flips between them.
+    #[test]
+    fn reserve_invariance_guard() {
+        let state = AllocState {
+            open: Vec::new(),
+            load: Vec::new(),
+            in_ports: vec![2, 2],
+            out_ports: vec![2, 6],
+            max_size: vec![8, 8],
+            reserve: 0,
+        };
+        // Switch 0 grows to 3 ports either way: 3+1 and 3+2 both fit in 8.
+        assert!(reserve_invariant(&state, &[0], 1, 2));
+        // Switch 1's output growth needs 7 ports: 7+1 fits, 7+2 does not.
+        assert!(!reserve_invariant(&state, &[1], 1, 2));
+        assert!(!reserve_invariant(&state, &[0, 1], 1, 2));
+        // Equal reserves are trivially invariant even on the tight switch.
+        assert!(reserve_invariant(&state, &[0, 1], 2, 2));
+    }
+
+    /// The port-reserve retry must actually fire somewhere in the d26
+    /// sweep chains, and a warm-started retry (seeded by the previous
+    /// candidate's retry record, at a *different* reserve) must be
+    /// bit-identical to a cold evaluation of the same candidate.
+    #[test]
+    fn warm_started_retry_matches_cold_retry() {
+        // The communication partition of D36 port-starves its hub switches
+        // at the minimum switch counts: every k_mid >= 1 candidate of sweep
+        // index 1 succeeds only via the port-reserve retry, so consecutive
+        // candidates exercise the retry-from-retry warm start at differing
+        // reserves.
+        let soc = benchmarks::d36_tablet();
+        let cfg = SynthesisConfig::default();
+        let mut retries = 0usize;
+        let mut warm_seeded_retries = 0usize;
+        for k_islands in [6usize, 7] {
+            let vi = partition::communication_partition(&soc, k_islands, 1).unwrap();
+            let plan = FrequencyPlan::compute(&soc, &vi, &cfg);
+            let vcgs: Vec<_> = (0..k_islands)
+                .map(|j| build_vcg(&soc, &vi, j, &cfg))
+                .collect();
+            for sweep in 1..=2usize {
+                let counts = switch_counts_for_sweep(&vcgs, &plan, sweep);
+                let asg = island_switch_assignment(&vcgs, &plan, &counts, &cfg);
+                let ctx = AllocContext::build(&soc, &vi, &plan, &asg, 4, &cfg).unwrap();
+                let mut scratch = SearchScratch::new();
+                let mut prev: Option<CandidateRecord> = None;
+                for k_mid in 0..=4usize {
+                    let mut rec = CandidateRecord::default();
+                    let warm = allocate_paths_warm(
+                        &ctx,
+                        k_mid,
+                        &cfg,
+                        &mut scratch,
+                        prev.as_ref(),
+                        Some(&mut rec),
+                    );
+                    let cold = allocate_paths_warm(&ctx, k_mid, &cfg, &mut scratch, None, None);
+                    let label = format!("islands={k_islands} sweep={sweep} k={k_mid}");
+                    match (&warm, &cold) {
+                        (Ok(aw), Ok(ac)) => {
+                            assert_eq!(aw.via_retry, ac.via_retry, "{label}");
+                            assert_eq!(aw.topology, ac.topology, "{label}");
+                            if aw.via_retry {
+                                retries += 1;
+                                if prev.as_ref().is_some_and(|p| p.retry.is_some()) {
+                                    warm_seeded_retries += 1;
+                                }
+                            }
+                        }
+                        (Err(ew), Err(ec)) => assert_eq!(ew, ec, "{label}"),
+                        _ => panic!("{label}: {:?} vs {:?}", warm.is_ok(), cold.is_ok()),
+                    }
+                    prev = Some(rec);
+                }
+            }
+        }
+        assert!(
+            retries > 0,
+            "fixture never exercised the port-reserve retry"
+        );
+        assert!(
+            warm_seeded_retries > 0,
+            "no retry ever ran with a previous retry record to warm-start from"
+        );
+    }
+
     /// Warm-starting from the previous candidate's record must be
     /// bit-identical to a cold start, both when the warm path replays
     /// recorded flows and when it diverges.
@@ -891,9 +1068,9 @@ mod tests {
                 let asg = island_switch_assignment(&vcgs, &plan, &counts, &cfg);
                 let ctx = AllocContext::build(&soc, &vi, &plan, &asg, 4, &cfg).unwrap();
                 let mut scratch = SearchScratch::new();
-                let mut prev: Option<AllocRecord> = None;
+                let mut prev: Option<CandidateRecord> = None;
                 for k_mid in 0..=4usize {
-                    let mut rec = AllocRecord::default();
+                    let mut rec = CandidateRecord::default();
                     let warm = allocate_paths_warm(
                         &ctx,
                         k_mid,

@@ -32,7 +32,7 @@ use crate::config::{FrequencyPlan, SynthesisConfig};
 use crate::design_space::{DesignPoint, DesignSpace};
 use crate::error::SynthesisError;
 use crate::metrics::compute_metrics;
-use crate::paths::{allocate_paths, allocate_paths_warm, AllocContext, AllocRecord};
+use crate::paths::{allocate_paths, allocate_paths_warm, AllocContext, CandidateRecord};
 use crate::topology::Topology;
 use crate::vcg::{build_vcg, Vcg};
 use rayon::prelude::*;
@@ -285,7 +285,7 @@ pub fn evaluate_candidate_chain(
         }
     };
     let mut scratch = SearchScratch::new();
-    let mut prev: Option<AllocRecord> = None;
+    let mut prev: Option<CandidateRecord> = None;
     let mut outcomes = Vec::with_capacity(chain.len());
     let mut saturated = false;
     for candidate in chain {
@@ -298,7 +298,7 @@ pub fn evaluate_candidate_chain(
             outcomes.push(CandidateOutcome::Duplicate);
             continue;
         }
-        let mut record = AllocRecord::default();
+        let mut record = CandidateRecord::default();
         let result = allocate_paths_warm(
             &ctx,
             candidate.requested_intermediate,

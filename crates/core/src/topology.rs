@@ -106,6 +106,168 @@ pub struct Route {
     pub crossings: u32,
 }
 
+/// Hand-constructs a [`Topology`] switch by switch, link by link.
+///
+/// The synthesis pipeline is the normal way to obtain a topology; this
+/// builder exists for the cases that need *exact* structural control —
+/// simulator edge-case fixtures (specific queue-sharing and clock-ratio
+/// configurations that synthesized designs only reach probabilistically),
+/// unit experiments, and importing externally designed topologies.
+/// [`TopologyBuilder::build`] validates what the engine relies on: every
+/// core attached to exactly one switch, every flow routed from its source
+/// core's switch to its destination core's switch over opened links.
+#[derive(Debug)]
+pub struct TopologyBuilder {
+    flows: Vec<(CoreId, CoreId)>,
+    topo: Topology,
+}
+
+impl TopologyBuilder {
+    /// Starts an empty topology for `spec` with `n_islands` real voltage
+    /// islands clocked at `island_freq` (which must also carry the
+    /// intermediate island's frequency as its last, `n_islands + 1`-th
+    /// entry, even when no intermediate switches are added).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `island_freq.len() != n_islands + 1`.
+    pub fn new(spec: &SocSpec, n_islands: usize, island_freq: Vec<Frequency>) -> Self {
+        TopologyBuilder {
+            flows: spec.flows().iter().map(|f| (f.src, f.dst)).collect(),
+            topo: Topology::new(spec, n_islands, island_freq),
+        }
+    }
+
+    /// Adds a switch on extended island `island_ext` with `cores` attached
+    /// through NIs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `island_ext` is out of range (the intermediate island is
+    /// the largest valid index) or a listed core is already attached.
+    pub fn add_switch(
+        &mut self,
+        name: impl Into<String>,
+        island_ext: usize,
+        cores: Vec<CoreId>,
+    ) -> SwitchId {
+        assert!(
+            island_ext <= self.topo.n_islands,
+            "island_ext {island_ext} out of range"
+        );
+        for &c in &cores {
+            assert_eq!(
+                self.topo.switch_of_core[c.index()],
+                SwitchId(usize::MAX),
+                "core {c} already attached"
+            );
+        }
+        self.topo.add_switch(Switch {
+            name: name.into(),
+            island_ext,
+            cores,
+        })
+    }
+
+    /// Opens a directed link `from → to`, classifying it from the endpoint
+    /// islands (which determines whether the simulator charges the
+    /// bi-synchronous crossing dwell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is unknown, `from == to`, or the link is
+    /// already open.
+    pub fn open_link(&mut self, from: SwitchId, to: SwitchId, capacity: Bandwidth) -> LinkId {
+        assert_ne!(from, to, "self-links are not representable");
+        let (fi, ti) = (
+            self.topo.switches[from.index()].island_ext,
+            self.topo.switches[to.index()].island_ext,
+        );
+        let mid = self.topo.n_islands;
+        let kind = if fi == ti {
+            LinkKind::Intra
+        } else if fi == mid || ti == mid {
+            LinkKind::Intermediate
+        } else {
+            LinkKind::InterDirect
+        };
+        self.topo.open_link(TopoLink {
+            from,
+            to,
+            capacity,
+            load: Bandwidth::from_mbps(0.0),
+            kind,
+            length_mm: 1.0,
+        })
+    }
+
+    /// Routes `flow` over `switches`, accumulating its bandwidth onto each
+    /// traversed link and deriving the crossing count and zero-load latency
+    /// the same way the synthesis allocator does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route is empty, does not start (end) at the source
+    /// (destination) core's switch, traverses an unopened link, or the flow
+    /// is already routed.
+    pub fn set_route(&mut self, spec: &SocSpec, flow: FlowId, switches: Vec<SwitchId>) {
+        let (src, dst) = self.flows[flow.index()];
+        assert!(!switches.is_empty(), "empty route for {flow}");
+        assert!(
+            self.topo.routes[flow.index()].is_none(),
+            "{flow} already routed"
+        );
+        assert_eq!(
+            switches[0],
+            self.topo.switch_of_core[src.index()],
+            "{flow}: route must start at the source core's switch"
+        );
+        assert_eq!(
+            *switches.last().unwrap(),
+            self.topo.switch_of_core[dst.index()],
+            "{flow}: route must end at the destination core's switch"
+        );
+        let bw = spec.flow(flow).bandwidth;
+        let mut crossings = 0u32;
+        for w in switches.windows(2) {
+            let link = self
+                .topo
+                .find_link(w[0], w[1])
+                .unwrap_or_else(|| panic!("{flow}: no link {} → {}", w[0], w[1]));
+            self.topo.add_load(link, bw);
+            if self.topo.links[link.index()].crosses_domain() {
+                crossings += 1;
+            }
+        }
+        // NI in + per-switch traversal + links + converter dwells + NI out,
+        // matching `paths.rs`'s zero-load accounting.
+        let latency_cycles = 2 * switches.len() as u32 + (switches.len() as u32 - 1) + crossings;
+        self.topo.set_route(Route {
+            flow,
+            switches,
+            latency_cycles,
+            crossings,
+        });
+    }
+
+    /// Finishes the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some core is unattached or some flow is unrouted — the
+    /// structural invariants every consumer (metrics, realization, the
+    /// simulator) assumes.
+    pub fn build(self) -> Topology {
+        for (c, &sw) in self.topo.switch_of_core.iter().enumerate() {
+            assert_ne!(sw, SwitchId(usize::MAX), "core c{c} not attached");
+        }
+        for (f, r) in self.topo.routes.iter().enumerate() {
+            assert!(r.is_some(), "flow f{f} not routed");
+        }
+        self.topo
+    }
+}
+
 /// A complete synthesized topology for one design point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Topology {

@@ -31,6 +31,8 @@
 //! assert!(plan.utilization() > 0.3);
 //! ```
 
+#![warn(missing_docs)]
+
 mod anneal;
 mod placement;
 mod render;

@@ -33,6 +33,8 @@
 //! assert!(idle.mw() > 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 mod bisync;
 mod leakage;
 mod link;

@@ -22,6 +22,22 @@
 //! closed form instead. Both strategies therefore produce **bit-identical**
 //! [`SimStats`] — pinned by golden and property tests in
 //! `crates/sim/tests/batching.rs`.
+//!
+//! Backpressure is covered by **wake lists** rather than busy-waiting: a
+//! ready head stalled by a full downstream queue (and likewise an NI whose
+//! candidate first-hop queues are all full) is *parked* — excluded from its
+//! domain's next-event bound — and the full queue records the parked
+//! upstream as a watcher. The unblocking pop is the only event that can
+//! make the stalled retry succeed (a full queue cannot receive pushes, so
+//! it stays full until its own pop; staging only shrinks by injection), so
+//! the pop re-arms the watcher's domain at exactly the tick the stepped
+//! engine's retry would first succeed at: the pop time itself when the
+//! watcher is ordered after the popping domain (larger domain index, or a
+//! later switch / the NI stage of the same domain's in-progress tick), else
+//! the watcher's next edge strictly after the pop. A domain is therefore
+//! silent iff the stepped engine would perform no state change on any of
+//! its edges — saturated islands sleep between pops instead of degenerating
+//! to cycle-stepping.
 
 use crate::network::{PortTarget, SimNetwork};
 use crate::stats::{FlowStats, SimStats};
@@ -85,6 +101,36 @@ struct Flit {
     ready_ps: u64,
 }
 
+/// What a [`Simulator::forward_one`] attempt did to queue `(si, p)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ForwardOutcome {
+    /// Empty queue or head not ready yet — nothing to do at this tick.
+    Idle,
+    /// The head flit moved (ejected or pushed downstream).
+    Moved,
+    /// The head is ready but the downstream queue `(to, port)` is full.
+    /// Only this outcome parks a port on a wake list.
+    Blocked {
+        /// Downstream switch holding the full queue.
+        to: usize,
+        /// Full output port of `to`.
+        port: usize,
+    },
+}
+
+/// A parked upstream element registered on a full queue's wake list,
+/// woken by the pop that makes its stalled retry able to succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Waiter {
+    /// A blocked switch output port, by global queue id
+    /// ([`SimNetwork::port_id`]).
+    Port(u32),
+    /// A source core whose NI is parked, by core index. A core can watch
+    /// several queues at once (one per backlogged flow), so its entries are
+    /// validated against `parked_ni` when fired rather than kept exact.
+    Core(u32),
+}
+
 /// Per-domain scheduler state of the event-batched engine.
 ///
 /// For each extended island it caches the earliest tick (an absolute time
@@ -110,12 +156,32 @@ impl EventHorizon {
         }
     }
 
-    fn mark(&mut self, d: usize) {
-        self.dirty[d] = true;
-    }
-
     fn mark_all(&mut self) {
         self.dirty.iter_mut().for_each(|x| *x = true);
+    }
+}
+
+impl Simulator {
+    /// Folds a newly materialized future event of domain `dd` — a pushed
+    /// flit becoming ready, a wake re-arming a parked element — into the
+    /// domain's cached horizon entry in O(1). Pushes and wakes only ever
+    /// move a domain's next event *earlier*, so a monotone `min` against
+    /// the first grid tick covering `at_ps` keeps a clean entry exact
+    /// without the full [`Self::compute_next_event`] rescan a dirty mark
+    /// would cost. Dirty entries (the domain currently mid-tick, or any
+    /// domain in a stepped-mode run) are left alone: their scheduled
+    /// recompute reads the updated queue state anyway.
+    fn fold_event(&mut self, dd: usize, at_ps: u64) {
+        // The rounded-up tick can only improve the entry if the raw instant
+        // already undercuts it, so the precheck skips the division on the
+        // common path (the domain already has something earlier to do).
+        if self.horizon.dirty[dd] || at_ps >= self.horizon.next_event[dd] {
+            return;
+        }
+        let e = tick_at_or_after(self.next_tick[dd], self.net.period_ps[dd], at_ps);
+        if e < self.horizon.next_event[dd] {
+            self.horizon.next_event[dd] = e;
+        }
     }
 }
 
@@ -174,12 +240,16 @@ pub struct Simulator {
     switches_by_domain: Vec<Vec<u32>>,
     /// Core indices grouped by extended island, ascending.
     cores_by_domain: Vec<Vec<u32>>,
-    /// Lower bound on the earliest `ready_ps` among a switch's queue heads
-    /// (`u64::MAX` = believed empty). Maintained as a stale-low bound:
-    /// pushes fold their flit in immediately; pops leave it untouched (the
-    /// true minimum can only rise); each batched visit recomputes it
-    /// exactly while it scans the ports anyway. The bound never exceeds the
-    /// true minimum, so skipping a switch with `bound > now` is safe.
+    /// Lower bound on the earliest `ready_ps` among a switch's *unblocked*
+    /// queue heads (`u64::MAX` = believed empty or entirely parked).
+    /// Maintained as a stale-low bound: pushes fold their flit in
+    /// immediately; pops leave it untouched (the true minimum can only
+    /// rise); each batched visit recomputes it exactly while it scans the
+    /// ports anyway. Parked heads are deliberately left out — they are
+    /// ready but provably unable to move until the pop that fires their
+    /// wake, which folds them back in (`fire_wakes`). The bound never
+    /// exceeds the true minimum over actionable heads, so skipping a switch
+    /// with `bound > now` is safe; a low bound merely costs a no-op visit.
     min_head_ready: Vec<u64>,
     /// Earliest `next_injection_ps` among each core's active generators,
     /// rounded up to integer picoseconds (`u64::MAX` when all are
@@ -189,8 +259,37 @@ pub struct Simulator {
     staged_cnt: Vec<u32>,
     /// Next tick per extended island, ps.
     next_tick: Vec<u64>,
+    /// `next_tick / period_ps` per extended island, maintained
+    /// incrementally by the batched engine so the closed-form round-robin
+    /// starts need no per-tick division. Recomputed from `next_tick` at
+    /// every `run_batched` entry (the stepped engine advances `next_tick`
+    /// without touching this).
+    tick_idx: Vec<u64>,
     island_on: Vec<bool>,
     horizon: EventHorizon,
+    /// Wake list per global queue id: parked upstream elements to re-arm
+    /// when the (full) queue pops. Non-empty only in batched mode, and only
+    /// while the queue is full — the first pop drains the whole list.
+    waiters: Vec<Vec<Waiter>>,
+    /// Recycled backing buffer for draining a wake list: `fire_wakes`
+    /// swaps it in for the fired list so neither side reallocates in
+    /// steady state (a `mem::take` would leave the queue's list with zero
+    /// capacity, costing one heap allocation per park/wake cycle).
+    wake_scratch: Vec<Waiter>,
+    /// Whether the switch output port with this global queue id is parked
+    /// (ready head excluded from `min_head_ready`, one `Waiter::Port`
+    /// registered downstream). Exact: set on park, cleared by the wake.
+    parked_port: Vec<bool>,
+    /// Whether this core's NI is parked (staged backlog excluded from
+    /// `compute_next_event`'s next-tick shortcut). Set when an injection
+    /// scan finds every candidate first-hop queue full; cleared by a wake,
+    /// a successful injection, or re-validated after a generation event.
+    parked_ni: Vec<bool>,
+    /// Domain ticks actually processed (either engine). Not part of
+    /// [`SimStats`] — the whole point of batching is that this differs
+    /// across modes while the stats do not — but exposed for perf
+    /// regression tests that must not depend on wall clocks.
+    ticks_processed: u64,
     now_ps: u64,
     flits_per_packet: u32,
     stats: SimStats,
@@ -262,8 +361,14 @@ impl Simulator {
             generators,
             queues,
             next_tick: net.period_ps.clone(),
+            tick_idx: vec![1; n_domains],
             island_on: vec![true; n_domains],
             horizon: EventHorizon::new(n_domains),
+            waiters: vec![Vec::new(); net.port_count()],
+            wake_scratch: Vec::new(),
+            parked_port: vec![false; net.port_count()],
+            parked_ni: vec![false; n_cores],
+            ticks_processed: 0,
             now_ps: 0,
             flits_per_packet,
             stats: SimStats {
@@ -290,6 +395,16 @@ impl Simulator {
     /// Flits per packet under the configured packet size and link width.
     pub fn flits_per_packet(&self) -> u32 {
         self.flits_per_packet
+    }
+
+    /// Domain ticks processed so far (cumulative across runs).
+    ///
+    /// This is the engine's deterministic work metric: the batched engine
+    /// must process strictly fewer ticks than the stepped reference on any
+    /// workload with idle or blocked spans, and the wake-list perf tests
+    /// assert on the ratio instead of on wall-clock time.
+    pub fn ticks_processed(&self) -> u64 {
+        self.ticks_processed
     }
 
     /// Stops injection of `flow` (used by shutdown scenarios).
@@ -359,6 +474,7 @@ impl Simulator {
             for d in domains {
                 self.tick_domain_stepped(d);
                 self.next_tick[d] += self.net.period_ps[d];
+                self.ticks_processed += 1;
             }
         }
     }
@@ -368,47 +484,68 @@ impl Simulator {
     fn run_batched(&mut self, deadline_ps: u64) {
         let n_domains = self.next_tick.len();
         // Public state may have changed between runs (deactivated flows,
-        // gated islands), so trust nothing from the previous call.
+        // gated islands), so trust nothing from the previous call: refresh
+        // every live domain's horizon entry up front. Gated domains are
+        // pinned at `u64::MAX` and deliberately *kept dirty* — a stray push
+        // into a gated island (an in-flight flit of a deactivated flow, as
+        // frozen under the stepped engine) must not re-arm it, and
+        // `fold_event` skips dirty entries. Nothing else dirties an entry
+        // mid-run: ticks refresh their own entry in place and pushes/wakes
+        // fold monotonically.
         self.horizon.mark_all();
-        let mut due: Vec<usize> = Vec::with_capacity(n_domains);
+        for d in 0..n_domains {
+            self.tick_idx[d] = self.next_tick[d] / self.net.period_ps[d];
+            if self.island_on[d] {
+                self.horizon.next_event[d] = self.compute_next_event(d);
+                self.horizon.dirty[d] = false;
+            } else {
+                self.horizon.next_event[d] = u64::MAX;
+            }
+        }
         loop {
-            // One pass refreshes stale entries, finds the earliest event
-            // time and collects the domains due at it — in ascending index
-            // order, exactly as the stepped engine orders same-timestamp
-            // domains. A tick processed below can only affect a later
-            // domain's *future* ticks (pushed flits become ready two
-            // downstream cycles later), never create an action at `t` for
-            // a domain not already due.
+            // Pick the single lexicographically earliest `(time, domain)`
+            // tick — the exact order the stepped engine processes
+            // same-timestamp domains in (ascending index). Ticks are taken
+            // one at a time rather than batched per timestamp because a pop
+            // inside this tick may wake a *higher-indexed* domain at the
+            // same timestamp (the stepped engine's retry there happens
+            // after this whole tick); the next pass picks that wake up
+            // naturally. A tick can never create an action at `t` for a
+            // lower-indexed domain: pushed flits become ready two
+            // downstream cycles later, and wakes to lower-indexed domains
+            // target `t + 1`.
             let mut t = u64::MAX;
-            due.clear();
-            for d in 0..n_domains {
-                if !self.island_on[d] {
-                    continue;
-                }
-                if self.horizon.dirty[d] {
-                    self.horizon.next_event[d] = self.compute_next_event(d);
-                    self.horizon.dirty[d] = false;
-                }
-                let e = self.horizon.next_event[d];
+            let mut dom = usize::MAX;
+            for (d, &e) in self.horizon.next_event.iter().enumerate() {
                 if e < t {
                     t = e;
-                    due.clear();
-                    due.push(d);
-                } else if e == t {
-                    due.push(d);
+                    dom = d;
                 }
             }
             if t >= deadline_ps {
                 break;
             }
             self.now_ps = t;
-            for &d in &due {
-                let p = self.net.period_ps[d];
-                debug_assert!(t >= self.next_tick[d] && (t - self.next_tick[d]) % p == 0);
-                self.tick_domain_batched(d, t);
-                self.next_tick[d] = t + p;
-                self.horizon.mark(d);
+            let p = self.net.period_ps[dom];
+            debug_assert!(t >= self.next_tick[dom] && (t - self.next_tick[dom]) % p == 0);
+            // Catch the tick index up over the grid edges the domain slept
+            // through (the division is exact — both instants sit on the
+            // grid — and is skipped entirely for back-to-back ticks).
+            if t > self.next_tick[dom] {
+                self.tick_idx[dom] += (t - self.next_tick[dom]) / p;
             }
+            let e_ps = self.tick_domain_batched(dom, t);
+            self.next_tick[dom] = t + p;
+            self.tick_idx[dom] += 1;
+            // The tick pass already computed the domain's raw next-event
+            // instant from the state it left behind; one grid conversion
+            // refreshes the horizon entry without a dirty-mark rescan.
+            self.horizon.next_event[dom] = if e_ps == u64::MAX {
+                u64::MAX
+            } else {
+                tick_at_or_after(t + p, p, e_ps)
+            };
+            self.ticks_processed += 1;
         }
         // The stepped engine keeps ticking (idly) up to the deadline; only
         // the clock positions survive of that — the arbitration pointers
@@ -422,19 +559,21 @@ impl Simulator {
     }
 
     /// Earliest tick at which domain `d` could act under its current state:
-    /// the next tick outright if an NI has a staged backlog, else the first
-    /// tick at/after the earliest queued flit's `ready_ps` or the earliest
-    /// scheduled packet injection. A ready head blocked by backpressure
-    /// counts as actionable (the unblocking pop happens in another domain's
-    /// tick, which cannot be anticipated here), so blocked domains keep
-    /// ticking cycle-by-cycle — batching never skips a tick that the
-    /// stepped engine would have acted on.
+    /// the next tick outright if an NI has an unparked staged backlog, else
+    /// the first tick at/after the earliest *unblocked* queued flit's
+    /// `ready_ps` or the earliest scheduled packet injection. Parked
+    /// elements — ready heads stalled by full downstream queues, NIs whose
+    /// every candidate first-hop queue is full — are excluded: their
+    /// stepped-engine retries provably fail until the unblocking pop, and
+    /// the pop's wake (`fire_wakes`) re-arms this domain at exactly the
+    /// first tick a retry can succeed at. A domain whose only ready work is
+    /// blocked therefore reports `u64::MAX` and sleeps between pops.
     fn compute_next_event(&self, d: usize) -> u64 {
         let t0 = self.next_tick[d];
         let mut e_ps = u64::MAX;
         for &ci in &self.cores_by_domain[d] {
             let ci = ci as usize;
-            if self.staged_cnt[ci] > 0 {
+            if self.staged_cnt[ci] > 0 && !self.parked_ni[ci] {
                 return t0;
             }
             e_ps = e_ps.min(self.gen_next_ps[ci]);
@@ -497,37 +636,78 @@ impl Simulator {
     /// or inject. The round-robin arbitration starts are derived from the
     /// tick index `t / period` in closed form, so skipped elements need no
     /// pointer bookkeeping — their state is untouched by an idle cycle.
-    fn tick_domain_batched(&mut self, d: usize, t: u64) {
-        let idx = t / self.net.period_ps[d];
+    ///
+    /// Returns the raw earliest instant (ps, not grid-rounded) at which the
+    /// domain could act again given the state this tick leaves behind —
+    /// the same quantity [`Self::compute_next_event`] derives, folded here
+    /// for free while the tick walks the domain anyway. Core contributions
+    /// fold as each core's stage completes (nothing later in the tick can
+    /// touch core state); switch bounds fold in a final pass because the
+    /// core stage pushes into this domain's own first-hop queues.
+    fn tick_domain_batched(&mut self, d: usize, t: u64) -> u64 {
+        let idx = self.tick_idx[d];
+        debug_assert_eq!(idx, t / self.net.period_ps[d]);
         for i in 0..self.switches_by_domain[d].len() {
             let si = self.switches_by_domain[d][i] as usize;
             if self.min_head_ready[si] > t {
                 continue;
             }
             let n_ports = self.queues[si].len();
-            let start = ((idx - 1) % n_ports.max(1) as u64) as usize;
+            let start = if n_ports > 1 {
+                ((idx - 1) % n_ports as u64) as usize
+            } else {
+                0
+            };
             // Recompute the bound exactly while scanning; same-tick pushes
             // from other switches fold themselves in through `forward_one`.
+            // A blocked head is parked instead of folded: it cannot move
+            // before the pop that fires its wake, and the wake restores it.
             self.min_head_ready[si] = u64::MAX;
             for off in 0..n_ports {
                 let p = (start + off) % n_ports;
-                self.forward_one(si, p, t);
-                if let Some(head) = self.queues[si][p].front() {
-                    self.min_head_ready[si] = self.min_head_ready[si].min(head.ready_ps);
+                match self.forward_one(si, p, t) {
+                    ForwardOutcome::Blocked { to, port } => self.park_port(si, p, to, port),
+                    ForwardOutcome::Idle | ForwardOutcome::Moved => {
+                        if let Some(head) = self.queues[si][p].front() {
+                            self.min_head_ready[si] = self.min_head_ready[si].min(head.ready_ps);
+                        }
+                    }
                 }
             }
         }
+        let mut e_ps = u64::MAX;
         for i in 0..self.cores_by_domain[d].len() {
             let ci = self.cores_by_domain[d][i] as usize;
-            if self.gen_next_ps[ci] <= t {
+            let generated = self.gen_next_ps[ci] <= t;
+            if generated {
                 self.generate_arrivals(ci, t);
             }
-            if self.staged_cnt[ci] > 0 {
+            // A parked NI retries only after a generation event (freshly
+            // staged flows may target a non-full queue) or its wake (the
+            // pop of a watched queue, fired earlier in this very tick by
+            // this domain's own switch stage — first-hop queues live on the
+            // core's own switch). In between, stepped retries provably
+            // fail: staging only shrinks by injection and the watched
+            // queues stay full until they pop.
+            if self.staged_cnt[ci] > 0 && (generated || !self.parked_ni[ci]) {
                 let n = self.flows_by_core[ci].len();
-                let start = ((idx - 1) % n as u64) as usize;
-                self.inject_from(ci, start, t);
+                let start = if n > 1 {
+                    ((idx - 1) % n as u64) as usize
+                } else {
+                    0
+                };
+                self.inject_from(ci, start, t, true);
             }
+            if self.staged_cnt[ci] > 0 && !self.parked_ni[ci] {
+                // Unparked backlog: due again at the very next edge.
+                e_ps = 0;
+            }
+            e_ps = e_ps.min(self.gen_next_ps[ci]);
         }
+        for &si in &self.switches_by_domain[d] {
+            e_ps = e_ps.min(self.min_head_ready[si as usize]);
+        }
+        e_ps
     }
 
     /// Moves packets whose injection time has come into the staging queue.
@@ -579,12 +759,17 @@ impl Simulator {
         }
         let start = self.inj_rr[ci];
         self.inj_rr[ci] = (start + 1) % n;
-        self.inject_from(ci, start, t);
+        self.inject_from(ci, start, t, false);
     }
 
     /// Moves one staged flit of core `ci` into its switch's first-hop
     /// queue, trying the core's flows round-robin from `start`.
-    fn inject_from(&mut self, ci: usize, start: usize, t: u64) {
+    ///
+    /// With `park` set (the batched path), a fully blocked scan — some flow
+    /// has staged flits but every such flow's first-hop queue is full —
+    /// parks the NI on the wake lists of those queues instead of leaving
+    /// the core to busy-wait.
+    fn inject_from(&mut self, ci: usize, start: usize, t: u64, park: bool) {
         let n = self.flows_by_core[ci].len();
         for off in 0..n {
             let fi = self.flows_by_core[ci][(start + off) % n] as usize;
@@ -601,7 +786,46 @@ impl Simulator {
             flit.ready_ps = t + 2 * self.net.period_ps[d];
             self.push_flit(si, port, flit);
             self.staged_cnt[ci] -= 1;
+            self.parked_ni[ci] = false;
             return;
+        }
+        if park && self.staged_cnt[ci] > 0 {
+            self.park_ni(ci);
+        }
+    }
+
+    /// Parks core `ci`'s NI: every flow with staged flits found its
+    /// first-hop queue full, so retries cannot succeed until one of those
+    /// queues pops (or a generation event stages a flow with a different
+    /// first hop — `tick_domain_batched` re-validates on generation).
+    /// Registers one watcher per distinct full queue; `contains` dedups
+    /// against entries left from earlier parks of the same core.
+    fn park_ni(&mut self, ci: usize) {
+        self.parked_ni[ci] = true;
+        for off in 0..self.flows_by_core[ci].len() {
+            let fi = self.flows_by_core[ci][off] as usize;
+            if self.staging[fi].is_empty() {
+                continue;
+            }
+            let (si, port) = self.net.route(FlowId::from_index(fi))[0];
+            debug_assert!(self.queues[si][port].len() >= self.cfg.queue_capacity);
+            let gid = self.net.port_id(si, port);
+            let w = Waiter::Core(ci as u32);
+            if !self.waiters[gid].contains(&w) {
+                self.waiters[gid].push(w);
+            }
+        }
+    }
+
+    /// Parks switch output port `(si, p)`: its ready head is stalled by the
+    /// full queue `(to, port)`, so it is excluded from `min_head_ready`
+    /// until that queue's pop fires the wake. The `parked_port` flag dedups
+    /// re-parks from later visits of the same blocked head.
+    fn park_port(&mut self, si: usize, p: usize, to: usize, port: usize) {
+        let blocked = self.net.port_id(si, p);
+        if !self.parked_port[blocked] {
+            self.parked_port[blocked] = true;
+            self.waiters[self.net.port_id(to, port)].push(Waiter::Port(blocked as u32));
         }
     }
 
@@ -613,16 +837,19 @@ impl Simulator {
     }
 
     /// Forwards the head flit of queue (si, p), if ready and accepted.
-    fn forward_one(&mut self, si: usize, p: usize, t: u64) {
+    /// Every pop fires the queue's wake list — the pop is the one event
+    /// that can unblock a parked watcher.
+    fn forward_one(&mut self, si: usize, p: usize, t: u64) -> ForwardOutcome {
         let Some(&head) = self.queues[si][p].front() else {
-            return;
+            return ForwardOutcome::Idle;
         };
         if head.ready_ps > t {
-            return;
+            return ForwardOutcome::Idle;
         }
         match self.net.switches[si].ports[p].target {
             PortTarget::Eject => {
                 let flit = self.queues[si][p].pop_front().expect("head exists");
+                self.fire_wakes(si, p, t);
                 self.stats.switch_flits[si] += 1;
                 if flit.is_tail {
                     let d = self.net.switches[si].island_ext;
@@ -633,6 +860,7 @@ impl Simulator {
                     fs.total_latency_ps += latency as u128;
                     fs.max_latency_ps = fs.max_latency_ps.max(latency);
                 }
+                ForwardOutcome::Moved
             }
             PortTarget::Link { to, crossing } => {
                 let route = &self.net.route_ports[head.flow as usize];
@@ -640,9 +868,13 @@ impl Simulator {
                 let (next_sw, next_port) = route[next_hop];
                 debug_assert_eq!(next_sw, to);
                 if self.queues[to][next_port].len() >= self.cfg.queue_capacity {
-                    return; // backpressure
+                    return ForwardOutcome::Blocked {
+                        to,
+                        port: next_port,
+                    };
                 }
                 let mut flit = self.queues[si][p].pop_front().expect("head exists");
+                self.fire_wakes(si, p, t);
                 self.stats.switch_flits[si] += 1;
                 let dd = self.net.switches[to].island_ext;
                 let dwell = if crossing {
@@ -653,12 +885,101 @@ impl Simulator {
                 // Link + downstream switch traversal + converter dwell.
                 flit.ready_ps = t + 2 * self.net.period_ps[dd] + dwell;
                 flit.hop = next_hop as u32;
+                let ready = flit.ready_ps;
                 self.push_flit(to, next_port, flit);
-                // The receiving domain's cached horizon no longer covers
-                // this flit.
-                self.horizon.mark(dd);
+                // The receiving domain's cached horizon must cover the new
+                // flit; a push only moves the next event earlier, so an
+                // O(1) fold suffices (no dirty mark, no rescan).
+                self.fold_event(dd, ready);
+                ForwardOutcome::Moved
             }
         }
+    }
+
+    /// Re-arms everything parked on queue `(si, p)` after its pop. Port
+    /// watchers fold their (still ready, still present) head back into
+    /// `min_head_ready`; core watchers are validated against `parked_ni`
+    /// (a core watches one queue per backlogged flow, and an earlier wake
+    /// or successful injection leaves the other entries stale). Each woken
+    /// element's domain is then rescheduled by [`Self::wake_domain`].
+    fn fire_wakes(&mut self, si: usize, p: usize, t: u64) {
+        let gid = self.net.port_id(si, p);
+        if self.waiters[gid].is_empty() {
+            return;
+        }
+        let popper = self.net.switches[si].island_ext;
+        // Swap in the recycled buffer so the drained list keeps its backing
+        // capacity for the next park (allocation-free in steady state).
+        let list = std::mem::replace(
+            &mut self.waiters[gid],
+            std::mem::take(&mut self.wake_scratch),
+        );
+        for &w in &list {
+            match w {
+                Waiter::Port(blocked) => {
+                    let blocked = blocked as usize;
+                    debug_assert!(self.parked_port[blocked]);
+                    self.parked_port[blocked] = false;
+                    let (usi, up) = self.net.port_owner[blocked];
+                    let (usi, up) = (usi as usize, up as usize);
+                    // A parked head cannot have moved (its only exit is the
+                    // pop this wake precedes) and pushes land behind it, so
+                    // it is still the head, still ready.
+                    let ready = self.queues[usi][up].front().expect("parked head").ready_ps;
+                    debug_assert!(ready <= t);
+                    self.min_head_ready[usi] = self.min_head_ready[usi].min(ready);
+                    self.wake_domain(self.net.switches[usi].island_ext, popper, t);
+                }
+                Waiter::Core(ci) => {
+                    let ci = ci as usize;
+                    if !self.parked_ni[ci] {
+                        continue; // stale entry from an earlier park
+                    }
+                    self.parked_ni[ci] = false;
+                    self.wake_domain(self.net.island_of_core[ci], popper, t);
+                }
+            }
+        }
+        self.wake_scratch = list;
+        self.wake_scratch.clear();
+    }
+
+    /// Schedules woken domain `dw` at the first tick its stalled retry can
+    /// succeed at, given the unblocking pop happened at `t` inside domain
+    /// `popper`'s tick.
+    ///
+    /// * `dw == popper`: nothing to schedule — the domain is mid-tick right
+    ///   now. If the woken element is ordered after the popping switch
+    ///   (a later switch, or the NI stage), this very tick re-reads the
+    ///   live queue state when it gets there, exactly like the stepped
+    ///   engine; if it was already visited, the restored bound/flag
+    ///   reschedules it for the next edge when this tick's horizon entry is
+    ///   recomputed.
+    /// * `dw > popper`: the stepped engine processes `dw` after `popper` at
+    ///   equal timestamps, so a retry at `t` itself already sees the pop.
+    /// * `dw < popper`: `dw`'s edge at `t` (if any) was processed before
+    ///   the pop, so the first retry that can see it is `dw`'s next edge
+    ///   strictly after `t`.
+    ///
+    /// `next_tick[dw]` is fast-forwarded to that tick so the horizon
+    /// recomputation anchors at it: the skipped grid edges are exactly the
+    /// ones the scheduler had already proven action-free when it picked
+    /// `(t, popper)` as the earliest event (the restored head was parked —
+    /// excluded — for all of them).
+    fn wake_domain(&mut self, dw: usize, popper: usize, t: u64) {
+        if dw == popper || !self.island_on[dw] {
+            return;
+        }
+        let target = if dw > popper { t } else { t + 1 };
+        if target > self.next_tick[dw] {
+            let p = self.net.period_ps[dw];
+            let steps = (target - self.next_tick[dw]).div_ceil(p);
+            self.next_tick[dw] += steps * p;
+            self.tick_idx[dw] += steps;
+        }
+        // A wake only moves the woken domain's next event earlier: fold it
+        // in O(1) instead of dirtying the whole domain for a rescan.
+        self.fold_event(dw, self.next_tick[dw]);
     }
 
     fn snapshot(&self) -> SimStats {

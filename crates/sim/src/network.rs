@@ -57,6 +57,13 @@ pub struct SimNetwork {
     pub(crate) island_of_core: Vec<usize>,
     /// Crossing dwell in reader-domain cycles.
     pub(crate) crossing_cycles: u64,
+    /// First global queue id of each switch: queue `(si, p)` has the
+    /// workspace-wide id `port_base[si] + p`. The engine's wake lists are
+    /// keyed by these ids so a watcher registration is one `Vec` push.
+    pub(crate) port_base: Vec<usize>,
+    /// Owning `(switch, port)` of each global queue id (the inverse of
+    /// [`Self::port_id`]).
+    pub(crate) port_owner: Vec<(u32, u32)>,
 }
 
 impl SimNetwork {
@@ -133,6 +140,17 @@ impl SimNetwork {
             route_ports.push(hops);
         }
 
+        // Global queue ids, assigned switch-major so `(si, p)` round-trips
+        // through `port_id` / `port_owner`.
+        let mut port_base = Vec::with_capacity(n_switch);
+        let mut port_owner = Vec::new();
+        for (i, sw) in switches.iter().enumerate() {
+            port_base.push(port_owner.len());
+            for p in 0..sw.ports.len() {
+                port_owner.push((i as u32, p as u32));
+            }
+        }
+
         SimNetwork {
             switches,
             period_ps,
@@ -140,6 +158,8 @@ impl SimNetwork {
             switch_of_core,
             island_of_core,
             crossing_cycles: BisyncFifoModel::CROSSING_LATENCY_CYCLES as u64,
+            port_base,
+            port_owner,
         }
     }
 
@@ -156,6 +176,16 @@ impl SimNetwork {
     /// The port-level route of `flow` as `(switch, port)` pairs.
     pub(crate) fn route(&self, flow: FlowId) -> &[(usize, usize)] {
         &self.route_ports[flow.index()]
+    }
+
+    /// Global id of output queue `(si, p)`.
+    pub(crate) fn port_id(&self, si: usize, p: usize) -> usize {
+        self.port_base[si] + p
+    }
+
+    /// Total output queues across all switches.
+    pub(crate) fn port_count(&self) -> usize {
+        self.port_owner.len()
     }
 }
 
@@ -241,6 +271,19 @@ mod tests {
             assert!(*p <= 50_000, "period {p} ps implies < 20 MHz island");
         }
         assert_eq!(net.crossing_cycles, 4);
+    }
+
+    #[test]
+    fn port_ids_round_trip() {
+        let (_, net) = network();
+        let total: usize = net.switches.iter().map(|s| s.ports.len()).sum();
+        assert_eq!(net.port_count(), total);
+        for (si, sw) in net.switches.iter().enumerate() {
+            for p in 0..sw.ports.len() {
+                let gid = net.port_id(si, p);
+                assert_eq!(net.port_owner[gid], (si as u32, p as u32));
+            }
+        }
     }
 
     #[test]

@@ -88,7 +88,12 @@ pub fn run_shutdown_scenario(
     // Draining is adaptive: the island's own traffic (plus any staged
     // backlog at saturated NIs) takes a workload-dependent time to flush,
     // so poll in chunks; a generous cap still catches genuine unsafety
-    // (foreign traffic parked in the island would never drain).
+    // (foreign traffic parked in the island would never drain). When the
+    // island was congested, upstream domains may sit parked on its full
+    // queues — every drain pop runs through the engine's wake lists
+    // (`fire_wakes`), so the stalled senders re-arm at exactly the right
+    // ticks and a parked element can never survive into the gate: parked
+    // implies a non-empty (full) queue, which `gate_island` rejects.
     for fid in spec.flow_ids() {
         if !survivor(fid) {
             sim.deactivate_flow(fid);

@@ -30,6 +30,8 @@
 //! assert!(vi.always_on_islands().iter().any(|&a| a));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod benchmarks;
 mod core;
 mod flow;
