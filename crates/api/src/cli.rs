@@ -21,8 +21,10 @@ use std::time::Instant;
 use vi_noc_core::SynthesisConfig;
 use vi_noc_soc::{partition, SocSpec, ViAssignment};
 use vi_noc_sweep::{
-    frontier_progress_json, json, merge_checkpoints, parse_shard_checkpoint, resume_shard,
-    shard_progress_json, GridConfig, GridDescriptor, Shard, ShardProgress, SweepGrid,
+    frontier_progress_json, frontier_seeds, json, merge_checkpoints, parse_frontier_file,
+    parse_shard_checkpoint, resume_shard, resume_shard_pruned, shard_progress_json,
+    validate_frontier_source, windows_from_frontier, GridConfig, GridDescriptor, RefineParams,
+    Shard, ShardProgress, SweepGrid,
 };
 
 /// Top-level usage text of the `vi-noc` binary.
@@ -36,13 +38,17 @@ usage:
 /// Usage text of the `sweep` subcommand / binary.
 pub const SWEEP_USAGE: &str = "\
 usage:
-  sweep run   --spec <d12|d16|d20|d26|d36> --islands K [--partition logical|comm]
-              [--comm-seed S] [--max-boost B] [--scales 1.0,1.15] [--max-mid M]
-              | --scenario FILE
-              [--shard I/N] [--seq] [--frontier] [--resume] [--checkpoint-every C]
-              --out FILE
-  sweep merge SHARD.json... --out FILE
-  sweep info  (--spec ... --islands K [grid flags] | --scenario FILE)";
+  sweep run    --spec <d12|d16|d20|d26|d36> --islands K [--partition logical|comm]
+               [--comm-seed S] [--max-boost B] [--scales 1.0,1.15] [--max-mid M]
+               | --scenario FILE
+               [--prune] [--shard I/N] [--seq] [--frontier] [--resume]
+               [--checkpoint-every C] --out FILE
+  sweep refine --frontier-in COARSE.json (--spec ... --islands K | --scenario FILE)
+               [fine grid flags as in run] [--boost-radius B] [--base-radius R]
+               [--scale-window W] [--prune] [--shard I/N] [--seq] [--frontier]
+               [--resume] [--checkpoint-every C] --out FILE
+  sweep merge  SHARD.json... --out FILE
+  sweep info   (--spec ... --islands K [grid flags] | --scenario FILE)";
 
 /// Entry point of the `vi-noc` binary.
 ///
@@ -201,6 +207,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
 pub fn sweep_cli(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("run") => sweep_run(&args[1..]),
+        Some("refine") => sweep_refine(&args[1..]),
         Some("merge") => sweep_merge(&args[1..]),
         Some("info") => sweep_info(&args[1..]),
         Some(other) => Err(format!("unknown command '{other}'")),
@@ -217,6 +224,7 @@ struct SweepOpts {
     grid_cfg: GridConfig,
     cfg: SynthesisConfig,
     shard: Shard,
+    prune: bool,
     frontier: bool,
     resume: bool,
     checkpoint_every: Option<u64>,
@@ -232,6 +240,7 @@ fn parse_sweep_opts(args: &[String]) -> Result<SweepOpts, String> {
     let mut grid_flags: Vec<(String, String)> = Vec::new();
     let mut seq = false;
     let mut shard = Shard::full();
+    let mut prune = false;
     let mut frontier = false;
     let mut resume = false;
     let mut checkpoint_every: Option<u64> = None;
@@ -264,6 +273,7 @@ fn parse_sweep_opts(args: &[String]) -> Result<SweepOpts, String> {
                 grid_flags.push((arg.clone(), value(arg)?.clone()))
             }
             "--shard" => shard = Shard::parse(value("--shard")?)?,
+            "--prune" => prune = true,
             "--seq" => seq = true,
             "--frontier" => frontier = true,
             "--resume" => resume = true,
@@ -299,6 +309,8 @@ fn parse_sweep_opts(args: &[String]) -> Result<SweepOpts, String> {
             .sweep
             .clone()
             .ok_or_else(|| format!("scenario '{}' declares no sweep grid", scenario.name))?;
+        // The scenario may opt into pruning for every process of the sweep.
+        prune |= scenario.sweep_prune;
         (
             spec,
             vi,
@@ -384,6 +396,7 @@ fn parse_sweep_opts(args: &[String]) -> Result<SweepOpts, String> {
         grid_cfg,
         cfg,
         shard,
+        prune,
         frontier,
         resume,
         checkpoint_every,
@@ -394,15 +407,88 @@ fn parse_sweep_opts(args: &[String]) -> Result<SweepOpts, String> {
 fn sweep_run(args: &[String]) -> Result<(), String> {
     let opts = parse_sweep_opts(args)?;
     let grid = SweepGrid::build(&opts.spec, &opts.vi, &opts.cfg, &opts.grid_cfg);
-    let desc =
-        GridDescriptor::for_grid(&grid, opts.spec.name(), &opts.partition_tag, opts.cfg.seed);
+    drive_sweep(&opts, &grid)
+}
+
+/// Builds the refinement windows of the requested fine grid around a
+/// merged coarse frontier, then sweeps the windowed grid exactly like
+/// `sweep run` (same sharding, pruning, resume and emission flags).
+fn sweep_refine(args: &[String]) -> Result<(), String> {
+    // The refine-specific flags are peeled off here; everything else is the
+    // `sweep run` surface, fine-grid flags included.
+    let mut frontier_in: Option<String> = None;
+    let mut params = RefineParams::default();
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--frontier-in" => frontier_in = Some(value("--frontier-in")?.clone()),
+            "--boost-radius" => {
+                params.boost_radius = value("--boost-radius")?
+                    .parse()
+                    .map_err(|_| "bad --boost-radius value")?
+            }
+            "--base-radius" => {
+                params.base_radius = value("--base-radius")?
+                    .parse()
+                    .map_err(|_| "bad --base-radius value")?
+            }
+            "--scale-window" => {
+                let w: f64 = value("--scale-window")?
+                    .parse()
+                    .map_err(|_| "bad --scale-window value")?;
+                if !w.is_finite() || w < 0.0 {
+                    return Err("--scale-window must be a finite factor >= 0".to_string());
+                }
+                params.scale_window = w;
+            }
+            other => rest.push(other.to_string()),
+        }
+    }
+    let opts = parse_sweep_opts(&rest)?;
+    let path = frontier_in.ok_or("--frontier-in COARSE.json is required")?;
+    let parsed = parse_frontier_file(&read_file(&path)?).map_err(|e| format!("{path}: {e}"))?;
+    // Refining a frontier of a different spec, partition or seed would
+    // window the fine grid around points of a different design space.
+    validate_frontier_source(
+        &parsed,
+        opts.spec.name(),
+        &opts.partition_tag,
+        opts.cfg.seed,
+    )
+    .map_err(|e| format!("{path}: {e}"))?;
+    let seeds = frontier_seeds(&parsed).map_err(|e| format!("{path}: {e}"))?;
+    let windows = windows_from_frontier(&seeds, &opts.grid_cfg, &params);
+    if windows.is_empty() {
+        return Err(format!(
+            "{path}: no refinement window covers the fine grid (empty frontier, or every \
+             surviving scale is outside --scale-window)"
+        ));
+    }
     eprintln!(
-        "sweep run: {} ({}), grid {} chains / {} candidates, shard {}",
+        "sweep refine: {} window(s) around {} surviving point(s) of {path}",
+        windows.len(),
+        seeds.len()
+    );
+    let grid = SweepGrid::build_windowed(&opts.spec, &opts.vi, &opts.cfg, &opts.grid_cfg, windows);
+    drive_sweep(&opts, &grid)
+}
+
+/// The shared shard driver of `sweep run` and `sweep refine`: resume,
+/// periodic checkpoints, optional pruning, final emission.
+fn drive_sweep(opts: &SweepOpts, grid: &SweepGrid) -> Result<(), String> {
+    let desc = GridDescriptor::for_grid(grid, opts.spec.name(), &opts.partition_tag, opts.cfg.seed);
+    eprintln!(
+        "sweep run: {} ({}), grid {} chains / {} candidates, shard {}{}",
         desc.spec_name,
         desc.partition,
         grid.num_active_chains(),
         grid.num_candidates(),
-        opts.shard
+        opts.shard,
+        if opts.prune { ", slack pruning on" } else { "" }
     );
 
     // Restore a previous (possibly partial) checkpoint when resuming.
@@ -440,11 +526,16 @@ fn sweep_run(args: &[String]) -> Result<(), String> {
     }
 
     let start = Instant::now();
+    let resume = if opts.prune {
+        resume_shard_pruned
+    } else {
+        resume_shard
+    };
     loop {
-        let finished = resume_shard(
+        let finished = resume(
             &opts.spec,
             &opts.vi,
-            &grid,
+            grid,
             opts.shard,
             &opts.cfg,
             &mut progress,
@@ -465,10 +556,11 @@ fn sweep_run(args: &[String]) -> Result<(), String> {
     }
     let elapsed = start.elapsed();
     eprintln!(
-        "sweep run: shard {} done in {elapsed:.2?}: {} chains, {} feasible / {} duplicate / \
-         {} infeasible candidates, {} frontier points",
+        "sweep run: shard {} done in {elapsed:.2?}: {} chains ({} skipped by slack pruning), \
+         {} feasible / {} duplicate / {} infeasible candidates, {} frontier points",
         opts.shard,
         progress.stats.chains,
+        progress.pruned_chains,
         progress.stats.feasible,
         progress.stats.duplicates,
         progress.stats.infeasible,
@@ -569,5 +661,34 @@ mod tests {
         assert_eq!(opts.grid_cfg.max_boost, 1);
         assert!(!opts.cfg.parallel);
         assert_eq!(opts.shard, Shard::new(0, 2).unwrap());
+        // Slack pruning is off unless asked for.
+        assert!(!opts.prune);
+        let opts = parse_sweep_opts(&args("--spec d12 --islands 4 --prune")).unwrap();
+        assert!(opts.prune);
+    }
+
+    #[test]
+    fn sweep_refine_validates_its_flags() {
+        let args = |s: &str| -> Vec<String> { s.split(' ').map(String::from).collect() };
+        // The coarse frontier is mandatory.
+        let err = sweep_refine(&args("--spec d12 --islands 4")).unwrap_err();
+        assert!(err.contains("--frontier-in"), "{err}");
+        // Radii must be numbers; the window must be a finite non-negative float.
+        let err = sweep_refine(&args(
+            "--frontier-in f.json --spec d12 --islands 4 --boost-radius x",
+        ))
+        .unwrap_err();
+        assert!(err.contains("--boost-radius"), "{err}");
+        let err = sweep_refine(&args(
+            "--frontier-in f.json --spec d12 --islands 4 --scale-window -1",
+        ))
+        .unwrap_err();
+        assert!(err.contains("--scale-window"), "{err}");
+        // A missing frontier file fails with the path in the message.
+        let err = sweep_refine(&args(
+            "--frontier-in /nonexistent/f.json --spec d12 --islands 4",
+        ))
+        .unwrap_err();
+        assert!(err.contains("/nonexistent/f.json"), "{err}");
     }
 }

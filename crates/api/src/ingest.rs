@@ -16,14 +16,16 @@
 //! `bandwidth_mbps`, `dyn_power_mw`) instead.
 
 use crate::error::Error;
-use crate::scenario::{IslandChoice, PartitionPlan, Scenario, ShutdownPlan, SimPlan, SpecSource};
+use crate::scenario::{
+    IslandChoice, PartitionPlan, RefinePlan, Scenario, ShutdownPlan, SimPlan, SpecSource,
+};
 use vi_noc_core::{json_number, json_string, SynthesisConfig};
 use vi_noc_floorplan::FloorplanConfig;
 use vi_noc_models::{Area, Bandwidth, Frequency, Power, Technology};
 use vi_noc_sim::TrafficKind;
 use vi_noc_soc::{CoreId, CoreKind, CoreSpec, SocSpec, TrafficFlow};
 use vi_noc_sweep::json::{self, Value};
-use vi_noc_sweep::GridConfig;
+use vi_noc_sweep::{GridConfig, RefineParams};
 
 /// `format` tag of scenario files.
 pub const SCENARIO_FORMAT: &str = "vi-noc-scenario-v1";
@@ -758,6 +760,36 @@ fn sweep_to_json(c: &GridConfig) -> String {
     )
 }
 
+fn refine_from_value(v: &Value, ctx: &str) -> Result<RefinePlan, Error> {
+    let m = as_obj(v, ctx)?;
+    check_keys(
+        m,
+        &["grid", "boost_radius", "base_radius", "scale_window"],
+        ctx,
+    )?;
+    let grid = sweep_from_value(req(m, "grid", ctx)?, &format!("{ctx}.grid"))?;
+    let mut params = RefineParams::default();
+    override_field(m, "boost_radius", ctx, &mut params.boost_radius, usize_of)?;
+    override_field(m, "base_radius", ctx, &mut params.base_radius, usize_of)?;
+    if let Some(v) = get(m, "scale_window") {
+        let wctx = format!("{ctx}.scale_window");
+        let w = f64_of(v, &wctx)?;
+        // Negative windows would silently refine nothing.
+        params.scale_window = non_negative(w, &wctx)?;
+    }
+    Ok(RefinePlan { grid, params })
+}
+
+fn refine_to_json(plan: &RefinePlan) -> String {
+    format!(
+        "{{\"grid\":{},\"boost_radius\":{},\"base_radius\":{},\"scale_window\":{}}}",
+        sweep_to_json(&plan.grid),
+        plan.params.boost_radius,
+        plan.params.base_radius,
+        json_number(plan.params.scale_window)
+    )
+}
+
 // --- Scenario ------------------------------------------------------------
 
 pub(crate) fn scenario_from_json(text: &str) -> Result<Scenario, Error> {
@@ -776,6 +808,8 @@ pub(crate) fn scenario_from_json(text: &str) -> Result<Scenario, Error> {
             "sim",
             "shutdown",
             "sweep",
+            "sweep_prune",
+            "refine",
         ],
         ctx,
     )?;
@@ -808,6 +842,23 @@ pub(crate) fn scenario_from_json(text: &str) -> Result<Scenario, Error> {
     let sweep = get(members, "sweep")
         .map(|v| sweep_from_value(v, "scenario.sweep"))
         .transpose()?;
+    let mut sweep_prune = false;
+    override_field(
+        members,
+        "sweep_prune",
+        "scenario",
+        &mut sweep_prune,
+        bool_of,
+    )?;
+    let refine = get(members, "refine")
+        .map(|v| refine_from_value(v, "scenario.refine"))
+        .transpose()?;
+    if refine.is_some() && sweep.is_none() {
+        return Err(Error::scenario(
+            "scenario.refine",
+            "refinement needs a coarse 'sweep' grid to start from",
+        ));
+    }
     Ok(Scenario {
         name,
         spec,
@@ -817,6 +868,8 @@ pub(crate) fn scenario_from_json(text: &str) -> Result<Scenario, Error> {
         sim,
         shutdown,
         sweep,
+        sweep_prune,
+        refine,
     })
 }
 
@@ -845,6 +898,14 @@ pub(crate) fn scenario_to_json(s: &Scenario) -> String {
     }
     if let Some(grid) = &s.sweep {
         out.push_str(&format!(",\n\"sweep\":{}", sweep_to_json(grid)));
+    }
+    // Emitted only when set, so pre-refinement scenario files keep their
+    // exact bytes.
+    if s.sweep_prune {
+        out.push_str(",\n\"sweep_prune\":true");
+    }
+    if let Some(plan) = &s.refine {
+        out.push_str(&format!(",\n\"refine\":{}", refine_to_json(plan)));
     }
     out.push_str("\n}\n");
     out
@@ -1017,5 +1078,66 @@ mod tests {
         let text = r#"{"name":"x","spec":{"benchmark":"d12"},"partition":{"kind":"logical","islands":2},"sweep":{"freq_scales":[0.5]}}"#;
         let err = Scenario::from_json(text).unwrap_err();
         assert!(err.to_string().contains("freq_scales"), "{err}");
+    }
+
+    #[test]
+    fn refine_and_prune_round_trip_and_stay_absent_by_default() {
+        let mut s = Scenario::new(
+            "rp",
+            SpecSource::Benchmark("d26".into()),
+            PartitionPlan::Logical { islands: 6 },
+        );
+        // Defaults emit neither member, keeping pre-refinement files byte-stable.
+        let plain = s.to_json();
+        assert!(!plain.contains("sweep_prune") && !plain.contains("refine"));
+
+        s.sweep = Some(GridConfig::default());
+        s.sweep_prune = true;
+        s.refine = Some(crate::RefinePlan {
+            grid: GridConfig {
+                max_boost: 1,
+                freq_scales: vec![1.0, 1.12],
+                max_intermediate: 4,
+            },
+            params: vi_noc_sweep::RefineParams {
+                boost_radius: 1,
+                base_radius: 0,
+                scale_window: 0.25,
+            },
+        });
+        let json = s.to_json();
+        let back = Scenario::from_json(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json(), json, "emission is a fixed point");
+    }
+
+    #[test]
+    fn refine_params_default_when_omitted() {
+        let text = r#"{"name":"x","spec":{"benchmark":"d26"},"partition":{"kind":"logical","islands":6},"sweep":{},"refine":{"grid":{"max_boost":1}}}"#;
+        let s = Scenario::from_json(text).unwrap();
+        let plan = s.refine.unwrap();
+        assert_eq!(plan.params, vi_noc_sweep::RefineParams::default());
+        assert_eq!(plan.grid.max_boost, 1);
+    }
+
+    #[test]
+    fn refine_without_a_coarse_sweep_is_rejected() {
+        let text = r#"{"name":"x","spec":{"benchmark":"d26"},"partition":{"kind":"logical","islands":6},"refine":{"grid":{}}}"#;
+        let err = Scenario::from_json(text).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("refine") && msg.contains("coarse"), "{msg}");
+    }
+
+    #[test]
+    fn refine_rejects_unknown_members_and_bad_windows() {
+        let base = |refine: &str| {
+            format!(
+                r#"{{"name":"x","spec":{{"benchmark":"d26"}},"partition":{{"kind":"logical","islands":6}},"sweep":{{}},"refine":{refine}}}"#
+            )
+        };
+        let err = Scenario::from_json(&base(r#"{"grid":{},"radius":2}"#)).unwrap_err();
+        assert!(err.to_string().contains("radius"), "{err}");
+        let err = Scenario::from_json(&base(r#"{"grid":{},"scale_window":-0.5}"#)).unwrap_err();
+        assert!(err.to_string().contains("scale_window"), "{err}");
     }
 }

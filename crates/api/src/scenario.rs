@@ -15,7 +15,10 @@ use vi_noc_core::SynthesisConfig;
 use vi_noc_floorplan::FloorplanConfig;
 use vi_noc_sim::{ShutdownScenario, SimConfig};
 use vi_noc_soc::{benchmarks, partition, SocSpec, ViAssignment};
-use vi_noc_sweep::{frontier_json, run_shard, GridConfig, GridDescriptor, Shard, SweepGrid};
+use vi_noc_sweep::{
+    frontier_json, frontier_seeds, parse_frontier_file, run_shard, run_shard_pruned,
+    windows_from_frontier, GridConfig, GridDescriptor, RefineParams, Shard, SweepGrid,
+};
 
 /// Where the SoC spec comes from.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,6 +113,19 @@ impl Default for ShutdownPlan {
     }
 }
 
+/// The coarse-to-fine refinement stage of a scenario's sweep: after the
+/// coarse grid's frontier is folded, windows are placed around its
+/// surviving points ([`vi_noc_sweep::windows_from_frontier`]) and the fine
+/// grid is swept only inside them. The report's frontier becomes the
+/// refined emission, whose descriptor records the windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefinePlan {
+    /// The fine grid to restrict to windows around the coarse survivors.
+    pub grid: GridConfig,
+    /// How far each window extends around a surviving point.
+    pub params: RefineParams,
+}
+
 /// A complete experiment, declared as data.
 ///
 /// Build one programmatically, or parse it from JSON
@@ -137,6 +153,12 @@ pub struct Scenario {
     /// Design-space sweep grid, if any (runs unsharded; use the CLI's
     /// `sweep` subcommand to shard the same grid across processes).
     pub sweep: Option<GridConfig>,
+    /// Skip boost chains whose slack certificate proves them dominated
+    /// (`vi_noc_sweep::run_shard_pruned`). Exact: the emitted frontier is
+    /// byte-identical either way.
+    pub sweep_prune: bool,
+    /// Coarse-to-fine refinement of the sweep, if any (requires `sweep`).
+    pub refine: Option<RefinePlan>,
 }
 
 /// Looks up a bundled benchmark spec by its CLI name.
@@ -164,6 +186,8 @@ impl Scenario {
             sim: None,
             shutdown: None,
             sweep: None,
+            sweep_prune: false,
+            refine: None,
         }
     }
 
@@ -290,16 +314,29 @@ impl Scenario {
 
         if with_sweep {
             if let Some(grid_cfg) = &self.sweep {
-                report.frontier = Some(self.run_sweep(&spec, &vi, grid_cfg));
+                report.frontier = Some(self.run_sweep(&spec, &vi, grid_cfg)?);
+            } else if self.refine.is_some() {
+                return Err(Error::scenario(
+                    "refine",
+                    "refinement needs a coarse 'sweep' grid to start from",
+                ));
             }
         }
         Ok(report)
     }
 
-    /// Runs the scenario's sweep grid unsharded and returns the frontier
-    /// file text — byte-identical to `sweep run --frontier` over the same
-    /// grid (same descriptor, same writers).
-    fn run_sweep(&self, spec: &SocSpec, vi: &ViAssignment, grid_cfg: &GridConfig) -> String {
+    /// Runs the scenario's sweep grid unsharded — with slack-certificate
+    /// pruning when `sweep_prune` is set — and, when a [`RefinePlan`] is
+    /// declared, follows it with the coarse-to-fine refinement stage. The
+    /// returned frontier file is byte-identical to the equivalent `sweep
+    /// run`/`sweep refine` CLI workflow over the same grids (same
+    /// descriptors, same writers).
+    fn run_sweep(
+        &self,
+        spec: &SocSpec,
+        vi: &ViAssignment,
+        grid_cfg: &GridConfig,
+    ) -> Result<String, Error> {
         let grid = SweepGrid::build(spec, vi, &self.synthesis, grid_cfg);
         let desc = GridDescriptor::for_grid(
             &grid,
@@ -307,8 +344,40 @@ impl Scenario {
             &self.partition.tag(),
             self.synthesis.seed,
         );
-        let run = run_shard(spec, vi, &grid, Shard::full(), &self.synthesis);
-        frontier_json(&desc, &run)
+        let runner = if self.sweep_prune {
+            run_shard_pruned
+        } else {
+            run_shard
+        };
+        let run = runner(spec, vi, &grid, Shard::full(), &self.synthesis);
+        let coarse_file = frontier_json(&desc, &run);
+        let Some(plan) = &self.refine else {
+            return Ok(coarse_file);
+        };
+
+        // Derive the fine grid's windows from the coarse survivors, just
+        // like `sweep refine --frontier-in` would from the emitted file.
+        let parsed = parse_frontier_file(&coarse_file)
+            .map_err(|e| Error::scenario("refine", format!("coarse frontier: {e}")))?;
+        let seeds = frontier_seeds(&parsed)
+            .map_err(|e| Error::scenario("refine", format!("coarse frontier: {e}")))?;
+        let windows = windows_from_frontier(&seeds, &plan.grid, &plan.params);
+        if windows.is_empty() {
+            return Err(Error::scenario(
+                "refine",
+                "no refinement window covers the fine grid (empty coarse frontier, \
+                 or every surviving scale is outside 'scale_window')",
+            ));
+        }
+        let fine = SweepGrid::build_windowed(spec, vi, &self.synthesis, &plan.grid, windows);
+        let fine_desc = GridDescriptor::for_grid(
+            &fine,
+            spec.name(),
+            &self.partition.tag(),
+            self.synthesis.seed,
+        );
+        let fine_run = runner(spec, vi, &fine, Shard::full(), &self.synthesis);
+        Ok(frontier_json(&fine_desc, &fine_run))
     }
 }
 

@@ -8,13 +8,15 @@
 //! numbers).
 
 use proptest::prelude::*;
-use vi_noc_api::{IslandChoice, PartitionPlan, Scenario, ShutdownPlan, SimPlan, SpecSource};
+use vi_noc_api::{
+    IslandChoice, PartitionPlan, RefinePlan, Scenario, ShutdownPlan, SimPlan, SpecSource,
+};
 use vi_noc_core::SynthesisConfig;
 use vi_noc_floorplan::FloorplanConfig;
 use vi_noc_models::Technology;
 use vi_noc_sim::TrafficKind;
 use vi_noc_soc::{generate_synthetic, SyntheticConfig};
-use vi_noc_sweep::{json, GridConfig};
+use vi_noc_sweep::{json, GridConfig, RefineParams};
 
 fn arb_spec() -> impl Strategy<Value = SpecSource> {
     (0usize..5, 4usize..24, 0u64..1000).prop_map(|(pick, n_cores, seed)| match pick {
@@ -121,14 +123,44 @@ fn arb_sweep() -> impl Strategy<Value = Option<GridConfig>> {
     )
 }
 
+fn arb_refine() -> impl Strategy<Value = Option<RefinePlan>> {
+    (0usize..3, 0usize..3, 0usize..4, 0.0f64..0.6).prop_map(
+        |(pick, boost_radius, base_radius, scale_window)| match pick {
+            0 => None,
+            p => Some(RefinePlan {
+                grid: GridConfig {
+                    max_boost: boost_radius + 1,
+                    max_intermediate: base_radius,
+                    freq_scales: if p == 1 {
+                        vec![1.0]
+                    } else {
+                        vec![1.0, 1.0 + scale_window]
+                    },
+                },
+                params: RefineParams {
+                    boost_radius,
+                    base_radius,
+                    scale_window,
+                },
+            }),
+        },
+    )
+}
+
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
     (
         (arb_spec(), arb_partition(), arb_synthesis()),
         (arb_floorplan(), arb_sim(), arb_shutdown(), arb_sweep()),
+        (proptest::bool::ANY, arb_refine()),
         0u64..u64::MAX,
     )
         .prop_map(
-            |((spec, partition, synthesis), (floorplan, sim, shutdown, sweep), tag)| Scenario {
+            |(
+                (spec, partition, synthesis),
+                (floorplan, sim, shutdown, sweep),
+                (sweep_prune, refine),
+                tag,
+            )| Scenario {
                 name: format!("prop scenario {tag}"),
                 spec,
                 partition,
@@ -136,7 +168,11 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
                 floorplan,
                 sim,
                 shutdown,
+                // Refinement without a coarse grid is rejected at ingestion,
+                // so it never round-trips; keep the pair consistent.
+                refine: if sweep.is_some() { refine } else { None },
                 sweep,
+                sweep_prune,
             },
         )
 }

@@ -8,8 +8,9 @@ use std::time::{Duration, Instant};
 use vi_noc_core::SynthesisConfig;
 use vi_noc_soc::{benchmarks, partition};
 use vi_noc_sweep::{
-    frontier_json, merge_checkpoints, run_shard, shard_checkpoint_json, GridConfig, GridDescriptor,
-    Shard, SweepGrid,
+    frontier_json, frontier_seeds, merge_checkpoints, parse_frontier_file, run_shard,
+    run_shard_pruned, shard_checkpoint_json, windows_from_frontier, GridConfig, GridDescriptor,
+    RefineParams, Shard, SweepGrid,
 };
 
 fn fast_mode() -> bool {
@@ -154,5 +155,104 @@ fn bench_shards_vs_single(_c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_shard_runner, bench_shards_vs_single);
+fn bench_refine_prune(_c: &mut Criterion) {
+    // The refinement acceptance measurement: the exhaustive fine d26 grid
+    // vs the frontier-guided pipeline (coarse paper grid -> refinement
+    // windows around the surviving points -> slack-pruned windowed fine
+    // sweep). The pipeline must evaluate at most half the chains of the
+    // exhaustive run; refine_windows.rs separately proves the refined
+    // frontier is byte-identical wherever the windows cover the grid.
+    let soc = benchmarks::d26_mobile();
+    let vi = partition::logical_partition(&soc, 6).expect("islands");
+    let cfg = SynthesisConfig {
+        parallel: false,
+        ..SynthesisConfig::default()
+    };
+    let fine_cfg = fine_grid_cfg();
+    let fine = SweepGrid::build(&soc, &vi, &cfg, &fine_cfg);
+    let params = RefineParams {
+        boost_radius: 1,
+        base_radius: 0,
+        scale_window: 0.25,
+    };
+
+    let pipeline = || {
+        let coarse_grid = SweepGrid::build(&soc, &vi, &cfg, &GridConfig::default());
+        let desc = GridDescriptor::for_grid(&coarse_grid, soc.name(), "logical:6", cfg.seed);
+        let coarse = run_shard_pruned(&soc, &vi, &coarse_grid, Shard::full(), &cfg);
+        let file = frontier_json(&desc, &coarse);
+        let parsed = parse_frontier_file(&file).expect("coarse frontier");
+        let seeds = frontier_seeds(&parsed).expect("frontier seeds");
+        let windows = windows_from_frontier(&seeds, &fine_cfg, &params);
+        let refined_grid = SweepGrid::build_windowed(&soc, &vi, &cfg, &fine_cfg, windows);
+        let refined = run_shard_pruned(&soc, &vi, &refined_grid, Shard::full(), &cfg);
+        (coarse, refined)
+    };
+
+    let n = if fast_mode() { 3 } else { 9 };
+    let exhaustive_s = median_secs(n, || run_shard(&soc, &vi, &fine, Shard::full(), &cfg));
+    let pipeline_s = median_secs(n, &pipeline);
+
+    let exhaustive = run_shard(&soc, &vi, &fine, Shard::full(), &cfg);
+    let (coarse, refined) = pipeline();
+    let pipeline_chains = coarse.stats.chains + refined.stats.chains;
+    let reduction = exhaustive.stats.chains as f64 / pipeline_chains.max(1) as f64;
+    assert!(
+        pipeline_chains * 2 <= exhaustive.stats.chains,
+        "pipeline must evaluate at most half the exhaustive chains \
+         ({pipeline_chains} vs {})",
+        exhaustive.stats.chains
+    );
+
+    println!(
+        "sweep_refine_prune/exhaustive     median {:>12.3?}   ({} chains)",
+        Duration::from_secs_f64(exhaustive_s),
+        exhaustive.stats.chains
+    );
+    println!(
+        "sweep_refine_prune/pipeline       median {:>12.3?}   ({} coarse + {} refined \
+         chains, {} slack-skipped, {:.2}x reduction)",
+        Duration::from_secs_f64(pipeline_s),
+        coarse.stats.chains,
+        refined.stats.chains,
+        coarse.pruned_chains + refined.pruned_chains,
+        reduction
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_refine_prune\",\n  \"soc\": \"{}\",\n  \"islands\": 6,\n  \
+         \"mode\": \"single-threaded\",\n  \"history\": [\n    {{\n      \"pr\": null,\n      \
+         \"samples\": {n},\n      \"fine_grid\": {{ \"max_boost\": 1, \"freq_scales\": \
+         [1, 1.12], \"max_intermediate\": 4, \"chains\": {} }},\n      \
+         \"refine_params\": {{ \"boost_radius\": 1, \"base_radius\": 0, \"scale_window\": \
+         0.25 }},\n      \"exhaustive_ms\": {:.3},\n      \"pipeline_ms\": {:.3},\n      \
+         \"coarse_chains\": {},\n      \"refined_chains\": {},\n      \
+         \"slack_skipped_chains\": {},\n      \"chain_reduction\": {:.2},\n      \
+         \"speedup\": {:.2},\n      \"note\": \"fresh measurement of the working tree; \
+         coarse paper grid -> refinement windows -> slack-pruned windowed fine sweep; \
+         in-window frontier asserted byte-identical by crates/sweep/tests/refine_windows.rs\"\
+         \n    }}\n  ]\n}}\n",
+        soc.name(),
+        exhaustive.stats.chains,
+        exhaustive_s * 1e3,
+        pipeline_s * 1e3,
+        coarse.stats.chains,
+        refined.stats.chains,
+        coarse.pruned_chains + refined.pruned_chains,
+        reduction,
+        exhaustive_s / pipeline_s.max(1e-12),
+    );
+    let path = std::env::var("BENCH_SWEEP_REFINE_JSON")
+        .unwrap_or_else(|_| "BENCH_sweep_refine.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("sweep_refine_prune: wrote {path}"),
+        Err(e) => eprintln!("sweep_refine_prune: could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_shard_runner,
+    bench_shards_vs_single,
+    bench_refine_prune
+);
 criterion_main!(benches);

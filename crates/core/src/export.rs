@@ -206,7 +206,10 @@ pub fn json_string(s: &str) -> String {
     out
 }
 
-fn json_usize_array(values: impl IntoIterator<Item = usize>) -> String {
+/// Serializes a sequence of machine-size integers as a compact JSON array
+/// (`[1,2,3]`) — shared by the topology/metrics emitters here and the sweep
+/// crate's checkpoint descriptors (refinement windows).
+pub fn json_usize_array(values: impl IntoIterator<Item = usize>) -> String {
     let items: Vec<String> = values.into_iter().map(|v| v.to_string()).collect();
     format!("[{}]", items.join(","))
 }

@@ -72,8 +72,8 @@ pub use config::SynthesisConfig;
 pub use design_space::{DesignPoint, DesignSpace};
 pub use error::SynthesisError;
 pub use export::{
-    design_point_json, design_space_json, json_number, json_string, metrics_json, routes_table,
-    to_dot, topology_json, topology_summary,
+    design_point_json, design_space_json, json_number, json_string, json_usize_array, metrics_json,
+    routes_table, to_dot, topology_json, topology_summary,
 };
 pub use flows::{inter_switch_flows, InterSwitchFlow};
 pub use metrics::{compute_metrics, DesignMetrics, PowerBreakdown};
@@ -81,8 +81,8 @@ pub use pareto::{ParetoFold, ParetoKey};
 pub use power_gating::{scenario_power, standard_scenarios, ScenarioReport, UsageScenario};
 pub use realize::{realize_on_floorplan, RealizedDesign};
 pub use synthesis::{
-    evaluate_candidate, evaluate_candidate_chain, synthesize, CandidateOutcome, SweepCandidate,
-    SweepPlan,
+    evaluate_candidate, evaluate_candidate_chain, evaluate_candidate_chain_with_certificate,
+    synthesize, CandidateOutcome, SlackCertificate, SweepCandidate, SweepPlan,
 };
 pub use topology::{
     LinkId, LinkKind, Route, Switch, SwitchId, TopoLink, Topology, TopologyBuilder,

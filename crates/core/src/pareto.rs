@@ -147,6 +147,18 @@ impl<T> ParetoFold<T> {
         }
     }
 
+    /// `true` iff `key` is dominated by a current survivor — offering it
+    /// now would leave the front unchanged.
+    ///
+    /// Because dominance is transitive and the survivors are exactly the
+    /// front of everything offered so far, checking against survivors alone
+    /// is exact: any key dominated by *some* offered point is dominated by
+    /// a current survivor. This is what the sweep pruning proofs check —
+    /// every skipped chain's force-evaluated points must satisfy it.
+    pub fn is_dominated(&self, key: &ParetoKey) -> bool {
+        self.entries.iter().any(|(k, _)| k.dominates(key))
+    }
+
     /// Number of current survivors.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -263,6 +275,29 @@ mod tests {
             let got: Vec<ParetoKey> = merged.into_sorted().into_iter().map(|(k, _)| k).collect();
             assert_eq!(got, want, "n={n}");
         }
+    }
+
+    #[test]
+    fn is_dominated_agrees_with_offer() {
+        let keys = vec![
+            key(3.0, 2.0, 0),
+            key(1.0, 6.0, 1),
+            key(2.0, 4.0, 2),
+            key(2.5, 4.0, 3),
+            key(2.0, 4.0, 4),
+        ];
+        let mut fold = ParetoFold::new();
+        for &k in &keys {
+            fold.offer(k, ());
+        }
+        for &k in &keys {
+            // A key the fold would reject is exactly a dominated key; the
+            // survivors themselves are never dominated (irreflexivity).
+            let mut probe = fold.clone();
+            assert_eq!(fold.is_dominated(&k), !probe.offer(k, ()));
+        }
+        assert!(fold.is_dominated(&key(9.0, 9.0, 100)));
+        assert!(!fold.is_dominated(&key(0.1, 0.1, 100)));
     }
 
     #[test]

@@ -340,6 +340,12 @@ fn reserve_invariant(state: &AllocState, switches: &[usize], r_a: usize, r_b: us
 }
 
 /// A successful allocation plus how it was obtained.
+///
+/// Beyond the Duplicate short-circuit, the chain evaluator also distills a
+/// [`crate::SlackCertificate`] from each allocation: `via_retry` poisons
+/// the certificate outright (retry admissibility is count-dependent, so
+/// nothing about port slack is provable), and the topology's routes and
+/// port counts supply the per-island slack conditions.
 pub(crate) struct Allocation {
     pub(crate) topology: Topology,
     /// `true` when the reserve-0 attempt failed and the port-reserve retry

@@ -237,6 +237,129 @@ fn candidate_outcome(
     }
 }
 
+/// A per-island port-slack certificate distilled from one evaluated chain,
+/// used by the sweep crate's dominance pruning to skip boost codes that
+/// provably cannot improve the Pareto front.
+///
+/// The certificate is computed for a *reference* chain (a boost-free
+/// switch-count vector) and answers: "would splitting island `j` into more
+/// switches change anything the dominance key can see for the better?"
+/// Extra switches help exactly where the reference allocation shows
+/// *stress*: a port-exhausted switch forces detour routes (higher latency
+/// and link power) or forces the min-cut partitioner to separate heavily
+/// communicating cores (its part-weight cap equals the switch size
+/// budget). Island `j` is **certified** when neither stress signal is
+/// present:
+///
+/// * the certificate is globally *valid* — every candidate of the chain
+///   allocated feasibly and without the port-reserve retry (the retry's
+///   admissibility is count-dependent, so nothing is provable from it);
+/// * every switch of island `j` finished with port headroom under its size
+///   budget. Headroom subsumes the partition-pressure signal: a part at
+///   the weight cap implies a switch whose core ports alone consume the
+///   whole budget.
+///
+/// Unstressed islands gain nothing from more switches — a finer partition
+/// only adds idle switch power and extra hops — so every boost code that
+/// raises only certified islands is dominated by the boost-free reference
+/// (identical metrics path, smaller ordinal) and may be skipped. Routes
+/// longer than two switches are deliberately *not* treated as stress: with
+/// free ports they are the cost optimizer choosing link reuse over opening
+/// a direct link, which a boosted twin re-chooses identically.
+///
+/// The soundness contract is not a standalone theorem but the differential
+/// harness in `crates/sweep/tests/prune_exact.rs`, which compares pruned
+/// against exhaustive frontiers byte-for-byte and forces skipped chains
+/// through the evaluator to assert their points are dominated. Tighten
+/// `SlackCertificate::observe` if that harness ever finds a miss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlackCertificate {
+    valid: bool,
+    island_slack: Vec<bool>,
+}
+
+impl SlackCertificate {
+    fn fresh(islands: usize) -> Self {
+        SlackCertificate {
+            valid: true,
+            island_slack: vec![true; islands],
+        }
+    }
+
+    /// The certificate that certifies nothing (used when the reference
+    /// chain hit a port-reserve retry or an infeasibility).
+    pub fn invalid(islands: usize) -> Self {
+        SlackCertificate {
+            valid: false,
+            island_slack: vec![false; islands],
+        }
+    }
+
+    /// `true` when the chain-wide conditions held (no retry, no
+    /// infeasibility).
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// `true` when boosting island `j`'s switch-size budget is certified
+    /// slack.
+    pub fn island_certified(&self, j: usize) -> bool {
+        self.valid && self.island_slack.get(j).copied().unwrap_or(false)
+    }
+
+    /// `true` when a chain whose per-island boosts are `boosts` may be
+    /// skipped: at least one boost is nonzero and every nonzero boost
+    /// raises a certified island. Boost-free chains are never skipped —
+    /// they are the reference points the skipped chains are dominated by.
+    pub fn certifies_skip(&self, boosts: &[usize]) -> bool {
+        self.valid
+            && boosts.iter().any(|&b| b > 0)
+            && boosts
+                .iter()
+                .enumerate()
+                .all(|(j, &b)| b == 0 || self.island_certified(j))
+    }
+
+    /// Fraction of a link's capacity that may be loaded before its endpoint
+    /// islands stop being certifiable. A near-full link means flows were
+    /// (or nearly were) detoured around it; splitting an endpoint switch
+    /// adds a parallel link, so extra capacity there is not provably slack.
+    const LINK_STRESS_UTILIZATION: f64 = 0.5;
+
+    /// Folds one successful allocation's topology into the certificate.
+    fn observe(&mut self, vi: &ViAssignment, plan: &FrequencyPlan, topo: &Topology) {
+        if !self.valid {
+            return;
+        }
+        let mid = vi.island_count();
+        for s in topo.switch_ids() {
+            let j = topo.switch(s).island_ext;
+            if j >= mid {
+                continue;
+            }
+            let (inp, outp) = topo.switch_ports(s);
+            if inp.max(outp) >= plan.max_switch_size_ext(j) {
+                // The allocator consumed island j's whole port budget
+                // somewhere — late flows may have been detoured around this
+                // switch, and the partitioner's part-weight cap was binding
+                // — so more switches in j are not provably useless.
+                self.island_slack[j] = false;
+            }
+        }
+        for l in topo.links() {
+            if l.load.bytes_per_s() <= Self::LINK_STRESS_UTILIZATION * l.capacity.bytes_per_s() {
+                continue;
+            }
+            for s in [l.from, l.to] {
+                let j = topo.switch(s).island_ext;
+                if j < mid {
+                    self.island_slack[j] = false;
+                }
+            }
+        }
+    }
+}
+
 /// Evaluates one chain of intermediate-count candidates that share a switch
 /// assignment, building the allocation context once and warm-starting each
 /// candidate from its predecessor's recorded allocation.
@@ -263,11 +386,30 @@ pub fn evaluate_candidate_chain(
     chain: &[SweepCandidate],
     cfg: &SynthesisConfig,
 ) -> Vec<CandidateOutcome> {
+    evaluate_candidate_chain_with_certificate(spec, vi, plan, assignment, chain, cfg).0
+}
+
+/// [`evaluate_candidate_chain`] plus the chain's [`SlackCertificate`].
+///
+/// The outcomes are bit-identical to the plain evaluator's — the
+/// certificate is a read-only distillation of the allocations the chain
+/// produced anyway, so surfacing it costs one pass over each topology and
+/// changes nothing about the results.
+pub fn evaluate_candidate_chain_with_certificate(
+    spec: &SocSpec,
+    vi: &ViAssignment,
+    plan: &FrequencyPlan,
+    assignment: &SwitchAssignment,
+    chain: &[SweepCandidate],
+    cfg: &SynthesisConfig,
+) -> (Vec<CandidateOutcome>, SlackCertificate) {
     debug_assert!(chain.windows(2).all(|w| {
         w[0].sweep_index == w[1].sweep_index
             && w[0].switch_counts == w[1].switch_counts
             && w[0].requested_intermediate < w[1].requested_intermediate
     }));
+    let islands = vi.island_count();
+    let mut cert = SlackCertificate::fresh(islands);
     let k_max = chain
         .iter()
         .map(|c| c.requested_intermediate)
@@ -278,10 +420,11 @@ pub fn evaluate_candidate_chain(
         // The context pre-check (core counts vs switch size budgets) fails
         // identically for every candidate of the index.
         Err(reason) => {
-            return chain
+            let outcomes = chain
                 .iter()
                 .map(|_| CandidateOutcome::Infeasible(reason.clone()))
                 .collect();
+            return (outcomes, SlackCertificate::invalid(islands));
         }
     };
     let mut scratch = SearchScratch::new();
@@ -307,8 +450,16 @@ pub fn evaluate_candidate_chain(
             prev.as_ref(),
             Some(&mut record),
         );
-        if let Ok(alloc) = &result {
-            saturated = alloc.has_spare_intermediate(candidate.requested_intermediate);
+        match &result {
+            Ok(alloc) => {
+                saturated = alloc.has_spare_intermediate(candidate.requested_intermediate);
+                if alloc.via_retry {
+                    cert = SlackCertificate::invalid(islands);
+                } else {
+                    cert.observe(vi, plan, &alloc.topology);
+                }
+            }
+            Err(_) => cert = SlackCertificate::invalid(islands),
         }
         outcomes.push(candidate_outcome(
             result.map(|a| a.topology),
@@ -318,7 +469,7 @@ pub fn evaluate_candidate_chain(
         ));
         prev = Some(record);
     }
-    outcomes
+    (outcomes, cert)
 }
 
 /// Synthesizes the space of VI-aware NoC topologies for `spec` under the

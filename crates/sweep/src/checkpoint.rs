@@ -9,11 +9,14 @@
 //! assembled from parsed shard files equals the frontier written directly
 //! from the in-memory run.
 
+use crate::grid::RefineWindow;
 use crate::json::{self, Value};
 use crate::run::{FrontierPoint, ShardProgress, ShardRun, SweepStats};
 use crate::shard::Shard;
 use std::fmt::Write as _;
-use vi_noc_core::{design_point_json, json_number, json_string, ParetoFold, ParetoKey};
+use vi_noc_core::{
+    design_point_json, json_number, json_string, json_usize_array, ParetoFold, ParetoKey,
+};
 
 /// `format` tag of shard checkpoint files.
 pub const SHARD_FORMAT: &str = "vi-noc-sweep-shard-v1";
@@ -40,6 +43,12 @@ pub struct GridDescriptor {
     pub max_intermediate: usize,
     /// Total chain ids of the grid (sharding-invariant).
     pub num_chains: u64,
+    /// Refinement windows of a windowed (refined) grid; empty for a full
+    /// grid. Serialized only when non-empty, so pre-refinement files keep
+    /// their exact bytes — and because `merge` compares grids structurally,
+    /// a coarse checkpoint (no `windows` member), a refined one, and a
+    /// differently-windowed one can never merge.
+    pub windows: Vec<RefineWindow>,
 }
 
 impl GridDescriptor {
@@ -63,15 +72,18 @@ impl GridDescriptor {
             freq_scales: grid.config().freq_scales.clone(),
             max_intermediate: (grid.chain_len() - 1) as usize,
             num_chains: grid.num_chains(),
+            windows: grid.windows().to_vec(),
         }
     }
 
-    /// Serializes the descriptor as one compact JSON object.
+    /// Serializes the descriptor as one compact JSON object. The `windows`
+    /// member is emitted only when non-empty — descriptors of full grids
+    /// keep their pre-refinement bytes exactly.
     pub fn to_json(&self) -> String {
         let scales: Vec<String> = self.freq_scales.iter().map(|&s| json_number(s)).collect();
-        format!(
+        let mut s = format!(
             "{{\"spec_name\":{},\"island_count\":{},\"partition\":{},\"seed\":{},\
-             \"max_boost\":{},\"freq_scales\":[{}],\"max_intermediate\":{},\"num_chains\":{}}}",
+             \"max_boost\":{},\"freq_scales\":[{}],\"max_intermediate\":{},\"num_chains\":{}",
             json_string(&self.spec_name),
             self.island_count,
             json_string(&self.partition),
@@ -80,7 +92,28 @@ impl GridDescriptor {
             scales.join(","),
             self.max_intermediate,
             self.num_chains
-        )
+        );
+        if !self.windows.is_empty() {
+            s.push_str(",\"windows\":[");
+            for (i, w) in self.windows.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "{{\"scales\":{},\"base_lo\":{},\"base_hi\":{},\"boost_lo\":{},\
+                     \"boost_hi\":{}}}",
+                    json_usize_array(w.scales.iter().copied()),
+                    w.base_lo,
+                    w.base_hi,
+                    w.boost_lo,
+                    w.boost_hi
+                );
+            }
+            s.push(']');
+        }
+        s.push('}');
+        s
     }
 }
 
@@ -273,6 +306,9 @@ impl ParsedShard {
         ShardProgress {
             chains_done,
             stats: self.stats,
+            // The advisory pruned-chain counter is per-process and not
+            // serialized; a resumed run restarts it at zero.
+            pruned_chains: 0,
             frontier,
         }
     }
@@ -307,6 +343,145 @@ fn take_member(v: &mut Value, key: &str, ctx: &str) -> Result<Value, String> {
     }
 }
 
+/// Parses the counters object of a checkpoint or frontier file.
+fn stats_from_value(stats_v: &Value) -> Result<SweepStats, String> {
+    Ok(SweepStats {
+        chains: u64_field(stats_v, "chains", "stats")?,
+        inactive_chains: u64_field(stats_v, "inactive_chains", "stats")?,
+        feasible: u64_field(stats_v, "feasible", "stats")?,
+        duplicates: u64_field(stats_v, "duplicates", "stats")?,
+        infeasible: u64_field(stats_v, "infeasible", "stats")?,
+    })
+}
+
+/// Parses one refinement-window object of a serialized grid descriptor.
+fn window_from_value(v: &Value, ctx: &str) -> Result<RefineWindow, String> {
+    let scales = match field(v, "scales", ctx)? {
+        Value::Arr(xs) => xs
+            .iter()
+            .map(|x| {
+                x.as_u64()
+                    .map(|u| u as usize)
+                    .ok_or_else(|| format!("{ctx}: window scale is not an unsigned integer"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err(format!("{ctx}: 'scales' is not an array")),
+    };
+    Ok(RefineWindow {
+        scales,
+        base_lo: u64_field(v, "base_lo", ctx)? as usize,
+        base_hi: u64_field(v, "base_hi", ctx)? as usize,
+        boost_lo: u64_field(v, "boost_lo", ctx)? as usize,
+        boost_hi: u64_field(v, "boost_hi", ctx)? as usize,
+    })
+}
+
+/// Validates every frontier entry against the serialized grid descriptor
+/// and returns `(dominance key, entry)` pairs.
+///
+/// Checks per entry, each failing with a `frontier[i]:` path context:
+///
+/// * the fold key bit-matches the embedded point's metrics (tamper check);
+/// * `boosts` is an integer array of exactly `island_count` elements;
+/// * `chain_id` is within the grid's id space and `ordinal` belongs to
+///   that chain (`ordinal / chain_len == chain_id`);
+/// * on windowed grids, the entry's `(scale, sweep_index, boosts)`
+///   coordinate lies inside at least one refinement window.
+fn validate_entries(frontier: Vec<Value>, grid: &Value) -> Result<Vec<(ParetoKey, Value)>, String> {
+    let island_count = u64_field(grid, "island_count", "grid")? as usize;
+    let num_chains = u64_field(grid, "num_chains", "grid")?;
+    let chain_len = u64_field(grid, "max_intermediate", "grid")? + 1;
+    let freq_scales: Vec<f64> = match field(grid, "freq_scales", "grid")? {
+        Value::Arr(xs) => xs
+            .iter()
+            .map(|x| x.as_f64().ok_or("grid: freq_scale is not a number"))
+            .collect::<Result<_, _>>()?,
+        _ => return Err("grid: 'freq_scales' is not an array".to_string()),
+    };
+    let windows: Option<Vec<RefineWindow>> = match grid.get("windows") {
+        None => None,
+        Some(Value::Arr(ws)) => Some(
+            ws.iter()
+                .map(|w| window_from_value(w, "grid windows"))
+                .collect::<Result<_, _>>()?,
+        ),
+        Some(_) => return Err("grid: 'windows' is not an array".to_string()),
+    };
+
+    let mut entries = Vec::with_capacity(frontier.len());
+    for (i, entry) in frontier.into_iter().enumerate() {
+        let ctx = format!("frontier[{i}]");
+        let key = ParetoKey {
+            power_mw: f64_field(&entry, "power_mw", &ctx)?,
+            latency_cycles: f64_field(&entry, "latency_cycles", &ctx)?,
+            ordinal: u64_field(&entry, "ordinal", &ctx)?,
+        };
+        // Cross-check the fold key against the embedded point's metrics —
+        // a mismatch means the file was edited or truncated.
+        let point = field(&entry, "point", &ctx)?;
+        let metrics = field(point, "metrics", &ctx)?;
+        let total = f64_field(field(metrics, "power_mw", &ctx)?, "total", &ctx)?;
+        let lat = f64_field(metrics, "avg_latency_cycles", &ctx)?;
+        if total.to_bits() != key.power_mw.to_bits()
+            || lat.to_bits() != key.latency_cycles.to_bits()
+        {
+            return Err(format!("{ctx}: key fields disagree with point metrics"));
+        }
+        let boosts: Vec<u64> = match field(&entry, "boosts", &ctx)? {
+            Value::Arr(bs) => bs
+                .iter()
+                .map(|b| {
+                    b.as_u64()
+                        .ok_or_else(|| format!("{ctx}: boost is not an unsigned integer"))
+                })
+                .collect::<Result<_, _>>()?,
+            _ => return Err(format!("{ctx}: 'boosts' is not an array")),
+        };
+        if boosts.len() != island_count {
+            return Err(format!(
+                "{ctx}: boosts arity {} does not match the grid's island_count {island_count}",
+                boosts.len()
+            ));
+        }
+        let chain_id = u64_field(&entry, "chain_id", &ctx)?;
+        if chain_id >= num_chains {
+            return Err(format!(
+                "{ctx}: chain_id {chain_id} is outside the grid's {num_chains} chains"
+            ));
+        }
+        if key.ordinal / chain_len != chain_id {
+            return Err(format!(
+                "{ctx}: ordinal {} does not belong to chain {chain_id} (chain length {chain_len})",
+                key.ordinal
+            ));
+        }
+        if let Some(windows) = &windows {
+            let scale = f64_field(&entry, "scale", &ctx)?;
+            let scale_index = freq_scales
+                .iter()
+                .position(|&s| s.to_bits() == scale.to_bits())
+                .ok_or_else(|| {
+                    format!("{ctx}: scale {} is not a grid scale", json_number(scale))
+                })?;
+            let sweep_index = u64_field(point, "sweep_index", &ctx)? as usize;
+            let inside = windows.iter().any(|w| {
+                w.scales.contains(&scale_index)
+                    && (w.base_lo..=w.base_hi).contains(&sweep_index)
+                    && boosts
+                        .iter()
+                        .all(|&b| (w.boost_lo as u64..=w.boost_hi as u64).contains(&b))
+            });
+            if !inside {
+                return Err(format!(
+                    "{ctx}: chain {chain_id} lies outside every refinement window"
+                ));
+            }
+        }
+        entries.push((key, entry));
+    }
+    Ok(entries)
+}
+
 /// Parses and validates one shard checkpoint file.
 pub fn parse_shard_checkpoint(text: &str) -> Result<ParsedShard, String> {
     let mut doc = json::parse(text).map_err(|e| e.to_string())?;
@@ -331,43 +506,56 @@ pub fn parse_shard_checkpoint(text: &str) -> Result<ParsedShard, String> {
                 .ok_or("checkpoint: 'chains_done' is not an unsigned integer")?,
         ),
     };
-    let stats_v = field(&doc, "stats", "checkpoint")?;
-    let stats = SweepStats {
-        chains: u64_field(stats_v, "chains", "stats")?,
-        inactive_chains: u64_field(stats_v, "inactive_chains", "stats")?,
-        feasible: u64_field(stats_v, "feasible", "stats")?,
-        duplicates: u64_field(stats_v, "duplicates", "stats")?,
-        infeasible: u64_field(stats_v, "infeasible", "stats")?,
-    };
+    let stats = stats_from_value(field(&doc, "stats", "checkpoint")?)?;
     let grid = take_member(&mut doc, "grid", "checkpoint")?;
     let frontier = match take_member(&mut doc, "frontier", "checkpoint")? {
         Value::Arr(items) => items,
         _ => return Err("checkpoint: 'frontier' is not an array".to_string()),
     };
-    let mut entries = Vec::with_capacity(frontier.len());
-    for (i, entry) in frontier.into_iter().enumerate() {
-        let ctx = format!("frontier[{i}]");
-        let key = ParetoKey {
-            power_mw: f64_field(&entry, "power_mw", &ctx)?,
-            latency_cycles: f64_field(&entry, "latency_cycles", &ctx)?,
-            ordinal: u64_field(&entry, "ordinal", &ctx)?,
-        };
-        // Cross-check the fold key against the embedded point's metrics —
-        // a mismatch means the file was edited or truncated.
-        let metrics = field(field(&entry, "point", &ctx)?, "metrics", &ctx)?;
-        let total = f64_field(field(metrics, "power_mw", &ctx)?, "total", &ctx)?;
-        let lat = f64_field(metrics, "avg_latency_cycles", &ctx)?;
-        if total.to_bits() != key.power_mw.to_bits()
-            || lat.to_bits() != key.latency_cycles.to_bits()
-        {
-            return Err(format!("{ctx}: key fields disagree with point metrics"));
-        }
-        entries.push((key, entry));
-    }
+    let entries = validate_entries(frontier, &grid)?;
     Ok(ParsedShard {
         grid,
         shard,
         chains_done,
+        stats,
+        entries,
+    })
+}
+
+/// A parsed merged-frontier file — the `refine` stage's input.
+#[derive(Debug, Clone)]
+pub struct ParsedFrontier {
+    /// The grid descriptor of the run that produced the frontier, unparsed.
+    pub grid: Value,
+    /// The producing run's counters.
+    pub stats: SweepStats,
+    /// Frontier entries: dominance key + the full entry value.
+    pub entries: Vec<(ParetoKey, Value)>,
+}
+
+/// Parses and validates one frontier file (the output of
+/// [`merge_checkpoints`] or [`frontier_json`]), with the same per-entry
+/// checks as [`parse_shard_checkpoint`].
+pub fn parse_frontier_file(text: &str) -> Result<ParsedFrontier, String> {
+    let mut doc = json::parse(text).map_err(|e| e.to_string())?;
+    let format = field(&doc, "format", "frontier")?
+        .as_str()
+        .ok_or("frontier: 'format' is not a string")?
+        .to_string();
+    if format != FRONTIER_FORMAT {
+        return Err(format!(
+            "frontier: format '{format}' is not '{FRONTIER_FORMAT}'"
+        ));
+    }
+    let stats = stats_from_value(field(&doc, "stats", "frontier")?)?;
+    let grid = take_member(&mut doc, "grid", "frontier")?;
+    let frontier = match take_member(&mut doc, "frontier", "frontier")? {
+        Value::Arr(items) => items,
+        _ => return Err("frontier: 'frontier' is not an array".to_string()),
+    };
+    let entries = validate_entries(frontier, &grid)?;
+    Ok(ParsedFrontier {
+        grid,
         stats,
         entries,
     })

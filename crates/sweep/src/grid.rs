@@ -57,6 +57,42 @@ impl Default for GridConfig {
     }
 }
 
+/// One refinement window: a sub-box of a fine grid's chain coordinates,
+/// spawned around a surviving coarse-frontier point by the `refine` stage.
+///
+/// A windowed grid (see [`SweepGrid::build_windowed`]) treats every chain
+/// outside all of its windows as inactive, exactly like the caps-exceeded
+/// and duplicate-of-earlier-base rules — chain ids, ordinals, striping and
+/// checkpoint bytes are those of the *full* fine grid, so wherever the
+/// windows cover the grid, a refined run's frontier entries are
+/// byte-identical to the exhaustive fine run's. Windows are recorded in the
+/// [`crate::GridDescriptor`], which is what keeps coarse and refined
+/// checkpoints from ever merging accidentally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefineWindow {
+    /// Fine-grid scale indices the window spans (sorted, deduplicated).
+    pub scales: Vec<usize>,
+    /// Smallest base sweep index (1-based, inclusive).
+    pub base_lo: usize,
+    /// Largest base sweep index (1-based, inclusive).
+    pub base_hi: usize,
+    /// Smallest per-island boost (inclusive, applies to every island).
+    pub boost_lo: usize,
+    /// Largest per-island boost (inclusive, applies to every island).
+    pub boost_hi: usize,
+}
+
+impl RefineWindow {
+    /// `true` when the chain coordinate lies inside this window.
+    pub fn contains(&self, scale_index: usize, base_sweep_index: usize, boosts: &[usize]) -> bool {
+        self.scales.contains(&scale_index)
+            && (self.base_lo..=self.base_hi).contains(&base_sweep_index)
+            && boosts
+                .iter()
+                .all(|&b| (self.boost_lo..=self.boost_hi).contains(&b))
+    }
+}
+
 /// One frequency-scale slice of the grid.
 #[derive(Debug, Clone)]
 struct ScaleAxis {
@@ -82,6 +118,9 @@ pub struct SweepGrid {
     boost_codes: u64,
     /// Chain-id offset of each scale slice (prefix sums), plus the total.
     chain_offsets: Vec<u64>,
+    /// Refinement windows; empty for a full (unwindowed) grid. Non-empty
+    /// windows deactivate every chain outside all of them.
+    windows: Vec<RefineWindow>,
 }
 
 /// One decoded chain: the candidates of a `(scale, base index, boost)` grid
@@ -174,7 +213,38 @@ impl SweepGrid {
             cfg: grid.clone(),
             boost_codes,
             chain_offsets,
+            windows: Vec::new(),
         }
+    }
+
+    /// Builds the fine grid restricted to `windows`: identical skeleton,
+    /// chain ids and ordinals as [`SweepGrid::build`] of the same axes, but
+    /// every chain outside all windows decodes to `None`.
+    ///
+    /// Windows are canonicalized (sorted, deduplicated) so that any process
+    /// deriving them from the same coarse frontier builds a byte-identical
+    /// [`crate::GridDescriptor`] — the merge-compatibility requirement for
+    /// refined shard checkpoints.
+    pub fn build_windowed(
+        spec: &SocSpec,
+        vi: &ViAssignment,
+        cfg: &SynthesisConfig,
+        grid: &GridConfig,
+        mut windows: Vec<RefineWindow>,
+    ) -> Self {
+        windows.sort_by(|a, b| {
+            (&a.scales, a.base_lo, a.base_hi, a.boost_lo, a.boost_hi)
+                .cmp(&(&b.scales, b.base_lo, b.base_hi, b.boost_lo, b.boost_hi))
+        });
+        windows.dedup();
+        let mut built = SweepGrid::build(spec, vi, cfg, grid);
+        built.windows = windows;
+        built
+    }
+
+    /// The refinement windows (empty for a full grid).
+    pub fn windows(&self) -> &[RefineWindow] {
+        &self.windows
     }
 
     /// The grid's axis configuration.
@@ -216,8 +286,16 @@ impl SweepGrid {
     ///   equals base `i+1` with none; the smallest-base representation is
     ///   the canonical one).
     ///
-    /// Closed form, no enumeration.
+    /// Closed form, no enumeration — except on windowed grids, where the
+    /// window boxes intersect the cap/duplicate rules in irregular ways and
+    /// the count falls back to decoding every id (windowed grids are small
+    /// by construction; that is their point).
     pub fn num_active_chains(&self) -> u64 {
+        if !self.windows.is_empty() {
+            return (0..self.num_chains())
+                .filter(|&c| self.chain(c).is_some())
+                .count() as u64;
+        }
         self.scales
             .iter()
             .map(|axis| {
@@ -318,6 +396,18 @@ impl SweepGrid {
         {
             return None;
         }
+        // Window check: a refined grid only activates chains inside one of
+        // its windows. This runs *after* the canonical-representation rules
+        // so that windowed and full grids agree on which id represents each
+        // count vector — a window can only hide chains, never re-home them.
+        if !self.windows.is_empty()
+            && !self
+                .windows
+                .iter()
+                .any(|w| w.contains(scale_index, base_index + 1, &boosts))
+        {
+            return None;
+        }
         Some(ChainSpec {
             chain_id,
             scale_index,
@@ -335,6 +425,102 @@ impl SweepGrid {
             .map(|k| SweepCandidate {
                 sweep_index: chain.base_sweep_index,
                 switch_counts: chain.counts.clone(),
+                requested_intermediate: k,
+            })
+            .collect()
+    }
+
+    /// The chain id encoding `(scale_index, base_sweep_index, boosts)` —
+    /// the inverse of [`SweepGrid::chain`]'s decode, whether or not the id
+    /// is active.
+    ///
+    /// # Panics
+    ///
+    /// If a coordinate is out of range or a boost exceeds `max_boost`.
+    pub fn chain_id_of(
+        &self,
+        scale_index: usize,
+        base_sweep_index: usize,
+        boosts: &[usize],
+    ) -> u64 {
+        assert_eq!(boosts.len(), self.vcgs.len(), "one boost per island");
+        let radix = self.cfg.max_boost as u64 + 1;
+        let mut code = 0u64;
+        for &b in boosts.iter().rev() {
+            assert!(b <= self.cfg.max_boost, "boost {b} exceeds the axis");
+            code = code * radix + b as u64;
+        }
+        self.chain_offsets[scale_index] + (base_sweep_index as u64 - 1) * self.boost_codes + code
+    }
+
+    /// The chain id canonically carrying the *zero-boost counts* of
+    /// `(scale_index, base_sweep_index)`: the smallest base sweep index
+    /// that reaches those counts with in-range boosts (the representation
+    /// [`SweepGrid::chain`]'s duplicate rule keeps active).
+    ///
+    /// The pruning oracle uses this to confirm that a skipped chain's
+    /// dominating reference is actually explored by the grid at hand — on
+    /// windowed grids the canonical id may fall outside every window, in
+    /// which case no chain of that `(scale, base)` block may be pruned.
+    pub fn canonical_reference_id(&self, scale_index: usize, base_sweep_index: usize) -> u64 {
+        let counts = self.base_counts(scale_index, base_sweep_index);
+        for m in 1..=base_sweep_index {
+            let base = &self.scales[scale_index].base[m - 1];
+            // The base schedule grows monotonically per island, so
+            // `counts >= base` componentwise for every earlier index.
+            if counts
+                .iter()
+                .zip(base)
+                .all(|(&c, &b)| c - b <= self.cfg.max_boost)
+            {
+                let boosts: Vec<usize> = counts.iter().zip(base).map(|(&c, &b)| c - b).collect();
+                return self.chain_id_of(scale_index, m, &boosts);
+            }
+        }
+        unreachable!("base_sweep_index itself always fits with zero boosts")
+    }
+
+    /// Number of scale slices.
+    pub fn num_scales(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// The scale factor of slice `scale_index`.
+    pub fn scale_value(&self, scale_index: usize) -> f64 {
+        self.scales[scale_index].scale
+    }
+
+    /// Number of base sweep indices of scale slice `scale_index`.
+    pub fn num_bases(&self, scale_index: usize) -> usize {
+        self.scales[scale_index].base.len()
+    }
+
+    /// The boost-free switch counts of `(scale_index, base_sweep_index)`.
+    ///
+    /// # Panics
+    ///
+    /// If either coordinate is out of range (`base_sweep_index` is
+    /// 1-based).
+    pub fn base_counts(&self, scale_index: usize, base_sweep_index: usize) -> &[usize] {
+        &self.scales[scale_index].base[base_sweep_index - 1]
+    }
+
+    /// The boost-free *reference* candidates of
+    /// `(scale_index, base_sweep_index)`, in ascending-`k` order — the
+    /// chain the dominance pruning's slack certificate is computed from.
+    /// Unlike [`SweepGrid::chain`], this never returns `None`: the
+    /// reference counts exist even when their chain id is inactive (their
+    /// canonical representative lives at an earlier base index).
+    pub fn reference_candidates(
+        &self,
+        scale_index: usize,
+        base_sweep_index: usize,
+    ) -> Vec<SweepCandidate> {
+        let counts = self.base_counts(scale_index, base_sweep_index).to_vec();
+        (0..=self.max_mid)
+            .map(|k| SweepCandidate {
+                sweep_index: base_sweep_index,
+                switch_counts: counts.clone(),
                 requested_intermediate: k,
             })
             .collect()
@@ -465,6 +651,67 @@ mod tests {
         assert!(cands
             .windows(2)
             .all(|w| w[0].requested_intermediate < w[1].requested_intermediate));
+    }
+
+    #[test]
+    fn windowed_grids_share_ids_and_only_hide_chains() {
+        let soc = benchmarks::d26_mobile();
+        let vi = partition::logical_partition(&soc, 6).unwrap();
+        let cfg = SynthesisConfig::default();
+        let grid_cfg = GridConfig {
+            max_boost: 1,
+            ..GridConfig::default()
+        };
+        let full = SweepGrid::build(&soc, &vi, &cfg, &grid_cfg);
+        let window = RefineWindow {
+            scales: vec![0],
+            base_lo: 2,
+            base_hi: 3,
+            boost_lo: 0,
+            boost_hi: 1,
+        };
+        let windowed = SweepGrid::build_windowed(
+            &soc,
+            &vi,
+            &cfg,
+            &grid_cfg,
+            vec![window.clone(), window.clone()],
+        );
+        assert_eq!(windowed.windows().len(), 1, "duplicates canonicalized");
+        assert_eq!(windowed.num_chains(), full.num_chains(), "same id space");
+        let mut inside = 0u64;
+        for c in 0..full.num_chains() {
+            match (full.chain(c), windowed.chain(c)) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a, b, "chain {c} decodes identically");
+                    assert!(window.contains(b.scale_index, b.base_sweep_index, &b.boosts));
+                    inside += 1;
+                }
+                (Some(a), None) => {
+                    assert!(!window.contains(a.scale_index, a.base_sweep_index, &a.boosts));
+                }
+                (None, None) => {}
+                (None, Some(_)) => panic!("window activated inactive id {c}"),
+            }
+        }
+        assert!(inside > 0, "window covers some active chains");
+        assert_eq!(windowed.num_active_chains(), inside);
+    }
+
+    #[test]
+    fn reference_candidates_exist_even_for_inactive_zero_boost_ids() {
+        // With max_boost 1, the zero-boost chain of base index i > 1 is a
+        // duplicate of base i-1 (delta fits the boost budget) — but its
+        // reference counts are still well-defined and what the pruning
+        // oracle certifies against.
+        let fine = d26_grid(&GridConfig {
+            max_boost: 1,
+            ..GridConfig::default()
+        });
+        let cands = fine.reference_candidates(0, 2);
+        assert_eq!(cands.len() as u64, fine.chain_len());
+        assert_eq!(cands[0].sweep_index, 2);
+        assert_eq!(cands[0].switch_counts, fine.base_counts(0, 2));
     }
 
     #[test]

@@ -26,6 +26,16 @@
 //!   checkpoint's `chains_done` watermark records how much of the stripe a
 //!   file covers, so a killed shard resumes where it stopped and its final
 //!   checkpoint is byte-identical to an uninterrupted run's.
+//! * [`run_shard_pruned`] / [`resume_shard_pruned`] — slack-certified
+//!   dominance pruning: boosted chains whose zero-boost reference
+//!   certifies slack on every boosted island are skipped without
+//!   evaluation, exactly like the closed-form caps check. Merged pruned
+//!   runs reproduce the exhaustive frontier byte-for-byte.
+//! * [`refine`] — coarse-to-fine refinement: derive
+//!   [`grid::RefineWindow`]s of a finer grid around a merged coarse
+//!   frontier's surviving points and sweep only those windows
+//!   ([`SweepGrid::build_windowed`]), with the windows recorded in the
+//!   [`GridDescriptor`] so refined and exhaustive checkpoints never merge.
 //!
 //! The `sweep` binary (hosted by the facade package, `src/bin/sweep.rs`
 //! at the workspace root, implemented in `vi-noc-api`) exposes the
@@ -43,14 +53,21 @@
 pub mod checkpoint;
 pub mod grid;
 pub mod json;
+pub mod refine;
 pub mod run;
 pub mod shard;
 
 pub use checkpoint::{
-    frontier_json, frontier_progress_json, merge_checkpoints, parse_shard_checkpoint,
-    shard_checkpoint_json, shard_progress_json, GridDescriptor, ParsedShard, FRONTIER_FORMAT,
-    SHARD_FORMAT,
+    frontier_json, frontier_progress_json, merge_checkpoints, parse_frontier_file,
+    parse_shard_checkpoint, shard_checkpoint_json, shard_progress_json, GridDescriptor,
+    ParsedFrontier, ParsedShard, FRONTIER_FORMAT, SHARD_FORMAT,
 };
-pub use grid::{ChainSpec, GridConfig, SweepGrid};
-pub use run::{resume_shard, run_shard, FrontierPoint, ShardProgress, ShardRun, SweepStats};
+pub use grid::{ChainSpec, GridConfig, RefineWindow, SweepGrid};
+pub use refine::{
+    frontier_seeds, validate_frontier_source, windows_from_frontier, FrontierSeed, RefineParams,
+};
+pub use run::{
+    resume_shard, resume_shard_pruned, run_shard, run_shard_pruned, FrontierPoint, ShardProgress,
+    ShardRun, SweepStats,
+};
 pub use shard::Shard;

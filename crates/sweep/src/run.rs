@@ -4,9 +4,10 @@
 use crate::grid::{ChainSpec, SweepGrid};
 use crate::shard::Shard;
 use rayon::prelude::*;
+use std::collections::HashMap;
 use vi_noc_core::{
-    evaluate_candidate_chain, island_switch_assignment, CandidateOutcome, DesignPoint, ParetoFold,
-    ParetoKey, SynthesisConfig,
+    evaluate_candidate_chain, evaluate_candidate_chain_with_certificate, island_switch_assignment,
+    CandidateOutcome, DesignPoint, ParetoFold, ParetoKey, SlackCertificate, SynthesisConfig,
 };
 use vi_noc_soc::{SocSpec, ViAssignment};
 
@@ -74,8 +75,96 @@ pub struct ShardRun {
     pub shard: Shard,
     /// Evaluation counters.
     pub stats: SweepStats,
+    /// Active chains skipped by dominance pruning ([`run_shard_pruned`]);
+    /// always 0 for unpruned runs. Pruned chains also count into
+    /// [`SweepStats::inactive_chains`] — this in-memory counter exists so
+    /// callers can report the skip ratio, and is deliberately *not* part of
+    /// the serialized checkpoint stats (checkpoint bytes are
+    /// pruning-invariant only in the frontier section; the stats line
+    /// already differs through `chains`/`inactive_chains`).
+    pub pruned_chains: u64,
     /// Undominated outcomes of this stripe.
     pub frontier: ParetoFold<FrontierPoint>,
+}
+
+/// Memoized per-`(scale, base)` slack certificates backing the dominance
+/// pruning of [`run_shard_pruned`].
+///
+/// For each `(scale_index, base_sweep_index)` block the oracle evaluates
+/// the *reference* chain (the boost-free counts) once through
+/// [`evaluate_candidate_chain_with_certificate`] and caches the resulting
+/// [`SlackCertificate`]. A chain is skipped iff the certificate certifies
+/// every island it boosts **and** the reference's canonical chain id is
+/// active in the grid at hand (on windowed grids the dominating reference
+/// can fall outside every window, in which case nothing in the block may
+/// be pruned — the dominators would be missing from the fold).
+///
+/// The decision depends only on `(grid, chain)`, never on the shard, so
+/// every shard of a pruned sweep skips the identical set and merged pruned
+/// checkpoints stay consistent. Oracle evaluations are certificate-only:
+/// they touch neither the stats nor the frontier (the reference chain's
+/// owning shard folds it normally when its stripe position comes up).
+struct SlackOracle<'a> {
+    spec: &'a SocSpec,
+    vi: &'a ViAssignment,
+    grid: &'a SweepGrid,
+    cfg: &'a SynthesisConfig,
+    cache: HashMap<(usize, usize), SlackCertificate>,
+}
+
+impl<'a> SlackOracle<'a> {
+    fn new(
+        spec: &'a SocSpec,
+        vi: &'a ViAssignment,
+        grid: &'a SweepGrid,
+        cfg: &'a SynthesisConfig,
+    ) -> Self {
+        SlackOracle {
+            spec,
+            vi,
+            grid,
+            cfg,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// `true` when `chain` is provably dominated and may be skipped.
+    fn should_skip(&mut self, chain: &ChainSpec) -> bool {
+        if chain.boosts.iter().all(|&b| b == 0) {
+            // Boost-free chains are the references everything else is
+            // dominated by; they are never skipped.
+            return false;
+        }
+        if !self.grid.windows().is_empty() {
+            let canonical = self
+                .grid
+                .canonical_reference_id(chain.scale_index, chain.base_sweep_index);
+            if self.grid.chain(canonical).is_none() {
+                return false;
+            }
+        }
+        let (spec, vi, grid, cfg) = (self.spec, self.vi, self.grid, self.cfg);
+        let cert = self
+            .cache
+            .entry((chain.scale_index, chain.base_sweep_index))
+            .or_insert_with(|| {
+                let plan = grid.plan(chain.scale_index);
+                let counts = grid.base_counts(chain.scale_index, chain.base_sweep_index);
+                let assignment = island_switch_assignment(grid.vcgs(), plan, counts, cfg);
+                let candidates =
+                    grid.reference_candidates(chain.scale_index, chain.base_sweep_index);
+                evaluate_candidate_chain_with_certificate(
+                    spec,
+                    vi,
+                    plan,
+                    &assignment,
+                    &candidates,
+                    cfg,
+                )
+                .1
+            });
+        cert.certifies_skip(&chain.boosts)
+    }
 }
 
 /// Evaluates one chain and folds its feasible outcomes into a chain-local
@@ -135,8 +224,43 @@ pub fn run_shard(
     shard: Shard,
     cfg: &SynthesisConfig,
 ) -> ShardRun {
+    run_shard_impl(spec, vi, grid, shard, cfg, false)
+}
+
+/// [`run_shard`] with slack-based dominance pruning: chains whose boosts
+/// only raise islands the [`SlackCertificate`] of their boost-free
+/// reference certifies as slack are skipped without evaluation, counting
+/// into [`SweepStats::inactive_chains`] exactly like the caps-exceeded
+/// rule (plus the advisory [`ShardRun::pruned_chains`] counter).
+///
+/// Exactness contract: for any *complete* shard set, the merged pruned
+/// frontier is byte-identical to the merged unpruned frontier — every
+/// skipped chain's feasible points are dominated by retained points. A
+/// single pruned shard's local frontier may differ from its unpruned twin
+/// (the dominating reference can live in another stripe); only complete
+/// sets are comparable. `crates/sweep/tests/prune_exact.rs` is the proof.
+pub fn run_shard_pruned(
+    spec: &SocSpec,
+    vi: &ViAssignment,
+    grid: &SweepGrid,
+    shard: Shard,
+    cfg: &SynthesisConfig,
+) -> ShardRun {
+    run_shard_impl(spec, vi, grid, shard, cfg, true)
+}
+
+fn run_shard_impl(
+    spec: &SocSpec,
+    vi: &ViAssignment,
+    grid: &SweepGrid,
+    shard: Shard,
+    cfg: &SynthesisConfig,
+    prune: bool,
+) -> ShardRun {
     let mut stats = SweepStats::default();
+    let mut pruned_chains = 0u64;
     let mut frontier: ParetoFold<FrontierPoint> = ParetoFold::new();
+    let mut oracle = prune.then(|| SlackOracle::new(spec, vi, grid, cfg));
 
     let mut block: Vec<ChainSpec> = Vec::with_capacity(PARALLEL_BLOCK);
     let flush = |block: &mut Vec<ChainSpec>,
@@ -162,7 +286,14 @@ pub fn run_shard(
 
     for chain_id in shard.chain_ids(grid.num_chains()) {
         match grid.chain(chain_id) {
-            Some(chain) => block.push(chain),
+            Some(chain) => {
+                if oracle.as_mut().is_some_and(|o| o.should_skip(&chain)) {
+                    stats.inactive_chains += 1;
+                    pruned_chains += 1;
+                } else {
+                    block.push(chain);
+                }
+            }
             None => stats.inactive_chains += 1,
         }
         if block.len() >= PARALLEL_BLOCK {
@@ -174,6 +305,7 @@ pub fn run_shard(
     ShardRun {
         shard,
         stats,
+        pruned_chains,
         frontier,
     }
 }
@@ -196,6 +328,10 @@ pub struct ShardProgress {
     pub chains_done: u64,
     /// Evaluation counters accumulated over the consumed positions.
     pub stats: SweepStats,
+    /// Chains skipped by dominance pruning in *this process* (see
+    /// [`ShardRun::pruned_chains`]); advisory, not serialized, and reset
+    /// to 0 when progress is reparsed from a checkpoint file.
+    pub pruned_chains: u64,
     /// Undominated outcomes, each as its serialized frontier entry.
     pub frontier: ParetoFold<String>,
 }
@@ -226,8 +362,44 @@ pub fn resume_shard(
     progress: &mut ShardProgress,
     limit: Option<u64>,
 ) -> bool {
+    resume_shard_impl(spec, vi, grid, shard, cfg, progress, limit, false)
+}
+
+/// [`resume_shard`] with the dominance pruning of [`run_shard_pruned`].
+///
+/// The skip decision is a pure function of `(grid, chain)`, so a run
+/// assembled from any mix of interrupted `resume_shard_pruned` calls skips
+/// the identical chain set and reproduces the one-shot pruned runner's
+/// checkpoint bytes. Mixing pruned and unpruned resumption of the *same*
+/// shard is not meaningful (the serialized stats would disagree about
+/// which chains were inactive).
+#[allow(clippy::too_many_arguments)]
+pub fn resume_shard_pruned(
+    spec: &SocSpec,
+    vi: &ViAssignment,
+    grid: &SweepGrid,
+    shard: Shard,
+    cfg: &SynthesisConfig,
+    progress: &mut ShardProgress,
+    limit: Option<u64>,
+) -> bool {
+    resume_shard_impl(spec, vi, grid, shard, cfg, progress, limit, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resume_shard_impl(
+    spec: &SocSpec,
+    vi: &ViAssignment,
+    grid: &SweepGrid,
+    shard: Shard,
+    cfg: &SynthesisConfig,
+    progress: &mut ShardProgress,
+    limit: Option<u64>,
+    prune: bool,
+) -> bool {
     let total = shard.stripe_len(grid.num_chains());
     let mut remaining = limit.unwrap_or(u64::MAX);
+    let mut oracle = prune.then(|| SlackOracle::new(spec, vi, grid, cfg));
     let mut ids = shard
         .chain_ids(grid.num_chains())
         .skip(progress.chains_done as usize);
@@ -241,7 +413,14 @@ pub fn resume_shard(
         let mut block: Vec<ChainSpec> = Vec::with_capacity(block_ids.len());
         for &chain_id in &block_ids {
             match grid.chain(chain_id) {
-                Some(chain) => block.push(chain),
+                Some(chain) => {
+                    if oracle.as_mut().is_some_and(|o| o.should_skip(&chain)) {
+                        progress.stats.inactive_chains += 1;
+                        progress.pruned_chains += 1;
+                    } else {
+                        block.push(chain);
+                    }
+                }
                 None => progress.stats.inactive_chains += 1,
             }
         }
