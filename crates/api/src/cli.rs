@@ -6,19 +6,26 @@
 //! vi-noc simulate SCENARIO.json [--out FILE]
 //! vi-noc report   REPORT.json
 //! vi-noc sweep    run|merge|info ...
+//! vi-noc fleet    serve|work|run ...
 //! ```
 //!
 //! `run` executes every stage a scenario declares and writes the report
 //! JSON; `simulate` skips the sweep stage; `report` pretty-prints a report
 //! file; `sweep` is the sharded design-space workflow (one shard per
 //! process), extended with `--scenario` (grid + configs from a scenario
-//! file), `--resume` and `--checkpoint-every` (preemptible shards).
+//! file), `--resume` and `--checkpoint-every` (preemptible shards);
+//! `fleet` is the elastic alternative to static shards — a coordinator
+//! leases chain ranges to workers that can join, die, and be replaced
+//! mid-sweep, with the frontier folded byte-identically to `sweep run
+//! --frontier`.
 
 use crate::error::Error;
+use crate::fleet::{job_payload, ScenarioJobResolver};
 use crate::report::REPORT_FORMAT;
 use crate::scenario::{benchmark_by_name, PartitionPlan, Scenario};
 use std::time::Instant;
 use vi_noc_core::SynthesisConfig;
+use vi_noc_fleet::FleetConfig;
 use vi_noc_soc::{partition, SocSpec, ViAssignment};
 use vi_noc_sweep::{
     frontier_progress_json, frontier_seeds, json, merge_checkpoints, parse_frontier_file,
@@ -33,7 +40,8 @@ usage:
   vi-noc run      SCENARIO.json [--out FILE] [--frontier-out FILE]
   vi-noc simulate SCENARIO.json [--out FILE]
   vi-noc report   REPORT.json
-  vi-noc sweep    run|merge|info ...   (see `vi-noc sweep` for details)";
+  vi-noc sweep    run|merge|info ...   (see `vi-noc sweep` for details)
+  vi-noc fleet    serve|work|run ...   (see `vi-noc fleet` for details)";
 
 /// Usage text of the `sweep` subcommand / binary.
 pub const SWEEP_USAGE: &str = "\
@@ -50,6 +58,15 @@ usage:
   sweep merge  SHARD.json... --out FILE
   sweep info   (--spec ... --islands K [grid flags] | --scenario FILE)";
 
+/// Usage text of the `fleet` subcommand.
+pub const FLEET_USAGE: &str = "\
+usage:
+  fleet serve --scenario FILE [--listen ADDR] [--addr-file FILE] [--out FILE]
+              [--lease-chunk N] [--lease-timeout-ms T] [--checkpoint-every C]
+  fleet work  --connect HOST:PORT [--throttle-ms T]
+  fleet run   --scenario FILE --workers N [--out FILE]
+              [--lease-chunk N] [--lease-timeout-ms T] [--checkpoint-every C]";
+
 /// Entry point of the `vi-noc` binary.
 ///
 /// # Errors
@@ -61,6 +78,7 @@ pub fn vi_noc_cli(args: &[String]) -> Result<(), String> {
         Some("simulate") => cmd_run(&args[1..], false),
         Some("report") => cmd_report(&args[1..]),
         Some("sweep") => sweep_cli(&args[1..]),
+        Some("fleet") => fleet_cli(&args[1..]),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("missing command".to_string()),
     }
@@ -613,6 +631,170 @@ fn sweep_info(args: &[String]) -> Result<(), String> {
     println!("candidates:      {}", grid.num_candidates());
     println!("chain length:    {}", grid.chain_len());
     Ok(())
+}
+
+// --- fleet ---------------------------------------------------------------
+
+/// Entry point of the `fleet` subcommand: a scenario's sweep grid run by a
+/// coordinator + worker fleet over TCP, folding the frontier byte-identically
+/// to `sweep run --scenario FILE --frontier`.
+///
+/// # Errors
+///
+/// A printable message; the binary appends [`FLEET_USAGE`].
+pub fn fleet_cli(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("serve") => fleet_serve(&args[1..]),
+        Some("work") => fleet_work(&args[1..]),
+        Some("run") => fleet_run(&args[1..]),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("missing command".to_string()),
+    }
+}
+
+/// Applies one of the shared coordinator knobs (`--lease-chunk`,
+/// `--lease-timeout-ms`, `--checkpoint-every`) to `cfg`.
+fn apply_fleet_flag(cfg: &mut FleetConfig, flag: &str, value: &str) -> Result<(), String> {
+    let parsed: u64 = value.parse().map_err(|_| format!("bad {flag} value"))?;
+    match flag {
+        "--lease-timeout-ms" => cfg.lease_timeout = std::time::Duration::from_millis(parsed),
+        _ if parsed == 0 => return Err(format!("{flag} must be at least 1")),
+        "--lease-chunk" => cfg.lease_chunk = parsed,
+        "--checkpoint-every" => cfg.checkpoint_every = parsed,
+        _ => unreachable!("only fleet flags dispatched"),
+    }
+    Ok(())
+}
+
+/// Loads the scenario behind `--scenario` and checks it declares a sweep
+/// grid — the one thing a fleet can run.
+fn fleet_scenario(path: Option<String>) -> Result<Scenario, String> {
+    let path = path.ok_or("--scenario FILE is required")?;
+    let scenario = Scenario::from_json(&read_file(&path)?)?;
+    if scenario.sweep.is_none() {
+        return Err(format!(
+            "scenario '{}' declares no sweep grid",
+            scenario.name
+        ));
+    }
+    Ok(scenario)
+}
+
+fn fleet_serve(args: &[String]) -> Result<(), String> {
+    let mut scenario_path: Option<String> = None;
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut addr_file: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut cfg = FleetConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--scenario" => scenario_path = Some(value("--scenario")?.clone()),
+            "--listen" => listen = value("--listen")?.clone(),
+            "--addr-file" => addr_file = Some(value("--addr-file")?.clone()),
+            "--out" => out = Some(value("--out")?.clone()),
+            "--lease-chunk" | "--lease-timeout-ms" | "--checkpoint-every" => {
+                apply_fleet_flag(&mut cfg, arg, value(arg)?)?
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    let scenario = fleet_scenario(scenario_path)?;
+    let resolver: std::sync::Arc<dyn vi_noc_fleet::JobResolver> =
+        std::sync::Arc::new(ScenarioJobResolver);
+    let handle = vi_noc_fleet::start_coordinator(&listen, resolver, cfg)?;
+    eprintln!(
+        "fleet serve: scenario '{}' on {} — join with `vi-noc fleet work --connect {}`",
+        scenario.name,
+        handle.addr(),
+        handle.addr()
+    );
+    // The resolved address lets scripts bind port 0 and still find us.
+    if let Some(path) = &addr_file {
+        std::fs::write(path, format!("{}\n", handle.addr()))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    let start = Instant::now();
+    let result = handle.submit(&job_payload(&scenario, None));
+    handle.shutdown();
+    let frontier = result?;
+    eprintln!("fleet serve: frontier folded in {:.2?}", start.elapsed());
+    write_out(out.as_deref(), &frontier)
+}
+
+fn fleet_work(args: &[String]) -> Result<(), String> {
+    let mut connect: Option<String> = None;
+    let mut opts = vi_noc_fleet::WorkerOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--connect" => connect = Some(value("--connect")?.clone()),
+            "--throttle-ms" => {
+                let ms: u64 = value("--throttle-ms")?
+                    .parse()
+                    .map_err(|_| "bad --throttle-ms value")?;
+                opts.throttle = std::time::Duration::from_millis(ms);
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    let connect = connect.ok_or("--connect HOST:PORT is required")?;
+    let addr = std::net::ToSocketAddrs::to_socket_addrs(connect.as_str())
+        .map_err(|e| format!("resolving {connect}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{connect} resolves to no address"))?;
+    let stats = vi_noc_fleet::run_worker(addr, &ScenarioJobResolver, &opts)?;
+    eprintln!(
+        "fleet work: {} lease(s) done, {} delta(s) acked, {} abandoned",
+        stats.leases, stats.deltas, stats.abandoned
+    );
+    Ok(())
+}
+
+fn fleet_run(args: &[String]) -> Result<(), String> {
+    let mut scenario_path: Option<String> = None;
+    let mut workers: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut cfg = FleetConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--scenario" => scenario_path = Some(value("--scenario")?.clone()),
+            "--workers" => {
+                workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|_| "bad --workers value")?,
+                )
+            }
+            "--out" => out = Some(value("--out")?.clone()),
+            "--lease-chunk" | "--lease-timeout-ms" | "--checkpoint-every" => {
+                apply_fleet_flag(&mut cfg, arg, value(arg)?)?
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    let scenario = fleet_scenario(scenario_path)?;
+    let workers = workers.ok_or("--workers N is required")?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    let start = Instant::now();
+    let frontier = crate::fleet::run_local_fleet(&job_payload(&scenario, None), workers, cfg)?;
+    eprintln!(
+        "fleet run: frontier folded by {workers} worker(s) in {:.2?}",
+        start.elapsed()
+    );
+    write_out(out.as_deref(), &frontier)
 }
 
 // Lets the String-error CLI functions apply `?` directly to API results.

@@ -809,6 +809,7 @@ pub(crate) fn scenario_from_json(text: &str) -> Result<Scenario, Error> {
             "shutdown",
             "sweep",
             "sweep_prune",
+            "sweep_workers",
             "refine",
         ],
         ctx,
@@ -850,6 +851,15 @@ pub(crate) fn scenario_from_json(text: &str) -> Result<Scenario, Error> {
         &mut sweep_prune,
         bool_of,
     )?;
+    let sweep_workers = get(members, "sweep_workers")
+        .map(|v| usize_of(v, "scenario.sweep_workers"))
+        .transpose()?;
+    if sweep_workers == Some(0) {
+        return Err(Error::scenario(
+            "scenario.sweep_workers",
+            "must be at least 1",
+        ));
+    }
     let refine = get(members, "refine")
         .map(|v| refine_from_value(v, "scenario.refine"))
         .transpose()?;
@@ -869,6 +879,7 @@ pub(crate) fn scenario_from_json(text: &str) -> Result<Scenario, Error> {
         shutdown,
         sweep,
         sweep_prune,
+        sweep_workers,
         refine,
     })
 }
@@ -903,6 +914,9 @@ pub(crate) fn scenario_to_json(s: &Scenario) -> String {
     // exact bytes.
     if s.sweep_prune {
         out.push_str(",\n\"sweep_prune\":true");
+    }
+    if let Some(workers) = s.sweep_workers {
+        out.push_str(&format!(",\n\"sweep_workers\":{workers}"));
     }
     if let Some(plan) = &s.refine {
         out.push_str(&format!(",\n\"refine\":{}", refine_to_json(plan)));

@@ -19,7 +19,12 @@
 //!   JSON emission (`Report::to_json`) and a terminal summary.
 //! * [`Error`] — the workspace-wide error type every stage fails through.
 //! * [`cli`] — the implementation of the `vi-noc` binary (`run`,
-//!   `simulate`, `sweep`, `report`) and the back-compat `sweep` binary.
+//!   `simulate`, `sweep`, `report`, `fleet`) and the back-compat `sweep`
+//!   binary.
+//! * [`fleet`] — scenario documents as `vi-noc-fleet` job payloads: a
+//!   scenario's sweep runs on a coordinator + worker fleet
+//!   (`sweep_workers`, or the `fleet` CLI) with byte-identical frontier
+//!   emission.
 //!
 //! Everything here composes the existing stage functions
 //! (`vi_noc_core::synthesize`, `realize_on_floorplan`,
@@ -32,6 +37,7 @@
 
 pub mod cli;
 mod error;
+pub mod fleet;
 mod ingest;
 mod pipeline;
 mod report;

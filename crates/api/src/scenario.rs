@@ -157,6 +157,11 @@ pub struct Scenario {
     /// (`vi_noc_sweep::run_shard_pruned`). Exact: the emitted frontier is
     /// byte-identical either way.
     pub sweep_prune: bool,
+    /// Route the sweep stage through an in-process worker fleet of this
+    /// many workers (`vi-noc-fleet`) instead of the single-threaded
+    /// streaming run. Exact: the emitted frontier is byte-identical for
+    /// any worker count. `None` (the default) keeps the classic path.
+    pub sweep_workers: Option<usize>,
     /// Coarse-to-fine refinement of the sweep, if any (requires `sweep`).
     pub refine: Option<RefinePlan>,
 }
@@ -187,6 +192,7 @@ impl Scenario {
             shutdown: None,
             sweep: None,
             sweep_prune: false,
+            sweep_workers: None,
             refine: None,
         }
     }
@@ -330,27 +336,33 @@ impl Scenario {
     /// declared, follows it with the coarse-to-fine refinement stage. The
     /// returned frontier file is byte-identical to the equivalent `sweep
     /// run`/`sweep refine` CLI workflow over the same grids (same
-    /// descriptors, same writers).
+    /// descriptors, same writers). When `sweep_workers` is set, both the
+    /// coarse and the refined stage run through an in-process fleet
+    /// ([`crate::fleet`]) — with, again, byte-identical emission.
     fn run_sweep(
         &self,
         spec: &SocSpec,
         vi: &ViAssignment,
         grid_cfg: &GridConfig,
     ) -> Result<String, Error> {
-        let grid = SweepGrid::build(spec, vi, &self.synthesis, grid_cfg);
-        let desc = GridDescriptor::for_grid(
-            &grid,
-            spec.name(),
-            &self.partition.tag(),
-            self.synthesis.seed,
-        );
         let runner = if self.sweep_prune {
             run_shard_pruned
         } else {
             run_shard
         };
-        let run = runner(spec, vi, &grid, Shard::full(), &self.synthesis);
-        let coarse_file = frontier_json(&desc, &run);
+        let coarse_file = if let Some(workers) = self.sweep_workers {
+            crate::fleet::run_sweep_via_fleet(self, None, workers)?
+        } else {
+            let grid = SweepGrid::build(spec, vi, &self.synthesis, grid_cfg);
+            let desc = GridDescriptor::for_grid(
+                &grid,
+                spec.name(),
+                &self.partition.tag(),
+                self.synthesis.seed,
+            );
+            let run = runner(spec, vi, &grid, Shard::full(), &self.synthesis);
+            frontier_json(&desc, &run)
+        };
         let Some(plan) = &self.refine else {
             return Ok(coarse_file);
         };
@@ -368,6 +380,9 @@ impl Scenario {
                 "no refinement window covers the fine grid (empty coarse frontier, \
                  or every surviving scale is outside 'scale_window')",
             ));
+        }
+        if let Some(workers) = self.sweep_workers {
+            return crate::fleet::run_sweep_via_fleet(self, Some(&windows), workers);
         }
         let fine = SweepGrid::build_windowed(spec, vi, &self.synthesis, &plan.grid, windows);
         let fine_desc = GridDescriptor::for_grid(

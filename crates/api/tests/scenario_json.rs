@@ -151,14 +151,18 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
     (
         (arb_spec(), arb_partition(), arb_synthesis()),
         (arb_floorplan(), arb_sim(), arb_shutdown(), arb_sweep()),
-        (proptest::bool::ANY, arb_refine()),
+        (
+            proptest::bool::ANY,
+            (0usize..4, 1usize..9).prop_map(|(pick, n)| (pick != 0).then_some(n)),
+            arb_refine(),
+        ),
         0u64..u64::MAX,
     )
         .prop_map(
             |(
                 (spec, partition, synthesis),
                 (floorplan, sim, shutdown, sweep),
-                (sweep_prune, refine),
+                (sweep_prune, sweep_workers, refine),
                 tag,
             )| Scenario {
                 name: format!("prop scenario {tag}"),
@@ -173,6 +177,7 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
                 refine: if sweep.is_some() { refine } else { None },
                 sweep,
                 sweep_prune,
+                sweep_workers,
             },
         )
 }

@@ -99,16 +99,7 @@ impl GridDescriptor {
                 if i > 0 {
                     s.push(',');
                 }
-                let _ = write!(
-                    s,
-                    "{{\"scales\":{},\"base_lo\":{},\"base_hi\":{},\"boost_lo\":{},\
-                     \"boost_hi\":{}}}",
-                    json_usize_array(w.scales.iter().copied()),
-                    w.base_lo,
-                    w.base_hi,
-                    w.boost_lo,
-                    w.boost_hi
-                );
+                s.push_str(&window_json(w));
             }
             s.push(']');
         }
@@ -117,7 +108,35 @@ impl GridDescriptor {
     }
 }
 
-fn stats_json(s: &SweepStats) -> String {
+/// Serializes one refinement window as a compact JSON object — the format
+/// used inside grid descriptors and in fleet job payloads.
+pub fn window_json(w: &RefineWindow) -> String {
+    format!(
+        "{{\"scales\":{},\"base_lo\":{},\"base_hi\":{},\"boost_lo\":{},\"boost_hi\":{}}}",
+        json_usize_array(w.scales.iter().copied()),
+        w.base_lo,
+        w.base_hi,
+        w.boost_lo,
+        w.boost_hi
+    )
+}
+
+/// Parses an array of refinement-window objects (the inverse of
+/// [`window_json`] over a `[...]` value), with `ctx`-prefixed errors.
+///
+/// # Errors
+///
+/// Non-array values and malformed window members.
+pub fn windows_from_value(v: &Value, ctx: &str) -> Result<Vec<RefineWindow>, String> {
+    match v {
+        Value::Arr(ws) => ws.iter().map(|w| window_from_value(w, ctx)).collect(),
+        _ => Err(format!("{ctx}: 'windows' is not an array")),
+    }
+}
+
+/// Serializes the counters object used in checkpoint/frontier files and in
+/// fleet delta messages.
+pub fn stats_json(s: &SweepStats) -> String {
     format!(
         "{{\"chains\":{},\"inactive_chains\":{},\"feasible\":{},\"duplicates\":{},\
          \"infeasible\":{}}}",
@@ -343,8 +362,13 @@ fn take_member(v: &mut Value, key: &str, ctx: &str) -> Result<Value, String> {
     }
 }
 
-/// Parses the counters object of a checkpoint or frontier file.
-fn stats_from_value(stats_v: &Value) -> Result<SweepStats, String> {
+/// Parses the counters object of a checkpoint, frontier file, or fleet
+/// delta message (the inverse of [`stats_json`]).
+///
+/// # Errors
+///
+/// Missing or non-integer counter members.
+pub fn stats_from_value(stats_v: &Value) -> Result<SweepStats, String> {
     Ok(SweepStats {
         chains: u64_field(stats_v, "chains", "stats")?,
         inactive_chains: u64_field(stats_v, "inactive_chains", "stats")?,
@@ -387,7 +411,18 @@ fn window_from_value(v: &Value, ctx: &str) -> Result<RefineWindow, String> {
 ///   that chain (`ordinal / chain_len == chain_id`);
 /// * on windowed grids, the entry's `(scale, sweep_index, boosts)`
 ///   coordinate lies inside at least one refinement window.
-fn validate_entries(frontier: Vec<Value>, grid: &Value) -> Result<Vec<(ParetoKey, Value)>, String> {
+///
+/// Shared by the checkpoint/frontier parsers here and the fleet
+/// coordinator, which runs the same checks on every streamed delta before
+/// folding it.
+///
+/// # Errors
+///
+/// The first failing check, as a path-contexted message.
+pub fn validate_entries(
+    frontier: Vec<Value>,
+    grid: &Value,
+) -> Result<Vec<(ParetoKey, Value)>, String> {
     let island_count = u64_field(grid, "island_count", "grid")? as usize;
     let num_chains = u64_field(grid, "num_chains", "grid")?;
     let chain_len = u64_field(grid, "max_intermediate", "grid")? + 1;

@@ -26,6 +26,12 @@
 //!   checkpoint's `chains_done` watermark records how much of the stripe a
 //!   file covers, so a killed shard resumes where it stopped and its final
 //!   checkpoint is byte-identical to an uninterrupted run's.
+//! * [`ChainRange`] / [`run_range_deltas`] — the fleet lease shape:
+//!   contiguous chain-id ranges evaluated as a stream of *disjoint*
+//!   checkpoint deltas (counters + serialized frontier entries per
+//!   interval). The `vi-noc-fleet` coordinator folds deltas of any
+//!   covering range set — any worker count, any kill/re-lease schedule —
+//!   into the identical frontier bytes.
 //! * [`run_shard_pruned`] / [`resume_shard_pruned`] — slack-certified
 //!   dominance pruning: boosted chains whose zero-boost reference
 //!   certifies slack on every boosted island are skipped without
@@ -59,15 +65,16 @@ pub mod shard;
 
 pub use checkpoint::{
     frontier_json, frontier_progress_json, merge_checkpoints, parse_frontier_file,
-    parse_shard_checkpoint, shard_checkpoint_json, shard_progress_json, GridDescriptor,
-    ParsedFrontier, ParsedShard, FRONTIER_FORMAT, SHARD_FORMAT,
+    parse_shard_checkpoint, shard_checkpoint_json, shard_progress_json, stats_from_value,
+    stats_json, validate_entries, window_json, windows_from_value, GridDescriptor, ParsedFrontier,
+    ParsedShard, FRONTIER_FORMAT, SHARD_FORMAT,
 };
 pub use grid::{ChainSpec, GridConfig, RefineWindow, SweepGrid};
 pub use refine::{
     frontier_seeds, validate_frontier_source, windows_from_frontier, FrontierSeed, RefineParams,
 };
 pub use run::{
-    resume_shard, resume_shard_pruned, run_shard, run_shard_pruned, FrontierPoint, ShardProgress,
-    ShardRun, SweepStats,
+    resume_shard, resume_shard_pruned, run_range_deltas, run_shard, run_shard_pruned,
+    FrontierPoint, RangeDelta, ShardProgress, ShardRun, SweepStats,
 };
-pub use shard::Shard;
+pub use shard::{ChainRange, Shard};

@@ -2,7 +2,7 @@
 //! into a Pareto frontier as they complete, never materialize the space.
 
 use crate::grid::{ChainSpec, SweepGrid};
-use crate::shard::Shard;
+use crate::shard::{ChainRange, Shard};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use vi_noc_core::{
@@ -449,6 +449,126 @@ fn resume_shard_impl(
         remaining -= block_ids.len() as u64;
     }
     progress.chains_done >= total
+}
+
+/// One streaming checkpoint delta of a leased [`ChainRange`]: the counters
+/// and surviving frontier entries of range positions `[from, from+taken)`.
+///
+/// Deltas are *disjoint by construction* — each covers an interval of range
+/// positions no other delta of the same coverage set touches — so a
+/// coordinator folding every delta of a set of ranges that covers the grid
+/// exactly once reproduces the full run's frontier bit for bit. Entries are
+/// kept in serialized form ([`crate::checkpoint::frontier_entry_json`]
+/// bytes): the writers are parse→write fixed points, so an entry that
+/// crosses a wire as JSON and is re-emitted by the coordinator keeps its
+/// exact bytes.
+#[derive(Debug, Clone)]
+pub struct RangeDelta {
+    /// First range position the delta covers (offset from the range start,
+    /// counting active *and* inactive chain ids).
+    pub from: u64,
+    /// Number of range positions covered; the next delta starts at
+    /// `from + taken`.
+    pub taken: u64,
+    /// Evaluation counters of the covered positions.
+    pub stats: SweepStats,
+    /// Undominated outcomes of the covered positions, each as its
+    /// dominance key plus its serialized frontier entry. Entries dominated
+    /// *within* the interval are already dropped — exact, because every
+    /// kill chain ends in a surviving witness that is included.
+    pub entries: Vec<(ParetoKey, String)>,
+}
+
+/// Evaluates range positions `[from, range.len())` of `range`, emitting a
+/// [`RangeDelta`] through `emit` every `every` positions (the last delta
+/// may be shorter). This is the worker half of the fleet protocol: `emit`
+/// typically serializes the delta onto a socket and waits for the
+/// coordinator's ack; an `Err` from `emit` aborts the run and is returned
+/// verbatim.
+///
+/// Chain decoding, block-parallel fan-out (under [`SynthesisConfig::parallel`])
+/// and fold semantics are identical to [`run_shard`]'s, and with `prune`
+/// set the slack-certificate skip decision is the same pure function of
+/// `(grid, chain)` as [`run_shard_pruned`]'s — so folding every delta of a
+/// covering range set reproduces the equivalent shard run's frontier and
+/// stats exactly. `crates/sweep/tests/range_delta.rs` pins that.
+///
+/// # Errors
+///
+/// Only errors surfaced by `emit` (the evaluation itself cannot fail).
+#[allow(clippy::too_many_arguments)]
+pub fn run_range_deltas(
+    spec: &SocSpec,
+    vi: &ViAssignment,
+    grid: &SweepGrid,
+    range: ChainRange,
+    cfg: &SynthesisConfig,
+    from: u64,
+    every: u64,
+    prune: bool,
+    emit: &mut dyn FnMut(RangeDelta) -> Result<(), String>,
+) -> Result<(), String> {
+    let every = every.max(1);
+    let mut oracle = prune.then(|| SlackOracle::new(spec, vi, grid, cfg));
+    let mut pos = from.min(range.len());
+
+    while pos < range.len() {
+        let taken = every.min(range.len() - pos);
+        let mut stats = SweepStats::default();
+        let mut local: ParetoFold<FrontierPoint> = ParetoFold::new();
+
+        // The interval is consumed in PARALLEL_BLOCK slices, exactly like
+        // the shard runners, so one lease's evaluation order matches the
+        // unsharded run's chain-local behaviour.
+        let mut offset = 0u64;
+        while offset < taken {
+            let block_len = PARALLEL_BLOCK.min((taken - offset) as usize);
+            let mut block: Vec<ChainSpec> = Vec::with_capacity(block_len);
+            for i in 0..block_len as u64 {
+                let chain_id = range.start + pos + offset + i;
+                match grid.chain(chain_id) {
+                    Some(chain) => {
+                        if oracle.as_mut().is_some_and(|o| o.should_skip(&chain)) {
+                            stats.inactive_chains += 1;
+                        } else {
+                            block.push(chain);
+                        }
+                    }
+                    None => stats.inactive_chains += 1,
+                }
+            }
+            let results: Vec<(SweepStats, ParetoFold<FrontierPoint>)> = if cfg.parallel {
+                block
+                    .par_iter()
+                    .map(|chain| evaluate_chain(spec, vi, grid, chain, cfg))
+                    .collect()
+            } else {
+                block
+                    .iter()
+                    .map(|chain| evaluate_chain(spec, vi, grid, chain, cfg))
+                    .collect()
+            };
+            for (s, f) in results {
+                stats.add(&s);
+                local.absorb(f);
+            }
+            offset += block_len as u64;
+        }
+
+        let entries = local
+            .into_sorted()
+            .into_iter()
+            .map(|(key, fp)| (key, crate::checkpoint::frontier_entry_json(&fp)))
+            .collect();
+        emit(RangeDelta {
+            from: pos,
+            taken,
+            stats,
+            entries,
+        })?;
+        pos += taken;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

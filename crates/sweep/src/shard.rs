@@ -1,4 +1,5 @@
-//! Deterministic striping of a [`crate::SweepGrid`] across shards.
+//! Deterministic striping of a [`crate::SweepGrid`] across shards, plus the
+//! contiguous [`ChainRange`] shape the fleet coordinator leases out.
 
 use std::fmt;
 
@@ -71,6 +72,84 @@ impl fmt::Display for Shard {
     }
 }
 
+/// A contiguous half-open chain-id range `[start, end)` — the lease shape
+/// of the fleet coordinator (`vi-noc-fleet`).
+///
+/// Where [`Shard`] stripes a grid round-robin for a *fixed* process count
+/// known up front, a `ChainRange` carves out an arbitrary contiguous run of
+/// chain ids: a coordinator can cut the id space into any number of ranges,
+/// lease them to however many workers happen to be connected, and re-cut a
+/// dead worker's remainder — all without renumbering anything. Exactness is
+/// the same argument as for shards: any set of ranges that covers every
+/// chain id exactly once folds to the frontier of the full sequential pass,
+/// because dominance survival is pairwise and the fold is order-independent
+/// (see [`vi_noc_core::pareto`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainRange {
+    /// First chain id of the range (inclusive).
+    pub start: u64,
+    /// One past the last chain id of the range (exclusive).
+    pub end: u64,
+}
+
+impl ChainRange {
+    /// Creates a range, validating `start <= end`.
+    pub fn new(start: u64, end: u64) -> Result<Self, String> {
+        if start > end {
+            return Err(format!("chain range {start}..{end} is inverted"));
+        }
+        Ok(ChainRange { start, end })
+    }
+
+    /// The whole id space of a grid with `num_chains` chains.
+    pub fn full(num_chains: u64) -> Self {
+        ChainRange {
+            start: 0,
+            end: num_chains,
+        }
+    }
+
+    /// Number of chain ids in the range.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// `true` when the range holds no chain ids.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// `true` iff the range contains `chain_id`.
+    pub fn contains(&self, chain_id: u64) -> bool {
+        (self.start..self.end).contains(&chain_id)
+    }
+
+    /// The chain ids of the range, in ascending order.
+    pub fn chain_ids(&self) -> impl Iterator<Item = u64> {
+        self.start..self.end
+    }
+
+    /// Cuts `0..num_chains` into consecutive ranges of `chunk` ids each
+    /// (the last one possibly shorter). `chunk` is clamped to at least 1;
+    /// an empty grid yields no ranges.
+    pub fn cut(num_chains: u64, chunk: u64) -> Vec<ChainRange> {
+        let chunk = chunk.max(1);
+        (0..num_chains)
+            .step_by(usize::try_from(chunk).unwrap_or(usize::MAX))
+            .map(|start| ChainRange {
+                start,
+                end: (start + chunk).min(num_chains),
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for ChainRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +183,40 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn ranges_cut_the_id_space_exactly_once() {
+        for num_chains in [0u64, 1, 5, 23, 24] {
+            for chunk in [1u64, 2, 7, 23, 100] {
+                let ranges = ChainRange::cut(num_chains, chunk);
+                let mut seen = vec![0u32; num_chains as usize];
+                for r in &ranges {
+                    assert!(!r.is_empty(), "cut never yields empty ranges");
+                    assert!(r.len() <= chunk);
+                    for c in r.chain_ids() {
+                        assert!(r.contains(c));
+                        seen[c as usize] += 1;
+                    }
+                }
+                assert!(
+                    seen.iter().all(|&s| s == 1),
+                    "chunk={chunk} n={num_chains}: each chain exactly once"
+                );
+            }
+        }
+        assert!(ChainRange::cut(0, 4).is_empty());
+        assert_eq!(ChainRange::cut(10, 0), ChainRange::cut(10, 1));
+    }
+
+    #[test]
+    fn range_construction_validates_and_displays() {
+        assert!(ChainRange::new(3, 2).is_err());
+        let r = ChainRange::new(2, 9).unwrap();
+        assert_eq!(r.len(), 7);
+        assert_eq!(r.to_string(), "2..9");
+        assert_eq!(ChainRange::full(5), ChainRange { start: 0, end: 5 });
+        assert!(ChainRange::new(4, 4).unwrap().is_empty());
     }
 
     #[test]

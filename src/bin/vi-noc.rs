@@ -6,6 +6,7 @@
 //! vi-noc simulate SCENARIO.json [--out report.json]
 //! vi-noc report   REPORT.json
 //! vi-noc sweep    run|merge|info ...
+//! vi-noc fleet    serve|work|run ...
 //! ```
 //!
 //! The implementation lives in [`vi_noc_api::cli`]; see `scenarios/` for
