@@ -17,9 +17,11 @@
 
 use crate::error::Error;
 use crate::scenario::{
-    IslandChoice, PartitionPlan, RefinePlan, Scenario, ShutdownPlan, SimPlan, SpecSource,
+    DynSweepPlan, IslandChoice, PartitionPlan, RefinePlan, Scenario, ShutdownPlan, SimPlan,
+    SpecSource,
 };
 use vi_noc_core::{json_number, json_string, SynthesisConfig};
+use vi_noc_dynsweep::Mode;
 use vi_noc_floorplan::FloorplanConfig;
 use vi_noc_models::{Area, Bandwidth, Frequency, Power, Technology};
 use vi_noc_sim::TrafficKind;
@@ -790,6 +792,120 @@ fn refine_to_json(plan: &RefinePlan) -> String {
     )
 }
 
+fn dyn_sweep_from_value(v: &Value, ctx: &str) -> Result<DynSweepPlan, Error> {
+    let m = as_obj(v, ctx)?;
+    check_keys(
+        m,
+        &["loads", "traffic", "schedules", "horizon_ns", "mode"],
+        ctx,
+    )?;
+    let lctx = format!("{ctx}.loads");
+    let arr = req(m, "loads", ctx)?
+        .as_arr()
+        .ok_or_else(|| Error::scenario(&lctx, "expected an array"))?;
+    let loads: Vec<f64> = arr
+        .iter()
+        .enumerate()
+        .map(|(i, x)| f64_of(x, &format!("{lctx}[{i}]")))
+        .collect::<Result<_, _>>()?;
+    // Validated here so a bad scenario fails with a path instead of a
+    // late axes error inside the engine.
+    if loads.is_empty() || loads.iter().any(|&l| !l.is_finite() || l <= 0.0) {
+        return Err(Error::scenario(
+            lctx,
+            "must be a non-empty list of positive finite load factors",
+        ));
+    }
+    let mut traffic = vec![TrafficKind::Cbr];
+    if let Some(v) = get(m, "traffic") {
+        let tctx = format!("{ctx}.traffic");
+        let arr = v
+            .as_arr()
+            .ok_or_else(|| Error::scenario(&tctx, "expected an array"))?;
+        if arr.is_empty() {
+            return Err(Error::scenario(&tctx, "must be a non-empty list"));
+        }
+        traffic = arr
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let tctx = format!("{tctx}[{i}]");
+                str_of(t, &tctx)?
+                    .parse::<TrafficKind>()
+                    .map_err(|e| Error::scenario(&tctx, e))
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    let mut schedules: Vec<Option<ShutdownPlan>> = vec![None];
+    if let Some(v) = get(m, "schedules") {
+        let sctx = format!("{ctx}.schedules");
+        let arr = v
+            .as_arr()
+            .ok_or_else(|| Error::scenario(&sctx, "expected an array"))?;
+        if arr.is_empty() {
+            return Err(Error::scenario(
+                &sctx,
+                "must be a non-empty list (null entries are free-running)",
+            ));
+        }
+        schedules = arr
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let sctx = format!("{sctx}[{i}]");
+                match s {
+                    Value::Null => Ok(None),
+                    _ => shutdown_from_value(s, &sctx).map(Some),
+                }
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    let hctx = format!("{ctx}.horizon_ns");
+    let horizon_ns = u64_of(req(m, "horizon_ns", ctx)?, &hctx)?;
+    if horizon_ns == 0 {
+        return Err(Error::scenario(hctx, "must be positive"));
+    }
+    let mut mode = Mode::Exact;
+    if let Some(v) = get(m, "mode") {
+        let mctx = format!("{ctx}.mode");
+        mode = str_of(v, &mctx)?
+            .parse()
+            .map_err(|e: String| Error::scenario(&mctx, e))?;
+    }
+    Ok(DynSweepPlan {
+        loads,
+        traffic,
+        schedules,
+        horizon_ns,
+        mode,
+    })
+}
+
+fn dyn_sweep_to_json(plan: &DynSweepPlan) -> String {
+    let loads: Vec<String> = plan.loads.iter().map(|&l| json_number(l)).collect();
+    let traffic: Vec<String> = plan
+        .traffic
+        .iter()
+        .map(|t| json_string(&t.to_string()))
+        .collect();
+    let schedules: Vec<String> = plan
+        .schedules
+        .iter()
+        .map(|s| match s {
+            None => "null".to_string(),
+            Some(sd) => shutdown_to_json(sd),
+        })
+        .collect();
+    format!(
+        "{{\"loads\":[{}],\"traffic\":[{}],\"schedules\":[{}],\"horizon_ns\":{},\"mode\":\"{}\"}}",
+        loads.join(","),
+        traffic.join(","),
+        schedules.join(","),
+        plan.horizon_ns,
+        plan.mode
+    )
+}
+
 // --- Scenario ------------------------------------------------------------
 
 pub(crate) fn scenario_from_json(text: &str) -> Result<Scenario, Error> {
@@ -811,6 +927,7 @@ pub(crate) fn scenario_from_json(text: &str) -> Result<Scenario, Error> {
             "sweep_prune",
             "sweep_workers",
             "refine",
+            "dyn_sweep",
         ],
         ctx,
     )?;
@@ -869,6 +986,15 @@ pub(crate) fn scenario_from_json(text: &str) -> Result<Scenario, Error> {
             "refinement needs a coarse 'sweep' grid to start from",
         ));
     }
+    let dyn_sweep = get(members, "dyn_sweep")
+        .map(|v| dyn_sweep_from_value(v, "scenario.dyn_sweep"))
+        .transpose()?;
+    if dyn_sweep.is_some() && sweep.is_none() {
+        return Err(Error::scenario(
+            "scenario.dyn_sweep",
+            "a dynamic sweep needs a 'sweep' grid whose frontier it sweeps",
+        ));
+    }
     Ok(Scenario {
         name,
         spec,
@@ -881,6 +1007,7 @@ pub(crate) fn scenario_from_json(text: &str) -> Result<Scenario, Error> {
         sweep_prune,
         sweep_workers,
         refine,
+        dyn_sweep,
     })
 }
 
@@ -920,6 +1047,9 @@ pub(crate) fn scenario_to_json(s: &Scenario) -> String {
     }
     if let Some(plan) = &s.refine {
         out.push_str(&format!(",\n\"refine\":{}", refine_to_json(plan)));
+    }
+    if let Some(plan) = &s.dyn_sweep {
+        out.push_str(&format!(",\n\"dyn_sweep\":{}", dyn_sweep_to_json(plan)));
     }
     out.push_str("\n}\n");
     out
@@ -1140,6 +1270,88 @@ mod tests {
         let err = Scenario::from_json(text).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("refine") && msg.contains("coarse"), "{msg}");
+    }
+
+    #[test]
+    fn dyn_sweep_round_trips_and_defaults_its_axes() {
+        let mut s = Scenario::new(
+            "ds",
+            SpecSource::Benchmark("d12".into()),
+            PartitionPlan::Logical { islands: 4 },
+        );
+        s.sweep = Some(GridConfig::default());
+        s.dyn_sweep = Some(DynSweepPlan {
+            loads: vec![0.5, 0.9, 1.2],
+            traffic: vec![TrafficKind::Cbr, TrafficKind::Poisson],
+            schedules: vec![
+                None,
+                Some(ShutdownPlan {
+                    island: IslandChoice::Index(2),
+                    stop_at_ns: 2_000,
+                    drain_ns: 1_500,
+                    post_gate_ns: 3_000,
+                }),
+            ],
+            horizon_ns: 8_000,
+            mode: Mode::Clustered,
+        });
+        let json = s.to_json();
+        let back = Scenario::from_json(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json(), json, "emission is a fixed point");
+
+        // Omitted axes default: cbr traffic, one free-running schedule,
+        // exact mode.
+        let text = r#"{"name":"x","spec":{"benchmark":"d12"},"partition":{"kind":"logical","islands":4},"sweep":{},"dyn_sweep":{"loads":[0.5],"horizon_ns":4000}}"#;
+        let plan = Scenario::from_json(text).unwrap().dyn_sweep.unwrap();
+        assert_eq!(plan.traffic, vec![TrafficKind::Cbr]);
+        assert_eq!(plan.schedules, vec![None]);
+        assert_eq!(plan.mode, Mode::Exact);
+    }
+
+    #[test]
+    fn dyn_sweep_rejects_bad_members_with_a_path() {
+        let base = |ds: &str| {
+            format!(
+                r#"{{"name":"x","spec":{{"benchmark":"d12"}},"partition":{{"kind":"logical","islands":4}},"sweep":{{}},"dyn_sweep":{ds}}}"#
+            )
+        };
+        for (ds, needle) in [
+            (r#"{"horizon_ns":4000}"#, "loads"),
+            (r#"{"loads":[],"horizon_ns":4000}"#, "loads"),
+            (r#"{"loads":[-0.5],"horizon_ns":4000}"#, "loads"),
+            (r#"{"loads":[0.5],"horizon_ns":0}"#, "horizon_ns"),
+            (
+                r#"{"loads":[0.5],"horizon_ns":4000,"traffic":[]}"#,
+                "traffic",
+            ),
+            (
+                r#"{"loads":[0.5],"horizon_ns":4000,"traffic":["burst"]}"#,
+                "burst",
+            ),
+            (
+                r#"{"loads":[0.5],"horizon_ns":4000,"mode":"fuzzy"}"#,
+                "fuzzy",
+            ),
+            (
+                r#"{"loads":[0.5],"horizon_ns":4000,"schedules":[{"stop_ns":5}]}"#,
+                "schedules[0]",
+            ),
+        ] {
+            let err = Scenario::from_json(&base(ds)).unwrap_err();
+            assert!(err.to_string().contains(needle), "{ds}: {err}");
+        }
+    }
+
+    #[test]
+    fn dyn_sweep_without_a_sweep_grid_is_rejected() {
+        let text = r#"{"name":"x","spec":{"benchmark":"d12"},"partition":{"kind":"logical","islands":4},"dyn_sweep":{"loads":[0.5],"horizon_ns":4000}}"#;
+        let err = Scenario::from_json(text).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("dyn_sweep") && msg.contains("'sweep' grid"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -48,6 +48,6 @@ pub use ingest::SCENARIO_FORMAT;
 pub use pipeline::{Pipeline, Realized, Simulated, Specified, Synthesized};
 pub use report::{Report, ShutdownReport, SimReport, REPORT_FORMAT};
 pub use scenario::{
-    benchmark_by_name, IslandChoice, PartitionPlan, RefinePlan, Scenario, ShutdownPlan, SimPlan,
-    SpecSource,
+    benchmark_by_name, DynSweepPlan, IslandChoice, PartitionPlan, RefinePlan, Scenario,
+    ShutdownPlan, SimPlan, SpecSource,
 };

@@ -295,6 +295,7 @@ fn report_base(
         sim: None,
         shutdown: None,
         frontier: None,
+        dyn_sweep: None,
     }
 }
 

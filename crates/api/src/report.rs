@@ -56,6 +56,11 @@ pub struct Report {
     /// (`vi-noc-sweep-frontier-v1`), if the scenario declared a grid —
     /// byte-identical to `sweep run --frontier` over the same grid.
     pub frontier: Option<String>,
+    /// The dynamic-sweep result table as the exact table-file text
+    /// (`vi-noc-dynsweep-v1`), if the scenario declared a `dyn_sweep`
+    /// stage — byte-identical to the standalone `vi-noc dynsweep run`
+    /// emission over the same scenario.
+    pub dyn_sweep: Option<String>,
 }
 
 fn sim_stats_json(stats: &SimStats) -> String {
@@ -152,6 +157,12 @@ impl Report {
             s.push_str(",\n\"frontier\":");
             s.push_str(frontier.trim_end_matches('\n'));
         }
+        if let Some(table) = &self.dyn_sweep {
+            // Same discipline as the frontier: the table bytes inside a
+            // report equal the standalone file's.
+            s.push_str(",\n\"dyn_sweep\":");
+            s.push_str(table.trim_end_matches('\n'));
+        }
         s.push_str("\n}\n");
         s
     }
@@ -214,6 +225,17 @@ impl Report {
                 s,
                 "  sweep frontier: {entries} undominated point(s) ({} bytes)",
                 frontier.len()
+            );
+        }
+        if let Some(table) = &self.dyn_sweep {
+            let cells = table.matches("\"provenance\":").count();
+            let exact = table.matches("\"provenance\":\"exact\"").count();
+            let reused = table.matches("{\"reused\":").count();
+            let bounded = table.matches("{\"bounded\":").count();
+            let _ = writeln!(
+                s,
+                "  dynamic sweep: {cells} cell(s) ({exact} exact / {reused} reused / \
+                 {bounded} bounded)"
             );
         }
         s

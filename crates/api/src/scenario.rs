@@ -12,8 +12,9 @@ use crate::error::Error;
 use crate::pipeline::{Pipeline, Specified};
 use crate::report::Report;
 use vi_noc_core::SynthesisConfig;
+use vi_noc_dynsweep::{run_dynsweep, DynSweepInput, Mode, SimAxes};
 use vi_noc_floorplan::FloorplanConfig;
-use vi_noc_sim::{ShutdownScenario, SimConfig};
+use vi_noc_sim::{ShutdownScenario, SimConfig, TrafficKind};
 use vi_noc_soc::{benchmarks, partition, SocSpec, ViAssignment};
 use vi_noc_sweep::{
     frontier_json, frontier_seeds, parse_frontier_file, run_shard, run_shard_pruned,
@@ -126,6 +127,26 @@ pub struct RefinePlan {
     pub params: RefineParams,
 }
 
+/// The dynamic-sweep stage of a scenario (requires `sweep`): every design
+/// point surviving on the sweep's merged frontier is simulated against the
+/// declarative grid of sim configs `loads × traffic × schedules`, through
+/// the cluster-and-prune engine of [`vi_noc_dynsweep`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynSweepPlan {
+    /// Load-factor axis (each cell overrides the sim stage's load).
+    pub loads: Vec<f64>,
+    /// Traffic-kind axis.
+    pub traffic: Vec<TrafficKind>,
+    /// Shutdown-schedule axis; `None` entries are free-running cells.
+    pub schedules: Vec<Option<ShutdownPlan>>,
+    /// Simulated horizon of free-running cells, ns.
+    pub horizon_ns: u64,
+    /// Execution mode: `exact` (byte-identical to the naive double loop)
+    /// or `clustered` (one representative per cluster, error-bounded
+    /// reuse).
+    pub mode: Mode,
+}
+
 /// A complete experiment, declared as data.
 ///
 /// Build one programmatically, or parse it from JSON
@@ -164,6 +185,9 @@ pub struct Scenario {
     pub sweep_workers: Option<usize>,
     /// Coarse-to-fine refinement of the sweep, if any (requires `sweep`).
     pub refine: Option<RefinePlan>,
+    /// Dynamic simulation sweep over the frontier, if any (requires
+    /// `sweep`; runs after refinement when both are declared).
+    pub dyn_sweep: Option<DynSweepPlan>,
 }
 
 /// Looks up a bundled benchmark spec by its CLI name.
@@ -194,6 +218,7 @@ impl Scenario {
             sweep_prune: false,
             sweep_workers: None,
             refine: None,
+            dyn_sweep: None,
         }
     }
 
@@ -321,10 +346,19 @@ impl Scenario {
         if with_sweep {
             if let Some(grid_cfg) = &self.sweep {
                 report.frontier = Some(self.run_sweep(&spec, &vi, grid_cfg)?);
+                if self.dyn_sweep.is_some() {
+                    let frontier = report.frontier.as_deref().expect("just set");
+                    report.dyn_sweep = Some(self.run_dyn_sweep(&spec, &vi, frontier)?.table);
+                }
             } else if self.refine.is_some() {
                 return Err(Error::scenario(
                     "refine",
                     "refinement needs a coarse 'sweep' grid to start from",
+                ));
+            } else if self.dyn_sweep.is_some() {
+                return Err(Error::scenario(
+                    "dyn_sweep",
+                    "a dynamic sweep needs a 'sweep' grid whose frontier it sweeps",
                 ));
             }
         }
@@ -393,6 +427,67 @@ impl Scenario {
         );
         let fine_run = runner(spec, vi, &fine, Shard::full(), &self.synthesis);
         Ok(frontier_json(&fine_desc, &fine_run))
+    }
+
+    /// Runs the scenario's declared dynamic sweep over an emitted frontier
+    /// file. Points are regenerated against the **full** grid the frontier
+    /// was swept on — the fine grid when a [`RefinePlan`] is declared
+    /// (windowing never renumbers chains), the coarse grid otherwise.
+    fn run_dyn_sweep(
+        &self,
+        spec: &SocSpec,
+        vi: &ViAssignment,
+        frontier_text: &str,
+    ) -> Result<vi_noc_dynsweep::DynSweepRun, Error> {
+        let plan = self.dyn_sweep.as_ref().expect("checked by the caller");
+        let grid_cfg = match (&self.refine, &self.sweep) {
+            (Some(refine), _) => &refine.grid,
+            (None, Some(coarse)) => coarse,
+            (None, None) => {
+                return Err(Error::scenario(
+                    "dyn_sweep",
+                    "a dynamic sweep needs a 'sweep' grid whose frontier it sweeps",
+                ));
+            }
+        };
+        let parsed = parse_frontier_file(frontier_text)
+            .map_err(|e| Error::scenario("dyn_sweep", format!("frontier: {e}")))?;
+        let grid = SweepGrid::build(spec, vi, &self.synthesis, grid_cfg);
+        let schedules: Vec<Option<ShutdownScenario>> = plan
+            .schedules
+            .iter()
+            .map(|s| match s {
+                None => Ok(None),
+                Some(p) => Ok(Some(ShutdownScenario {
+                    island: Scenario::resolve_shutdown_island(p, vi)?,
+                    stop_at_ns: p.stop_at_ns,
+                    drain_ns: p.drain_ns,
+                    post_gate_ns: p.post_gate_ns,
+                })),
+            })
+            .collect::<Result<_, Error>>()?;
+        let axes = SimAxes {
+            loads: plan.loads.clone(),
+            traffic: plan.traffic.clone(),
+            schedules,
+            horizon_ns: plan.horizon_ns,
+        };
+        let sim = self
+            .sim
+            .as_ref()
+            .map(|p| p.config.clone())
+            .unwrap_or_default();
+        let tag = self.partition.tag();
+        let input = DynSweepInput {
+            spec,
+            vi,
+            cfg: &self.synthesis,
+            sim: &sim,
+            grid: &grid,
+            partition: &tag,
+            frontier: &parsed,
+        };
+        run_dynsweep(&input, &axes, plan.mode).map_err(|e| Error::scenario("dyn_sweep", e))
     }
 }
 

@@ -9,9 +9,11 @@
 
 use proptest::prelude::*;
 use vi_noc_api::{
-    IslandChoice, PartitionPlan, RefinePlan, Scenario, ShutdownPlan, SimPlan, SpecSource,
+    DynSweepPlan, IslandChoice, PartitionPlan, RefinePlan, Scenario, ShutdownPlan, SimPlan,
+    SpecSource,
 };
 use vi_noc_core::SynthesisConfig;
+use vi_noc_dynsweep::Mode;
 use vi_noc_floorplan::FloorplanConfig;
 use vi_noc_models::Technology;
 use vi_noc_sim::TrafficKind;
@@ -147,6 +149,42 @@ fn arb_refine() -> impl Strategy<Value = Option<RefinePlan>> {
     )
 }
 
+fn arb_dyn_sweep() -> impl Strategy<Value = Option<DynSweepPlan>> {
+    (
+        0usize..3,
+        0.1f64..1.5,
+        1u64..50_000,
+        proptest::bool::ANY,
+        arb_shutdown(),
+    )
+        .prop_map(|(pick, load, horizon_ns, clustered, sched)| match pick {
+            0 => None,
+            p => Some(DynSweepPlan {
+                loads: if p == 1 {
+                    vec![load]
+                } else {
+                    vec![load, load + 0.25]
+                },
+                traffic: if p == 1 {
+                    vec![TrafficKind::Cbr]
+                } else {
+                    vec![TrafficKind::Cbr, TrafficKind::Poisson]
+                },
+                schedules: if p == 1 {
+                    vec![None]
+                } else {
+                    vec![None, sched]
+                },
+                horizon_ns,
+                mode: if clustered {
+                    Mode::Clustered
+                } else {
+                    Mode::Exact
+                },
+            }),
+        })
+}
+
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
     (
         (arb_spec(), arb_partition(), arb_synthesis()),
@@ -155,6 +193,7 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
             proptest::bool::ANY,
             (0usize..4, 1usize..9).prop_map(|(pick, n)| (pick != 0).then_some(n)),
             arb_refine(),
+            arb_dyn_sweep(),
         ),
         0u64..u64::MAX,
     )
@@ -162,7 +201,7 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
             |(
                 (spec, partition, synthesis),
                 (floorplan, sim, shutdown, sweep),
-                (sweep_prune, sweep_workers, refine),
+                (sweep_prune, sweep_workers, refine, dyn_sweep),
                 tag,
             )| Scenario {
                 name: format!("prop scenario {tag}"),
@@ -172,9 +211,11 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
                 floorplan,
                 sim,
                 shutdown,
-                // Refinement without a coarse grid is rejected at ingestion,
-                // so it never round-trips; keep the pair consistent.
+                // Refinement or a dynamic sweep without a coarse grid is
+                // rejected at ingestion, so it never round-trips; keep the
+                // members consistent.
                 refine: if sweep.is_some() { refine } else { None },
+                dyn_sweep: if sweep.is_some() { dyn_sweep } else { None },
                 sweep,
                 sweep_prune,
                 sweep_workers,
@@ -272,6 +313,10 @@ fn committed_example_scenarios_parse_and_round_trip() {
         (
             "d26_shutdown_stress",
             include_str!("../../../scenarios/d26_shutdown_stress.json"),
+        ),
+        (
+            "d26_dynamic_grid",
+            include_str!("../../../scenarios/d26_dynamic_grid.json"),
         ),
     ] {
         let scenario = Scenario::from_json(text).unwrap_or_else(|e| panic!("{name}: {e}"));

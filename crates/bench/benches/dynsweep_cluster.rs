@@ -1,0 +1,162 @@
+//! Dynamic-sweep clustering bench: the d26 frontier crossed with a
+//! 16-config sim grid, filled three ways — the naive per-(point, config)
+//! double loop, the exact-mode engine (dedup only), and the clustered
+//! engine (one simulation per cluster) — with the byte-identity guard
+//! asserted before anything is timed, and a JSON datapoint for the perf
+//! trajectory (`BENCH_DYNSWEEP_JSON`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+use vi_noc_core::SynthesisConfig;
+use vi_noc_dynsweep::{run_dynsweep, run_naive, DynSweepInput, Mode, SimAxes};
+use vi_noc_sim::{ShutdownScenario, SimConfig, TrafficKind};
+use vi_noc_soc::{benchmarks, partition};
+use vi_noc_sweep::{
+    frontier_json, parse_frontier_file, run_shard, GridConfig, GridDescriptor, Shard, SweepGrid,
+};
+
+fn fast_mode() -> bool {
+    std::env::var("BENCH_FAST").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// The sim-config grid: 4 loads × 2 traffic kinds × 2 schedules = 16
+/// cells per frontier point. Loads 0.5/0.9 share a half-width bucket, so
+/// clustering has real prune opportunities without being trivial.
+fn bench_axes(gateable: usize) -> SimAxes {
+    SimAxes {
+        loads: vec![0.5, 0.9, 1.2, 1.4],
+        traffic: vec![TrafficKind::Cbr, TrafficKind::Poisson],
+        schedules: vec![
+            None,
+            Some(ShutdownScenario {
+                island: gateable,
+                stop_at_ns: 2_000,
+                drain_ns: 1_500,
+                post_gate_ns: 3_000,
+            }),
+        ],
+        horizon_ns: 8_000,
+    }
+}
+
+/// Median wall time of `samples` runs of `f`.
+fn median_secs<O>(samples: usize, mut f: impl FnMut() -> O) -> f64 {
+    std::hint::black_box(f()); // warm-up, untimed
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2].as_secs_f64()
+}
+
+fn bench_dynsweep_cluster(_c: &mut Criterion) {
+    let spec = benchmarks::d26_mobile();
+    let vi = partition::logical_partition(&spec, 6).expect("partition");
+    let cfg = SynthesisConfig {
+        parallel: false,
+        ..SynthesisConfig::default()
+    };
+    let grid_cfg = GridConfig {
+        max_boost: 1,
+        freq_scales: vec![1.0, 1.1],
+        max_intermediate: 2,
+    };
+    let grid = SweepGrid::build(&spec, &vi, &cfg, &grid_cfg);
+    let desc = GridDescriptor::for_grid(&grid, spec.name(), "logical:6", cfg.seed);
+    let run = run_shard(&spec, &vi, &grid, Shard::full(), &cfg);
+    let file = frontier_json(&desc, &run);
+    let frontier = parse_frontier_file(&file).expect("frontier");
+    let gateable = (0..vi.island_count())
+        .find(|&i| vi.can_shutdown(i))
+        .expect("a gateable island");
+    let axes = bench_axes(gateable);
+    let input = DynSweepInput {
+        spec: &spec,
+        vi: &vi,
+        cfg: &cfg,
+        sim: &SimConfig::default(),
+        grid: &grid,
+        partition: "logical:6",
+        frontier: &frontier,
+    };
+
+    // The headline invariant guards the artifact before anything is
+    // timed: exact-mode bytes == the naive double loop's.
+    let naive_table = run_naive(&input, &axes).expect("naive");
+    let exact = run_dynsweep(&input, &axes, Mode::Exact).expect("exact");
+    assert_eq!(
+        exact.table, naive_table,
+        "exact mode must be byte-identical to the naive double loop"
+    );
+    let clustered = run_dynsweep(&input, &axes, Mode::Clustered).expect("clustered");
+    assert_eq!(clustered.cells, exact.cells);
+    assert!(
+        clustered.simulated <= exact.simulated,
+        "clustering must never simulate more cells than exact mode"
+    );
+
+    let n = if fast_mode() { 3 } else { 7 };
+    let naive_s = median_secs(n, || run_naive(&input, &axes).expect("naive"));
+    let exact_s = median_secs(n, || {
+        run_dynsweep(&input, &axes, Mode::Exact).expect("exact")
+    });
+    let clustered_s = median_secs(n, || {
+        run_dynsweep(&input, &axes, Mode::Clustered).expect("clustered")
+    });
+
+    let sim_reduction = exact.simulated as f64 / clustered.simulated.max(1) as f64;
+    let speedup = naive_s / clustered_s.max(1e-12);
+    println!(
+        "dynsweep_cluster/naive_double_loop  median {:>12.3?}   ({n} samples, {} points x {} configs = {} cells)",
+        Duration::from_secs_f64(naive_s),
+        frontier.entries.len(),
+        axes.cells_per_point(),
+        exact.cells
+    );
+    println!(
+        "dynsweep_cluster/exact_mode         median {:>12.3?}   ({} simulated)",
+        Duration::from_secs_f64(exact_s),
+        exact.simulated
+    );
+    println!(
+        "dynsweep_cluster/clustered_mode     median {:>12.3?}   ({} simulated, {:.2}x fewer sims, {:.2}x wall vs naive)",
+        Duration::from_secs_f64(clustered_s),
+        clustered.simulated,
+        sim_reduction,
+        speedup
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"dynsweep_cluster\",\n  \"soc\": \"d26_mobile\",\n  \"islands\": 6,\n  \
+         \"history\": [\n    {{\n      \"pr\": null,\n      \"samples\": {n},\n      \
+         \"frontier_points\": {},\n      \"cells_per_point\": {},\n      \"cells\": {},\n      \
+         \"simulated\": {{ \"exact\": {}, \"clustered\": {} }},\n      \
+         \"naive_ms\": {:.3},\n      \"exact_ms\": {:.3},\n      \"clustered_ms\": {:.3},\n      \
+         \"sim_reduction\": {:.2},\n      \"speedup_clustered_vs_naive\": {:.2},\n      \
+         \"note\": \"fresh measurement of the working tree; exact-mode table asserted \
+         byte-identical to the naive double loop before timing\"\n    }}\n  ]\n}}\n",
+        frontier.entries.len(),
+        axes.cells_per_point(),
+        exact.cells,
+        exact.simulated,
+        clustered.simulated,
+        naive_s * 1e3,
+        exact_s * 1e3,
+        clustered_s * 1e3,
+        sim_reduction,
+        speedup,
+    );
+    let path = std::env::var("BENCH_DYNSWEEP_JSON")
+        .unwrap_or_else(|_| "BENCH_dynsweep_cluster.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("dynsweep_cluster: wrote {path}"),
+        Err(e) => eprintln!("dynsweep_cluster: could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_dynsweep_cluster);
+criterion_main!(benches);

@@ -55,6 +55,7 @@ mod config;
 mod design_space;
 mod error;
 mod export;
+mod features;
 mod flows;
 mod metrics;
 pub mod pareto;
@@ -75,6 +76,7 @@ pub use export::{
     design_point_json, design_space_json, json_number, json_string, json_usize_array, metrics_json,
     routes_table, to_dot, topology_json, topology_summary,
 };
+pub use features::{flow_fingerprint, fnv1a64, island_signature};
 pub use flows::{inter_switch_flows, InterSwitchFlow};
 pub use metrics::{compute_metrics, DesignMetrics, PowerBreakdown};
 pub use pareto::{ParetoFold, ParetoKey};

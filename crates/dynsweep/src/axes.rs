@@ -1,0 +1,143 @@
+//! The declarative sim-axis grid of a dynamic sweep, and its canonical
+//! serializations.
+
+use std::fmt;
+use vi_noc_core::json_number;
+use vi_noc_sim::{ShutdownScenario, TrafficKind};
+use vi_noc_soc::ViAssignment;
+
+/// How the engine treats clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Simulate every distinct exact identity key; clustering only
+    /// schedules and deduplicates *identical* cells. The result table is
+    /// byte-identical to the naive per-cell double loop.
+    Exact,
+    /// Simulate one representative per cluster; other members reuse its
+    /// stats, with a reported error bound when their exact keys differ.
+    Clustered,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Mode::Exact => "exact",
+            Mode::Clustered => "clustered",
+        })
+    }
+}
+
+impl std::str::FromStr for Mode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exact" => Ok(Mode::Exact),
+            "clustered" => Ok(Mode::Clustered),
+            other => Err(format!("mode '{other}' is not 'exact' or 'clustered'")),
+        }
+    }
+}
+
+/// The sim-config grid a dynamic sweep crosses every frontier point with:
+/// load factors × traffic kinds × shutdown schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimAxes {
+    /// Load-factor axis (each scales every flow's offered bandwidth).
+    pub loads: Vec<f64>,
+    /// Traffic-kind axis.
+    pub traffic: Vec<TrafficKind>,
+    /// Shutdown-schedule axis; `None` is a free-running cell.
+    pub schedules: Vec<Option<ShutdownScenario>>,
+    /// Horizon of free-running cells, ns (gated cells run their
+    /// schedule's own timeline).
+    pub horizon_ns: u64,
+}
+
+impl SimAxes {
+    /// Checks the axes are simulatable: non-empty, positive finite loads,
+    /// a positive horizon, and every schedule gating a shutdown-capable
+    /// island of `vi`.
+    ///
+    /// # Errors
+    ///
+    /// One pinned message per violated constraint.
+    pub fn validate(&self, vi: &ViAssignment) -> Result<(), String> {
+        if self.loads.is_empty() || self.loads.iter().any(|l| !l.is_finite() || *l <= 0.0) {
+            return Err(
+                "axes: 'loads' must be a non-empty array of positive finite numbers".to_string(),
+            );
+        }
+        if self.traffic.is_empty() {
+            return Err("axes: 'traffic' must be a non-empty array".to_string());
+        }
+        if self.schedules.is_empty() {
+            return Err("axes: 'schedules' must be a non-empty array".to_string());
+        }
+        if self.horizon_ns == 0 {
+            return Err("axes: 'horizon_ns' must be positive".to_string());
+        }
+        for (i, sched) in self.schedules.iter().enumerate() {
+            if let Some(s) = sched {
+                if s.island >= vi.island_count() {
+                    return Err(format!(
+                        "axes: schedule {i} gates island {} but the partition has {} islands",
+                        s.island,
+                        vi.island_count()
+                    ));
+                }
+                if !vi.can_shutdown(s.island) {
+                    return Err(format!(
+                        "axes: schedule {i} gates always-on island {}",
+                        s.island
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Cells per design point.
+    pub fn cells_per_point(&self) -> usize {
+        self.loads.len() * self.traffic.len() * self.schedules.len()
+    }
+
+    /// Serializes the axes as one compact JSON object (fixed key order;
+    /// part of the byte-deterministic table format).
+    pub fn to_json(&self) -> String {
+        let loads: Vec<String> = self.loads.iter().map(|&l| json_number(l)).collect();
+        let traffic: Vec<String> = self.traffic.iter().map(|t| format!("\"{t}\"")).collect();
+        let schedules: Vec<String> = self.schedules.iter().map(schedule_json).collect();
+        format!(
+            "{{\"loads\":[{}],\"traffic\":[{}],\"schedules\":[{}],\"horizon_ns\":{}}}",
+            loads.join(","),
+            traffic.join(","),
+            schedules.join(","),
+            self.horizon_ns
+        )
+    }
+}
+
+/// Serializes one schedule-axis entry: `null` for a free-running cell,
+/// the schedule object otherwise.
+pub fn schedule_json(s: &Option<ShutdownScenario>) -> String {
+    match s {
+        None => "null".to_string(),
+        Some(s) => format!(
+            "{{\"island\":{},\"stop_at_ns\":{},\"drain_ns\":{},\"post_gate_ns\":{}}}",
+            s.island, s.stop_at_ns, s.drain_ns, s.post_gate_ns
+        ),
+    }
+}
+
+/// The canonical ASCII form of a schedule-axis entry — the hashing input
+/// of [`crate::schedule_hash`] and a component of every identity key.
+pub fn schedule_canon(s: &Option<ShutdownScenario>) -> String {
+    match s {
+        None => "none".to_string(),
+        Some(s) => format!(
+            "gate:{}:{}:{}:{}",
+            s.island, s.stop_at_ns, s.drain_ns, s.post_gate_ns
+        ),
+    }
+}

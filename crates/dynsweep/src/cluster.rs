@@ -1,0 +1,147 @@
+//! Identity and cluster keys of `(design point, sim config)` cells, and
+//! the conservative error bound reported on cross-key reuse.
+
+use crate::axes::schedule_canon;
+use vi_noc_core::{fnv1a64, json_number};
+use vi_noc_sim::{ShutdownScenario, TrafficKind};
+
+/// Load-factor buckets per unit load: 2 means half-width buckets, so
+/// loads 0.5 and 0.9 share a bucket while 1.2 sits in the next one.
+const LOAD_BUCKETS_PER_UNIT: f64 = 2.0;
+
+/// Weight of the load-factor gap in [`error_bound`]. Delivered traffic is
+/// roughly proportional to offered load below saturation, and latency
+/// grows superlinearly near it — the relative load gap enters with a
+/// generous multiplier to stay conservative on both.
+const LOAD_SENSITIVITY: f64 = 3.0;
+
+/// Weight of the analytic power/latency gaps in [`error_bound`].
+const METRIC_SENSITIVITY: f64 = 2.0;
+
+/// Flat model margin of [`error_bound`]: covers simulator effects no
+/// analytic feature predicts (queueing noise between structural
+/// neighbours, drain-phase differences under gating).
+const MODEL_MARGIN: f64 = 0.5;
+
+/// The load-factor bucket of the cluster key.
+pub fn load_bucket(load: f64) -> u64 {
+    (load * LOAD_BUCKETS_PER_UNIT).floor() as u64
+}
+
+/// FNV-1a hash of a schedule-axis entry's canonical form.
+pub fn schedule_hash(s: &Option<ShutdownScenario>) -> u64 {
+    fnv1a64(schedule_canon(s).as_bytes())
+}
+
+/// The exact identity key of one cell: the full serialized design point
+/// plus the cell's precise sim config. Two cells with equal exact keys
+/// run bit-identical simulations, so deduplicating them is invisible in
+/// the output — that is the whole license [`crate::Mode::Exact`] uses.
+pub fn exact_key(
+    point_json: &str,
+    load: f64,
+    traffic: TrafficKind,
+    schedule: &Option<ShutdownScenario>,
+) -> String {
+    format!(
+        "{point_json}|load={}|traffic={traffic}|sched={}",
+        json_number(load),
+        schedule_canon(schedule)
+    )
+}
+
+/// The cluster key of one cell: traffic-relevant features only — the
+/// island-topology signature and flow-matrix fingerprint of the design
+/// point, the load bucket, the traffic kind, and the schedule hash.
+///
+/// Design points differing only in intermediate-island structure (and
+/// loads within the same bucket) share a key; everything the simulator is
+/// structurally sensitive to splits it.
+pub fn cluster_key(
+    island_signature: u64,
+    flow_fingerprint: u64,
+    load: f64,
+    traffic: TrafficKind,
+    schedule: &Option<ShutdownScenario>,
+) -> String {
+    format!(
+        "island_sig:{island_signature:016x}|flows:{flow_fingerprint:016x}|load_bucket:{}|traffic:{traffic}|sched:{:016x}",
+        load_bucket(load),
+        schedule_hash(schedule)
+    )
+}
+
+/// The 16-hex-digit cluster id of a cluster key.
+pub fn cluster_id(key: &str) -> String {
+    format!("{:016x}", fnv1a64(key.as_bytes()))
+}
+
+fn rel(a: f64, b: f64) -> f64 {
+    let m = a.abs().max(b.abs());
+    if m == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / m
+    }
+}
+
+/// The conservative relative error bound reported on a `bounded` cell:
+/// how far the representative's measured stats may deviate, relatively,
+/// from what an exact simulation of this cell would measure.
+///
+/// Built from the *analytic* gaps between the cell and its
+/// representative — load factor, zero-load dynamic power, zero-load
+/// latency — each entering with a sensitivity multiplier, plus a flat
+/// model margin. Heuristically conservative, not proven: the
+/// `dynsweep-smoke` CI job empirically verifies `bound >= observed
+/// deviation` on every bounded cell of the committed scenario, and
+/// determinism makes that check permanent once green.
+pub fn error_bound(
+    load: f64,
+    rep_load: f64,
+    power_mw: f64,
+    rep_power_mw: f64,
+    latency_cycles: f64,
+    rep_latency_cycles: f64,
+) -> f64 {
+    LOAD_SENSITIVITY * rel(load, rep_load)
+        + METRIC_SENSITIVITY * rel(power_mw, rep_power_mw)
+        + METRIC_SENSITIVITY * rel(latency_cycles, rep_latency_cycles)
+        + MODEL_MARGIN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_deterministic_and_feature_sensitive() {
+        let none = None;
+        let gate = Some(ShutdownScenario {
+            island: 1,
+            stop_at_ns: 2_000,
+            drain_ns: 1_500,
+            post_gate_ns: 3_000,
+        });
+        let k1 = cluster_key(1, 2, 0.5, TrafficKind::Cbr, &none);
+        assert_eq!(k1, cluster_key(1, 2, 0.5, TrafficKind::Cbr, &none));
+        // Same bucket: 0.5 and 0.9 cluster together.
+        assert_eq!(k1, cluster_key(1, 2, 0.9, TrafficKind::Cbr, &none));
+        // Everything else splits the key.
+        assert_ne!(k1, cluster_key(1, 2, 1.2, TrafficKind::Cbr, &none));
+        assert_ne!(k1, cluster_key(1, 2, 0.5, TrafficKind::Poisson, &none));
+        assert_ne!(k1, cluster_key(1, 2, 0.5, TrafficKind::Cbr, &gate));
+        assert_ne!(k1, cluster_key(3, 2, 0.5, TrafficKind::Cbr, &none));
+        assert_ne!(k1, cluster_key(1, 4, 0.5, TrafficKind::Cbr, &none));
+        // Ids are 16 hex digits.
+        assert_eq!(cluster_id(&k1).len(), 16);
+    }
+
+    #[test]
+    fn error_bound_is_positive_and_monotone_in_the_load_gap() {
+        let near = error_bound(0.5, 0.5, 10.0, 10.0, 4.0, 4.0);
+        let far = error_bound(0.5, 0.9, 10.0, 10.0, 4.0, 4.0);
+        assert!(near >= MODEL_MARGIN);
+        assert!(far > near);
+    }
+}

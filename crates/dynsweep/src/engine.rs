@@ -1,0 +1,516 @@
+//! The dynamic-sweep engine: regenerate frontier points, enumerate the
+//! cell grid, cluster, simulate representatives, emit the result table.
+
+use crate::axes::{Mode, SimAxes};
+use crate::cluster::{cluster_id, cluster_key, error_bound, exact_key};
+use crate::table::{write_table, CellStats, ClusterRec, Provenance, TableCellRec, TablePoint};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use vi_noc_core::{
+    design_point_json, flow_fingerprint, island_signature, DesignPoint, SynthesisConfig,
+};
+use vi_noc_sim::{measured_power, run_dynamic_cell, SimConfig};
+use vi_noc_soc::{SocSpec, ViAssignment};
+use vi_noc_sweep::json::Value;
+use vi_noc_sweep::{entry_coords, regenerate_point, GridDescriptor, ParsedFrontier, SweepGrid};
+
+/// Everything a dynamic sweep runs against. The grid must be the **full**
+/// (unwindowed) grid of the scenario the frontier came from — refined
+/// frontiers regenerate correctly against it because windowing never
+/// renumbers chains.
+pub struct DynSweepInput<'a> {
+    /// The SoC being swept.
+    pub spec: &'a SocSpec,
+    /// Its voltage-island partition.
+    pub vi: &'a ViAssignment,
+    /// The synthesis config the sweep ran under (seed, α, technology,
+    /// `parallel` — which also gates the rayon fan-out here).
+    pub cfg: &'a SynthesisConfig,
+    /// Base sim config; each cell overrides `load_factor` and `traffic`.
+    pub sim: &'a SimConfig,
+    /// The scenario's full sweep grid.
+    pub grid: &'a SweepGrid,
+    /// Partition tag of the scenario (e.g. `logical:6`) — part of the
+    /// grid-descriptor cross-check.
+    pub partition: &'a str,
+    /// The parsed merged frontier whose points are swept.
+    pub frontier: &'a ParsedFrontier,
+}
+
+/// Result of one dynamic sweep: the serialized table plus counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynSweepRun {
+    /// The `vi-noc-dynsweep-v1` result table, byte-deterministic.
+    pub table: String,
+    /// Total cells in the grid.
+    pub cells: usize,
+    /// Cells actually simulated (cluster/dedup representatives).
+    pub simulated: usize,
+    /// Cells that reused a representative with an identical exact key.
+    pub reused: usize,
+    /// Cells that reused a representative across differing exact keys.
+    pub bounded: usize,
+}
+
+/// One regenerated frontier point with its precomputed cell features.
+struct PointMeta {
+    ordinal: u64,
+    chain_id: u64,
+    power_mw: f64,
+    latency_cycles: f64,
+    island_sig: u64,
+    flow_fp: u64,
+    point_json: String,
+    point: DesignPoint,
+}
+
+/// Checks the frontier's embedded grid descriptor against the scenario's
+/// grid, ignoring refinement windows (a refined frontier is a valid sweep
+/// source for the full grid it was refined from).
+fn check_grid(input: &DynSweepInput) -> Result<(), String> {
+    let expect = GridDescriptor::for_grid(
+        input.grid,
+        input.spec.name(),
+        input.partition,
+        input.cfg.seed,
+    );
+    debug_assert!(expect.windows.is_empty(), "dynsweep grids are unwindowed");
+    let actual = match &input.frontier.grid {
+        Value::Obj(members) => Value::Obj(
+            members
+                .iter()
+                .filter(|(k, _)| k != "windows")
+                .cloned()
+                .collect(),
+        ),
+        other => other.clone(),
+    };
+    if actual.to_json() != expect.to_json() {
+        return Err("frontier grid does not match the scenario's grid".to_string());
+    }
+    Ok(())
+}
+
+/// Regenerates every frontier point and cross-checks its metrics bit-wise
+/// against the entry's recorded key fields.
+fn regenerate_points(input: &DynSweepInput) -> Result<Vec<PointMeta>, String> {
+    let flow_fp = flow_fingerprint(input.spec);
+    let make = |i: usize, value: &Value| -> Result<PointMeta, String> {
+        let coords = entry_coords(value).map_err(|e| format!("frontier[{i}]: {e}"))?;
+        let point = regenerate_point(
+            input.spec,
+            input.vi,
+            input.grid,
+            input.cfg,
+            coords.chain_id,
+            coords.ordinal,
+        )
+        .map_err(|e| format!("frontier[{i}]: {e}"))?;
+        let power = point.metrics.noc_dynamic_power().mw();
+        let latency = point.metrics.avg_latency_cycles;
+        if power.to_bits() != coords.power_mw.to_bits()
+            || latency.to_bits() != coords.latency_cycles.to_bits()
+        {
+            return Err(format!(
+                "frontier[{i}]: regenerated point does not match the frontier entry — \
+                 is this frontier from a different scenario?"
+            ));
+        }
+        Ok(PointMeta {
+            ordinal: coords.ordinal,
+            chain_id: coords.chain_id,
+            power_mw: coords.power_mw,
+            latency_cycles: coords.latency_cycles,
+            island_sig: island_signature(&point.topology),
+            flow_fp,
+            point_json: design_point_json(&point),
+            point,
+        })
+    };
+    let indexed: Vec<(usize, &Value)> = input
+        .frontier
+        .entries
+        .iter()
+        .enumerate()
+        .map(|(i, (_, v))| (i, v))
+        .collect();
+    if input.cfg.parallel {
+        indexed.par_iter().map(|&(i, v)| make(i, v)).collect()
+    } else {
+        indexed.iter().map(|&(i, v)| make(i, v)).collect()
+    }
+}
+
+/// One cell of the canonical grid, with precomputed identity keys.
+struct CellSpec {
+    point: usize,
+    load_i: usize,
+    traffic_i: usize,
+    sched_i: usize,
+    exact: String,
+    cluster: String,
+}
+
+/// Enumerates cells in canonical order: point-major, then load, traffic,
+/// schedule — the order every table's `cells` array uses.
+fn enumerate_cells(points: &[PointMeta], axes: &SimAxes) -> Vec<CellSpec> {
+    let mut cells = Vec::with_capacity(points.len() * axes.cells_per_point());
+    for (p, meta) in points.iter().enumerate() {
+        for (li, &load) in axes.loads.iter().enumerate() {
+            for (ti, &traffic) in axes.traffic.iter().enumerate() {
+                for (si, sched) in axes.schedules.iter().enumerate() {
+                    cells.push(CellSpec {
+                        point: p,
+                        load_i: li,
+                        traffic_i: ti,
+                        sched_i: si,
+                        exact: exact_key(&meta.point_json, load, traffic, sched),
+                        cluster: cluster_key(meta.island_sig, meta.flow_fp, load, traffic, sched),
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Simulates one cell and measures its stats.
+fn simulate_cell(
+    input: &DynSweepInput,
+    axes: &SimAxes,
+    points: &[PointMeta],
+    cell: &CellSpec,
+) -> CellStats {
+    let meta = &points[cell.point];
+    let mut sc = input.sim.clone();
+    sc.load_factor = axes.loads[cell.load_i];
+    sc.traffic = axes.traffic[cell.traffic_i];
+    let outcome = run_dynamic_cell(
+        input.spec,
+        input.vi,
+        &meta.point.topology,
+        &sc,
+        axes.horizon_ns,
+        axes.schedules[cell.sched_i].as_ref(),
+    );
+    let power_mw = measured_power(
+        input.spec,
+        &meta.point.topology,
+        input.cfg,
+        &outcome.stats,
+        sc.packet_bytes as f64,
+    )
+    .fig2_power()
+    .mw();
+    CellStats {
+        injected: outcome.stats.total_injected_packets(),
+        delivered: outcome.stats.total_delivered_packets(),
+        avg_latency_ps: outcome.stats.avg_latency_ps().unwrap_or(0.0),
+        power_mw,
+        shutdown: outcome.shutdown,
+    }
+}
+
+/// Simulates the cells at `idxs` (rayon fan-out when the synthesis config
+/// says `parallel`), preserving order.
+fn simulate_many(
+    input: &DynSweepInput,
+    axes: &SimAxes,
+    points: &[PointMeta],
+    cells: &[CellSpec],
+    idxs: &[usize],
+) -> Vec<CellStats> {
+    if input.cfg.parallel {
+        idxs.par_iter()
+            .map(|&i| simulate_cell(input, axes, points, &cells[i]))
+            .collect()
+    } else {
+        idxs.iter()
+            .map(|&i| simulate_cell(input, axes, points, &cells[i]))
+            .collect()
+    }
+}
+
+fn table_points(points: &[PointMeta]) -> Vec<TablePoint> {
+    points
+        .iter()
+        .map(|m| TablePoint {
+            ordinal: m.ordinal,
+            chain_id: m.chain_id,
+            power_mw: m.power_mw,
+            latency_cycles: m.latency_cycles,
+            island_sig: m.island_sig,
+            flow_fp: m.flow_fp,
+        })
+        .collect()
+}
+
+fn prepare(
+    input: &DynSweepInput,
+    axes: &SimAxes,
+) -> Result<(Vec<PointMeta>, Vec<CellSpec>), String> {
+    axes.validate(input.vi)?;
+    check_grid(input)?;
+    let points = regenerate_points(input)?;
+    let cells = enumerate_cells(&points, axes);
+    Ok((points, cells))
+}
+
+/// The reference double loop: simulate **every** cell fresh, no sharing
+/// of any kind, and emit an exact-mode table. This is the oracle
+/// [`Mode::Exact`] is byte-identical to (`tests/exact.rs` pins it); it
+/// exists to be slow and obviously correct.
+///
+/// # Errors
+///
+/// Invalid axes, a frontier/grid mismatch, or a frontier entry that does
+/// not regenerate to its recorded metrics.
+pub fn run_naive(input: &DynSweepInput, axes: &SimAxes) -> Result<String, String> {
+    let (points, cells) = prepare(input, axes)?;
+    let all: Vec<usize> = (0..cells.len()).collect();
+    let stats = simulate_many(input, axes, &points, &cells, &all);
+    let recs: Vec<TableCellRec> = cells
+        .iter()
+        .zip(stats)
+        .map(|(c, s)| TableCellRec {
+            point: c.point,
+            load: axes.loads[c.load_i],
+            traffic: axes.traffic[c.traffic_i],
+            schedule: c.sched_i,
+            cluster: None,
+            provenance: Provenance::Exact,
+            stats: s,
+        })
+        .collect();
+    Ok(write_table(
+        Mode::Exact,
+        input.spec.name(),
+        axes,
+        &table_points(&points),
+        &recs,
+        None,
+    ))
+}
+
+/// Runs the dynamic sweep.
+///
+/// [`Mode::Exact`]: cells are grouped by *exact identity key* (full
+/// serialized design point + precise sim config); one representative per
+/// group is simulated and its stats copied to the group — which is
+/// invisible in the output, because equal exact keys mean bit-identical
+/// simulations. The emitted table is byte-identical to [`run_naive`]'s.
+///
+/// [`Mode::Clustered`]: cells are grouped by [`cluster_key`]
+/// (traffic-relevant features only); one representative per cluster is
+/// simulated. Members whose exact key matches the representative's are
+/// marked `reused` (zero error); the rest are marked `bounded` with a
+/// conservative relative error bound. Stats are only ever copied within a
+/// cluster — reuse across differing cluster keys cannot be expressed.
+///
+/// # Errors
+///
+/// Invalid axes, a frontier/grid mismatch, or a frontier entry that does
+/// not regenerate to its recorded metrics.
+pub fn run_dynsweep(
+    input: &DynSweepInput,
+    axes: &SimAxes,
+    mode: Mode,
+) -> Result<DynSweepRun, String> {
+    let (points, cells) = prepare(input, axes)?;
+
+    // Group cells by identity: the exact key in exact mode, the cluster
+    // key in clustered mode. `rep_of_cell[i]` indexes into `reps`.
+    let mut groups: HashMap<&str, usize> = HashMap::new();
+    let mut reps: Vec<usize> = Vec::new();
+    let mut rep_of_cell: Vec<usize> = Vec::with_capacity(cells.len());
+    for (i, cell) in cells.iter().enumerate() {
+        let key = match mode {
+            Mode::Exact => cell.exact.as_str(),
+            Mode::Clustered => cell.cluster.as_str(),
+        };
+        let g = *groups.entry(key).or_insert_with(|| {
+            reps.push(i);
+            reps.len() - 1
+        });
+        rep_of_cell.push(g);
+    }
+    let rep_stats = simulate_many(input, axes, &points, &cells, &reps);
+
+    let mut reused = 0usize;
+    let mut bounded = 0usize;
+    let recs: Vec<TableCellRec> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, cell)| {
+            let g = rep_of_cell[i];
+            let rep = &cells[reps[g]];
+            let (cluster, provenance) = match mode {
+                Mode::Exact => (None, Provenance::Exact),
+                Mode::Clustered => {
+                    let id = cluster_id(&cell.cluster);
+                    let prov = if reps[g] == i {
+                        Provenance::Exact
+                    } else if cell.exact == rep.exact {
+                        reused += 1;
+                        Provenance::Reused(id.clone())
+                    } else {
+                        bounded += 1;
+                        let pm = &points[cell.point];
+                        let rm = &points[rep.point];
+                        Provenance::Bounded(error_bound(
+                            axes.loads[cell.load_i],
+                            axes.loads[rep.load_i],
+                            pm.power_mw,
+                            rm.power_mw,
+                            pm.latency_cycles,
+                            rm.latency_cycles,
+                        ))
+                    };
+                    (Some(id), prov)
+                }
+            };
+            TableCellRec {
+                point: cell.point,
+                load: axes.loads[cell.load_i],
+                traffic: axes.traffic[cell.traffic_i],
+                schedule: cell.sched_i,
+                cluster,
+                provenance,
+                stats: rep_stats[g].clone(),
+            }
+        })
+        .collect();
+
+    let clusters: Option<Vec<ClusterRec>> = match mode {
+        Mode::Exact => None,
+        Mode::Clustered => Some(
+            reps.iter()
+                .map(|&i| ClusterRec {
+                    id: cluster_id(&cells[i].cluster),
+                    key: cells[i].cluster.clone(),
+                    representative: i,
+                })
+                .collect(),
+        ),
+    };
+
+    let table = write_table(
+        mode,
+        input.spec.name(),
+        axes,
+        &table_points(&points),
+        &recs,
+        clusters.as_deref(),
+    );
+    Ok(DynSweepRun {
+        table,
+        cells: cells.len(),
+        simulated: reps.len(),
+        reused,
+        bounded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::parse_table;
+    use vi_noc_sim::TrafficKind;
+    use vi_noc_soc::{benchmarks, partition};
+    use vi_noc_sweep::{frontier_json, parse_frontier_file, run_shard, GridConfig, Shard};
+
+    fn setup() -> (
+        vi_noc_soc::SocSpec,
+        ViAssignment,
+        SynthesisConfig,
+        SweepGrid,
+        String,
+    ) {
+        let soc = benchmarks::d12_auto();
+        let vi = partition::logical_partition(&soc, 4).unwrap();
+        let cfg = SynthesisConfig::default();
+        let grid_cfg = GridConfig {
+            max_boost: 1,
+            freq_scales: vec![1.0],
+            max_intermediate: 2,
+        };
+        let grid = SweepGrid::build(&soc, &vi, &cfg, &grid_cfg);
+        let desc = GridDescriptor::for_grid(&grid, soc.name(), "logical:4", cfg.seed);
+        let run = run_shard(&soc, &vi, &grid, Shard::full(), &cfg);
+        let file = frontier_json(&desc, &run);
+        (soc, vi, cfg, grid, file)
+    }
+
+    fn axes() -> SimAxes {
+        SimAxes {
+            loads: vec![0.5, 0.9],
+            traffic: vec![TrafficKind::Cbr],
+            schedules: vec![None],
+            horizon_ns: 4_000,
+        }
+    }
+
+    #[test]
+    fn exact_mode_matches_the_naive_double_loop_and_parses() {
+        let (soc, vi, cfg, grid, file) = setup();
+        let frontier = parse_frontier_file(&file).unwrap();
+        let input = DynSweepInput {
+            spec: &soc,
+            vi: &vi,
+            cfg: &cfg,
+            sim: &SimConfig::default(),
+            grid: &grid,
+            partition: "logical:4",
+            frontier: &frontier,
+        };
+        let axes = axes();
+        let naive = run_naive(&input, &axes).unwrap();
+        let run = run_dynsweep(&input, &axes, Mode::Exact).unwrap();
+        assert_eq!(run.table, naive);
+        let parsed = parse_table(&run.table).unwrap();
+        assert_eq!(parsed.cells.len(), run.cells);
+        assert!(run.simulated <= run.cells);
+        assert_eq!(run.reused + run.bounded, 0);
+    }
+
+    #[test]
+    fn clustered_mode_reuses_within_clusters_only() {
+        let (soc, vi, cfg, grid, file) = setup();
+        let frontier = parse_frontier_file(&file).unwrap();
+        let input = DynSweepInput {
+            spec: &soc,
+            vi: &vi,
+            cfg: &cfg,
+            sim: &SimConfig::default(),
+            grid: &grid,
+            partition: "logical:4",
+            frontier: &frontier,
+        };
+        let axes = axes();
+        let run = run_dynsweep(&input, &axes, Mode::Clustered).unwrap();
+        let parsed = parse_table(&run.table).unwrap();
+        assert_eq!(run.simulated, parsed.clusters.len());
+        assert_eq!(run.cells, parsed.cells.len());
+        // Loads 0.5 and 0.9 share a bucket, so each point's two cells
+        // cluster together: at most one simulation per (point, cluster).
+        assert!(run.simulated < run.cells);
+        assert!(run.bounded > 0, "0.5 vs 0.9 differ in exact key");
+    }
+
+    #[test]
+    fn mismatched_frontier_is_refused() {
+        let (soc, vi, cfg, grid, file) = setup();
+        let frontier = parse_frontier_file(&file).unwrap();
+        let input = DynSweepInput {
+            spec: &soc,
+            vi: &vi,
+            cfg: &cfg,
+            sim: &SimConfig::default(),
+            grid: &grid,
+            partition: "logical:6", // wrong tag
+            frontier: &frontier,
+        };
+        let err = run_naive(&input, &axes()).unwrap_err();
+        assert_eq!(err, "frontier grid does not match the scenario's grid");
+    }
+}

@@ -1,0 +1,104 @@
+//! Malformed-input corpus for the `vi-noc-dynsweep-v1` table parser:
+//! every fixture under `tests/corpus/` is a real emitted table (a d12
+//! single-point dynamic sweep, one free-running and one gated cell) with
+//! one deliberate defect, and `parse_table` must reject it with a
+//! path-contexted error naming that defect. The two `valid_*` fixtures
+//! pin that the corpus base itself still parses — if the format evolves,
+//! regenerate the corpus rather than letting the negative cases rot into
+//! testing yesterday's format.
+
+use vi_noc_dynsweep::{parse_table, Mode, Provenance};
+
+/// Table fixtures: (name, contents, substring the error must contain).
+const CASES: &[(&str, &str, &str)] = &[
+    (
+        "wrong_format",
+        include_str!("corpus/wrong_format.json"),
+        "table: format 'vi-noc-dynsweep-v9' is not 'vi-noc-dynsweep-v1'",
+    ),
+    (
+        "bad_mode",
+        include_str!("corpus/bad_mode.json"),
+        "table: mode 'fuzzy' is not 'exact' or 'clustered'",
+    ),
+    (
+        "truncated_table",
+        include_str!("corpus/truncated_table.json"),
+        "JSON error at byte",
+    ),
+    (
+        "bad_load_axis",
+        include_str!("corpus/bad_load_axis.json"),
+        "axes: 'loads' must be a non-empty array of positive finite numbers",
+    ),
+    (
+        "short_signature",
+        include_str!("corpus/short_signature.json"),
+        "points[0]: 'island_signature' is not a 16-hex-digit string",
+    ),
+    (
+        "cell_out_of_order",
+        include_str!("corpus/cell_out_of_order.json"),
+        "cells[0]: cell is out of canonical order",
+    ),
+    (
+        "missing_shutdown_stats",
+        include_str!("corpus/missing_shutdown_stats.json"),
+        "cells[1]: gated cell is missing 'shutdown' stats",
+    ),
+    (
+        "clusters_in_exact",
+        include_str!("corpus/clusters_in_exact.json"),
+        "table: 'clusters' is not allowed in an exact-mode table",
+    ),
+    (
+        "reused_in_exact",
+        include_str!("corpus/reused_in_exact.json"),
+        "cells[0]: provenance 'reused' is not allowed in an exact-mode table",
+    ),
+    (
+        "unknown_member",
+        include_str!("corpus/unknown_member.json"),
+        "table: unknown member 'comment'",
+    ),
+    (
+        "missing_cluster_member",
+        include_str!("corpus/missing_cluster_member.json"),
+        "cells[0]: missing 'cluster' in a clustered-mode table",
+    ),
+    (
+        "dangling_representative",
+        include_str!("corpus/dangling_representative.json"),
+        "clusters[1]: representative 9 is outside the 2-cell table",
+    ),
+];
+
+#[test]
+fn the_corpus_base_tables_parse_cleanly() {
+    let exact =
+        parse_table(include_str!("corpus/valid_exact.json")).expect("valid exact fixture parses");
+    assert_eq!(exact.mode, Mode::Exact);
+    assert_eq!(exact.cells.len(), 2);
+    assert!(exact
+        .cells
+        .iter()
+        .all(|c| c.provenance == Provenance::Exact));
+
+    let clustered = parse_table(include_str!("corpus/valid_clustered.json"))
+        .expect("valid clustered fixture parses");
+    assert_eq!(clustered.mode, Mode::Clustered);
+    assert_eq!(clustered.clusters.len(), 2);
+}
+
+#[test]
+fn every_malformed_table_is_rejected_with_its_pinned_message() {
+    for (name, text, needle) in CASES {
+        let err = parse_table(text)
+            .map(|_| ())
+            .expect_err(&format!("{name}: parsed despite its defect"));
+        assert!(
+            err.contains(needle),
+            "{name}: error {err:?} does not contain {needle:?}"
+        );
+    }
+}

@@ -161,6 +161,17 @@ fn read_line(reader: &mut BufReader<TcpStream>, shared: &Shared) -> Result<Optio
     }
 }
 
+/// One `--verbose` metrics line: how many leases are in flight, how many
+/// deltas the coordinator has folded, and how long ago the last fold was.
+fn log_metrics(book: &LeaseBook, now: Instant) {
+    eprintln!(
+        "fleet: metrics leases_outstanding={} deltas_folded={} fold_lag_ms={}",
+        book.leases_outstanding(),
+        book.deltas_folded(),
+        book.fold_lag_ms(now)
+    );
+}
+
 fn send(stream: &mut TcpStream, m: &Message) -> Result<(), String> {
     let mut line = write_message(m);
     line.push('\n');
@@ -254,9 +265,13 @@ fn serve_worker(
                     return send(writer, &Message::Shutdown);
                 }
                 let mut book = shared.book.lock().unwrap();
-                match book.next_lease(Instant::now()) {
+                let now = Instant::now();
+                match book.next_lease(now) {
                     Some(lease) => {
                         held.push(lease.lease_id);
+                        if book.config().verbose {
+                            log_metrics(&book, now);
+                        }
                         drop(book);
                         send(writer, &Message::Lease(lease))?;
                     }
@@ -270,7 +285,12 @@ fn serve_worker(
             Message::Delta(d) => {
                 let folded = {
                     let mut book = shared.book.lock().unwrap();
-                    book.fold_delta(&d, Instant::now())
+                    let now = Instant::now();
+                    let folded = book.fold_delta(&d, now);
+                    if folded.is_ok() && book.config().verbose {
+                        log_metrics(&book, now);
+                    }
+                    folded
                 };
                 match folded {
                     Ok(outcome) => {

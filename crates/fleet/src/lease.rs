@@ -46,6 +46,9 @@ pub struct FleetConfig {
     pub checkpoint_every: u64,
     /// Poll interval suggested to idle workers.
     pub poll_ms: u64,
+    /// Emit `fleet: metrics ...` lines on the coordinator's stderr after
+    /// every lease grant and folded delta (the CLI's `--verbose`).
+    pub verbose: bool,
 }
 
 impl Default for FleetConfig {
@@ -55,6 +58,7 @@ impl Default for FleetConfig {
             lease_timeout: Duration::from_secs(10),
             checkpoint_every: 8,
             poll_ms: 25,
+            verbose: false,
         }
     }
 }
@@ -155,6 +159,8 @@ pub struct LeaseBook {
     next_job_id: u64,
     next_lease_id: u64,
     jobs: Vec<JobSlot>,
+    deltas_folded: u64,
+    last_fold: Option<Instant>,
 }
 
 impl LeaseBook {
@@ -165,6 +171,8 @@ impl LeaseBook {
             next_job_id: 1,
             next_lease_id: 1,
             jobs: Vec::new(),
+            deltas_folded: 0,
+            last_fold: None,
         }
     }
 
@@ -314,6 +322,8 @@ impl LeaseBook {
                 lease_id: d.lease_id,
                 deadline,
             };
+            self.deltas_folded += 1;
+            self.last_fold = Some(now);
             return Ok(FoldOutcome::Advanced { done });
         }
         slot.state = RangeState::Done;
@@ -323,6 +333,8 @@ impl LeaseBook {
         } else {
             None
         };
+        self.deltas_folded += 1;
+        self.last_fold = Some(now);
         Ok(FoldOutcome::LeaseDone { done, job_finished })
     }
 
@@ -367,6 +379,29 @@ impl LeaseBook {
     /// `true` when no unfinished job remains.
     pub fn idle(&self) -> bool {
         self.jobs.iter().all(|j| j.finished())
+    }
+
+    /// Leases currently active (issued, neither acked to completion nor
+    /// released) across all jobs.
+    pub fn leases_outstanding(&self) -> usize {
+        self.jobs
+            .iter()
+            .flat_map(|j| &j.ranges)
+            .filter(|s| matches!(s.state, RangeState::Active { .. }))
+            .count()
+    }
+
+    /// Total deltas folded since the book was created.
+    pub fn deltas_folded(&self) -> u64 {
+        self.deltas_folded
+    }
+
+    /// Milliseconds since the most recent folded delta (0 before the first
+    /// fold — an idle coordinator reports no lag, not infinite lag).
+    pub fn fold_lag_ms(&self, now: Instant) -> u64 {
+        self.last_fold
+            .map(|t| now.saturating_duration_since(t).as_millis() as u64)
+            .unwrap_or(0)
     }
 }
 
@@ -531,6 +566,38 @@ mod tests {
         );
         assert!(book.idle());
         assert!(book.next_lease(t0).is_none(), "failed jobs lease nothing");
+    }
+
+    #[test]
+    fn metrics_track_outstanding_leases_and_fold_lag() {
+        let mut book = LeaseBook::new(FleetConfig {
+            lease_chunk: 4,
+            ..FleetConfig::default()
+        });
+        let t0 = Instant::now();
+        assert_eq!(book.leases_outstanding(), 0);
+        assert_eq!(book.deltas_folded(), 0);
+        assert_eq!(book.fold_lag_ms(t0), 0, "no fold yet means no lag");
+
+        book.submit("payload", &desc(8)).unwrap();
+        let l1 = book.next_lease(t0).unwrap();
+        let l2 = book.next_lease(t0).unwrap();
+        assert_eq!(book.leases_outstanding(), 2);
+
+        book.fold_delta(&delta(&l1, 0, 2), t0).unwrap();
+        assert_eq!(book.deltas_folded(), 1);
+        assert_eq!(book.fold_lag_ms(t0 + Duration::from_millis(40)), 40);
+
+        // Completing a lease takes it out of the outstanding count;
+        // rejected deltas never count as folds.
+        book.fold_delta(&delta(&l1, 2, 2), t0).unwrap();
+        assert_eq!(book.leases_outstanding(), 1);
+        assert_eq!(book.deltas_folded(), 2);
+        assert!(book.fold_delta(&delta(&l2, 3, 1), t0).is_err());
+        assert_eq!(book.deltas_folded(), 2);
+
+        book.release_leases(&[l2.lease_id]);
+        assert_eq!(book.leases_outstanding(), 0);
     }
 
     #[test]

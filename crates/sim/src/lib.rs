@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+mod cell;
 mod energy;
 mod engine;
 mod network;
@@ -51,6 +52,7 @@ mod stats;
 mod traffic;
 mod zeroload;
 
+pub use cell::{run_dynamic_cell, CellOutcome, CellShutdown};
 pub use energy::{measured_power, MeasuredPower};
 pub use engine::{SimConfig, Simulator};
 pub use network::SimNetwork;

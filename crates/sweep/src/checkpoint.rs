@@ -557,6 +557,38 @@ pub fn parse_shard_checkpoint(text: &str) -> Result<ParsedShard, String> {
     })
 }
 
+/// The grid coordinates and recorded key fields of one frontier entry —
+/// everything the dynamic-sweep subsystem needs to regenerate and
+/// cross-check the embedded design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontierEntryCoords {
+    /// Global candidate ordinal.
+    pub ordinal: u64,
+    /// The chain that produced the point.
+    pub chain_id: u64,
+    /// Recorded dynamic power of the point, mW.
+    pub power_mw: f64,
+    /// Recorded average zero-load latency, cycles.
+    pub latency_cycles: f64,
+}
+
+/// Extracts the coordinates of one parsed frontier entry (an element of
+/// [`ParsedFrontier::entries`]).
+///
+/// # Errors
+///
+/// Missing or mistyped `ordinal` / `chain_id` / `power_mw` /
+/// `latency_cycles` members, with a `frontier entry:` context.
+pub fn entry_coords(entry: &Value) -> Result<FrontierEntryCoords, String> {
+    let ctx = "frontier entry";
+    Ok(FrontierEntryCoords {
+        ordinal: u64_field(entry, "ordinal", ctx)?,
+        chain_id: u64_field(entry, "chain_id", ctx)?,
+        power_mw: f64_field(entry, "power_mw", ctx)?,
+        latency_cycles: f64_field(entry, "latency_cycles", ctx)?,
+    })
+}
+
 /// A parsed merged-frontier file — the `refine` stage's input.
 #[derive(Debug, Clone)]
 pub struct ParsedFrontier {

@@ -64,17 +64,17 @@ pub mod run;
 pub mod shard;
 
 pub use checkpoint::{
-    frontier_json, frontier_progress_json, merge_checkpoints, parse_frontier_file,
+    entry_coords, frontier_json, frontier_progress_json, merge_checkpoints, parse_frontier_file,
     parse_shard_checkpoint, shard_checkpoint_json, shard_progress_json, stats_from_value,
-    stats_json, validate_entries, window_json, windows_from_value, GridDescriptor, ParsedFrontier,
-    ParsedShard, FRONTIER_FORMAT, SHARD_FORMAT,
+    stats_json, validate_entries, window_json, windows_from_value, FrontierEntryCoords,
+    GridDescriptor, ParsedFrontier, ParsedShard, FRONTIER_FORMAT, SHARD_FORMAT,
 };
 pub use grid::{ChainSpec, GridConfig, RefineWindow, SweepGrid};
 pub use refine::{
     frontier_seeds, validate_frontier_source, windows_from_frontier, FrontierSeed, RefineParams,
 };
 pub use run::{
-    resume_shard, resume_shard_pruned, run_range_deltas, run_shard, run_shard_pruned,
-    FrontierPoint, RangeDelta, ShardProgress, ShardRun, SweepStats,
+    regenerate_point, resume_shard, resume_shard_pruned, run_range_deltas, run_shard,
+    run_shard_pruned, FrontierPoint, RangeDelta, ShardProgress, ShardRun, SweepStats,
 };
 pub use shard::{ChainRange, Shard};

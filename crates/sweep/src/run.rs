@@ -207,6 +207,61 @@ fn evaluate_chain(
     (stats, local)
 }
 
+/// Regenerates the full [`DesignPoint`] at one frontier coordinate by
+/// re-evaluating its warm-start chain — the dynamic-sweep subsystem's way
+/// of turning a parsed frontier entry (which carries only the serialized
+/// point) back into a live topology without a topology parser.
+///
+/// `ordinal` must belong to `chain_id` (`ordinal / chain_len == chain_id`,
+/// as [`crate::validate_entries`] guarantees for parsed files). Evaluation
+/// is bit-deterministic, so the regenerated point's metrics match the
+/// frontier entry's recorded key fields exactly; callers cross-check that
+/// to detect a frontier paired with the wrong scenario.
+///
+/// # Errors
+///
+/// A `chain_id` outside the grid (or pointing at an inactive chain), an
+/// `ordinal` outside the chain, or a candidate that did not evaluate to a
+/// feasible point under this grid.
+pub fn regenerate_point(
+    spec: &SocSpec,
+    vi: &ViAssignment,
+    grid: &SweepGrid,
+    cfg: &SynthesisConfig,
+    chain_id: u64,
+    ordinal: u64,
+) -> Result<DesignPoint, String> {
+    let chain = grid
+        .chain(chain_id)
+        .ok_or_else(|| format!("chain {chain_id} is not an active chain of the scenario's grid"))?;
+    if ordinal / grid.chain_len() != chain_id {
+        return Err(format!(
+            "ordinal {ordinal} does not belong to chain {chain_id} (chain length {})",
+            grid.chain_len()
+        ));
+    }
+    let k = (ordinal - chain_id * grid.chain_len()) as usize;
+    let plan = grid.plan(chain.scale_index);
+    let assignment = island_switch_assignment(grid.vcgs(), plan, &chain.counts, cfg);
+    let candidates = grid.candidates_of(&chain);
+    let mut outcomes = evaluate_candidate_chain(spec, vi, plan, &assignment, &candidates, cfg);
+    if k >= outcomes.len() {
+        return Err(format!(
+            "ordinal {ordinal} indexes candidate {k} of a {}-candidate chain",
+            outcomes.len()
+        ));
+    }
+    match outcomes.swap_remove(k) {
+        CandidateOutcome::Feasible(point) => Ok(*point),
+        CandidateOutcome::Duplicate => Err(format!(
+            "ordinal {ordinal} is a duplicate candidate, not a frontier point"
+        )),
+        CandidateOutcome::Infeasible(why) => Err(format!(
+            "ordinal {ordinal} is infeasible under this grid: {why}"
+        )),
+    }
+}
+
 /// Streams shard `shard` of `grid`: evaluates every owned chain (rayon
 /// block-parallel when [`SynthesisConfig::parallel`] is set, strictly
 /// sequential otherwise) and folds outcomes into a bounded-memory Pareto

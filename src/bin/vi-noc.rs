@@ -7,6 +7,7 @@
 //! vi-noc report   REPORT.json
 //! vi-noc sweep    run|merge|info ...
 //! vi-noc fleet    serve|work|run ...
+//! vi-noc dynsweep run|check ...
 //! ```
 //!
 //! The implementation lives in [`vi_noc_api::cli`]; see `scenarios/` for

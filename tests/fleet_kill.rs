@@ -79,6 +79,7 @@ fn a_sigkilled_worker_does_not_change_the_frontier_bytes() {
         .args(["--lease-chunk", "4"])
         .args(["--checkpoint-every", "1"])
         .args(["--lease-timeout-ms", "60000"])
+        .arg("--verbose")
         .stderr(Stdio::piped())
         .spawn()
         .unwrap();
@@ -121,6 +122,15 @@ fn a_sigkilled_worker_does_not_change_the_frontier_bytes() {
     assert!(
         serve_log.contains("re-issued"),
         "no lease was re-issued — the kill missed every lease:\n{serve_log}"
+    );
+    // `--verbose` streams fleet metrics on every grant and fold.
+    assert!(
+        serve_log.contains("fleet: metrics leases_outstanding="),
+        "--verbose emitted no metrics lines:\n{serve_log}"
+    );
+    assert!(
+        serve_log.contains("deltas_folded=") && serve_log.contains("fold_lag_ms="),
+        "metrics lines are missing fields:\n{serve_log}"
     );
     for worker in &mut workers.0[1..] {
         assert!(worker.wait().unwrap().success(), "survivor worker failed");
